@@ -1,0 +1,66 @@
+// E7 — back-pressure in isolation: the paper's Figure-4 curve needs
+// ~10^5 iterations to approach the optimum. This bench characterizes the
+// baseline's convergence and its one tuning knob, the dummy-buffer cap
+// (the Awerbuch-Leighton accuracy-vs-speed trade-off documented in
+// DESIGN.md).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bp/backpressure.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+int main() {
+  using namespace maxutil;
+
+  std::printf("=== E7: back-pressure convergence & buffer-cap ablation ===\n");
+  std::printf("instance: Section-6 defaults (seed 2007), 200k iterations\n\n");
+
+  const auto net = bench::paper_instance();
+  const xform::ExtendedGraph xg(net);
+  const double optimal = xform::solve_reference(xg).optimal_utility;
+  std::printf("LP optimal utility: %.4f\n\n", optimal);
+
+  util::Table table({"buffer cap (x lambda)", "iters to 90%", "iters to 95%",
+                     "final utility", "% of optimal"});
+  std::vector<std::size_t> to95;
+  std::vector<double> finals;
+  for (const double cap : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    bp::BackPressureOptions options;
+    options.buffer_cap_multiplier = cap;
+    options.history_stride = 50;
+    bp::BackPressureOptimizer opt(xg, options);
+    opt.run(200000);
+    const std::size_t h90 =
+        bench::iterations_to_fraction(opt.history(), "utility", optimal, 0.90);
+    const std::size_t h95 =
+        bench::iterations_to_fraction(opt.history(), "utility", optimal, 0.95);
+    to95.push_back(h95);
+    finals.push_back(opt.utility());
+    const auto cell = [](std::size_t v) {
+      return v == static_cast<std::size_t>(-1)
+                 ? std::string("never")
+                 : util::Table::cell(static_cast<long long>(v));
+    };
+    table.add_row({util::Table::cell(cap, 1), cell(h90), cell(h95),
+                   util::Table::cell(opt.utility()),
+                   util::Table::cell(100.0 * opt.utility() / optimal, 1)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nshape checks:\n");
+  bool ok = true;
+  ok &= bench::shape_check(
+      "back-pressure approaches the optimum (>= 95% for some cap)",
+      *std::max_element(finals.begin(), finals.end()) >= 0.95 * optimal);
+  ok &= bench::shape_check(
+      "convergence takes 10^3..10^5 iterations (vs gradient's 10^2..10^3)",
+      to95[2] != static_cast<std::size_t>(-1) && to95[2] >= 1000);
+  ok &= bench::shape_check(
+      "larger buffers converge more slowly (AL trade-off)",
+      to95.back() == static_cast<std::size_t>(-1) || to95.back() >= to95[1]);
+  return ok ? 0 : 1;
+}

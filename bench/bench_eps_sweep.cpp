@@ -1,0 +1,82 @@
+// E3 — penalty coefficient ablation (Section 3): "by selecting eps
+// appropriately, this standard approach typically results in a solution
+// that is nearly the optimal solution ... A penalty function may also
+// prevent a node resource from being completely allocated", leaving
+// headroom for demand changes and failure recovery.
+//
+// Expected shape: the utility gap to the LP optimum shrinks as eps -> 0,
+// while the minimum capacity slack (the safety margin) shrinks with it.
+
+#include <cstdio>
+#include <iostream>
+#include <limits>
+
+#include "common.hpp"
+#include "core/optimizer.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+int main() {
+  using namespace maxutil;
+
+  std::printf("=== E3: optimality gap and safety margin vs eps ===\n");
+  std::printf("instance: Section-6 defaults (seed 2007), eta=0.04\n\n");
+
+  const auto net = bench::paper_instance();
+  double optimal = 0.0;
+
+  util::Table table({"eps", "final utility", "gap vs LP", "% of optimal",
+                     "min slack fraction"});
+  std::vector<double> epss{0.8, 0.4, 0.2, 0.1, 0.05, 0.02};
+  std::vector<double> utilities;
+  std::vector<double> slacks;
+  for (const double eps : epss) {
+    xform::PenaltyConfig penalty;
+    penalty.epsilon = eps;
+    const xform::ExtendedGraph xg(net, penalty);
+    if (optimal == 0.0) {
+      optimal = xform::solve_reference(xg).optimal_utility;
+      std::printf("LP optimal utility: %.4f\n\n", optimal);
+    }
+    core::GradientOptions options;
+    options.eta = 0.04;
+    options.max_iterations = 15000;
+    options.record_history = false;
+    core::GradientOptimizer opt(xg, options);
+    opt.run();
+
+    // Minimum relative slack over loaded finite-capacity nodes.
+    double min_slack = std::numeric_limits<double>::infinity();
+    for (graph::NodeId v = 0; v < xg.node_count(); ++v) {
+      if (!xg.has_finite_capacity(v)) continue;
+      if (opt.flows().f_node[v] <= 1e-9) continue;  // unloaded node
+      min_slack = std::min(
+          min_slack, (xg.capacity(v) - opt.flows().f_node[v]) / xg.capacity(v));
+    }
+    utilities.push_back(opt.utility());
+    slacks.push_back(min_slack);
+    table.add_row({util::Table::cell(eps), util::Table::cell(opt.utility()),
+                   util::Table::cell(optimal - opt.utility()),
+                   util::Table::cell(100.0 * opt.utility() / optimal, 1),
+                   util::Table::cell(min_slack, 4)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nshape checks:\n");
+  bool ok = true;
+  bool gap_monotone = true;
+  for (std::size_t i = 1; i < utilities.size(); ++i) {
+    gap_monotone = gap_monotone && utilities[i] >= utilities[i - 1] - 1e-6;
+  }
+  ok &= bench::shape_check("utility gap shrinks monotonically as eps decreases",
+                           gap_monotone);
+  ok &= bench::shape_check("smallest eps reaches >= 98% of the LP optimum",
+                           utilities.back() >= 0.98 * optimal);
+  ok &= bench::shape_check(
+      "larger eps leaves a larger minimum safety margin",
+      slacks.front() > slacks.back());
+  ok &= bench::shape_check("some capacity always remains unallocated",
+                           slacks.back() > 0.0);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+// E9 — micro-benchmarks of the core primitives (google-benchmark): cost of
+// one flow-balance solve, one marginal-cost sweep, one Gamma update, one
+// full optimizer step, the extended-graph construction, the LP reference
+// solve, and one back-pressure round, on Section-6-sized instances.
+
+#include <benchmark/benchmark.h>
+
+#include "bp/backpressure.hpp"
+#include "common.hpp"
+#include "core/flow.hpp"
+#include "core/gamma.hpp"
+#include "core/marginals.hpp"
+#include "core/optimizer.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+namespace {
+
+using namespace maxutil;
+
+const stream::StreamNetwork& shared_net() {
+  static const stream::StreamNetwork net = bench::paper_instance();
+  return net;
+}
+
+const xform::ExtendedGraph& shared_xg() {
+  static const xform::ExtendedGraph xg(shared_net());
+  return xg;
+}
+
+/// A routing state some way into the optimization (more representative than
+/// the all-rejected initial state).
+const core::RoutingState& warm_routing() {
+  static const core::RoutingState routing = [] {
+    core::GradientOptions options;
+    options.eta = 0.04;
+    options.max_iterations = 200;
+    options.record_history = false;
+    core::GradientOptimizer opt(shared_xg());
+    opt.run();
+    return opt.routing();
+  }();
+  return routing;
+}
+
+void BM_ExtendedGraphBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    xform::ExtendedGraph xg(shared_net());
+    benchmark::DoNotOptimize(xg.edge_count());
+  }
+}
+BENCHMARK(BM_ExtendedGraphBuild);
+
+void BM_ComputeFlows(benchmark::State& state) {
+  const auto& xg = shared_xg();
+  const auto& routing = warm_routing();
+  for (auto _ : state) {
+    const auto flows = core::compute_flows(xg, routing);
+    benchmark::DoNotOptimize(flows.f_node.data());
+  }
+}
+BENCHMARK(BM_ComputeFlows);
+
+void BM_MarginalSweep(benchmark::State& state) {
+  const auto& xg = shared_xg();
+  const auto& routing = warm_routing();
+  const auto flows = core::compute_flows(xg, routing);
+  for (auto _ : state) {
+    const auto marginals = core::compute_marginals(xg, routing, flows);
+    benchmark::DoNotOptimize(marginals.d_cost_d_input.data());
+  }
+}
+BENCHMARK(BM_MarginalSweep);
+
+void BM_GammaUpdate(benchmark::State& state) {
+  const auto& xg = shared_xg();
+  const auto flows = core::compute_flows(xg, warm_routing());
+  const auto marginals = core::compute_marginals(xg, warm_routing(), flows);
+  for (auto _ : state) {
+    core::RoutingState routing = warm_routing();
+    core::apply_gamma(xg, flows, marginals, {}, routing);
+    benchmark::DoNotOptimize(routing.phi(0, 0));
+  }
+}
+BENCHMARK(BM_GammaUpdate);
+
+void BM_OptimizerStep(benchmark::State& state) {
+  const auto& xg = shared_xg();
+  core::GradientOptions options;
+  options.record_history = false;
+  options.max_iterations = static_cast<std::size_t>(-1);
+  core::GradientOptimizer opt(xg, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OptimizerStep);
+
+void BM_BackPressureRound(benchmark::State& state) {
+  const auto& xg = shared_xg();
+  bp::BackPressureOptions options;
+  options.record_history = false;
+  bp::BackPressureOptimizer opt(xg, options);
+  for (auto _ : state) {
+    opt.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BackPressureRound);
+
+void BM_LpReferenceSolve(benchmark::State& state) {
+  const auto& xg = shared_xg();
+  for (auto _ : state) {
+    const auto reference = xform::solve_reference(xg);
+    benchmark::DoNotOptimize(reference.optimal_utility);
+  }
+}
+BENCHMARK(BM_LpReferenceSolve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

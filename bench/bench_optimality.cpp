@@ -1,0 +1,88 @@
+// E6 — optimality across random instances (Section 5's convergence claim /
+// Theorem 2): the distributed gradient algorithm converges to the optimal
+// solution. For 30 random instances of varying size, report the final
+// utility gap against the simplex reference and the Theorem-2 residuals.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/optimizer.hpp"
+#include "gen/random_instance.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+int main() {
+  using namespace maxutil;
+
+  std::printf("=== E6: convergence-to-optimum across 30 random instances"
+              " ===\n");
+  std::printf("sizes in {12, 24, 40} servers x {2, 3} commodities, eps=0.05,"
+              " eta=0.05, 12000 iterations\n\n");
+
+  util::Table table({"servers", "commodities", "seed", "LP optimum",
+                     "gradient", "% of LP", "Thm2 violation"});
+  util::RunningStats ratio_stats;
+  util::RunningStats violation_stats;
+  bool all_bounded = true;
+
+  int id = 0;
+  for (const std::size_t servers : {12u, 24u, 40u}) {
+    for (const std::size_t commodities : {2u, 3u}) {
+      for (std::uint64_t seed = 1; seed <= 5; ++seed, ++id) {
+        util::Rng rng(seed * 7717 + servers);
+        gen::RandomInstanceParams p;
+        p.servers = servers;
+        p.commodities = commodities;
+        p.stages = 3;
+        const auto net = gen::random_instance(p, rng);
+        xform::PenaltyConfig penalty;
+        penalty.epsilon = 0.05;
+        const xform::ExtendedGraph xg(net, penalty);
+        const auto reference = xform::solve_reference(xg);
+        if (reference.status != lp::LpStatus::kOptimal) continue;
+
+        core::GradientOptions options;
+        options.eta = 0.05;
+        options.max_iterations = 12000;
+        options.record_history = false;
+        core::GradientOptimizer opt(xg, options);
+        opt.run();
+
+        const double pct = 100.0 * opt.utility() / reference.optimal_utility;
+        const auto report = opt.optimality();
+        ratio_stats.add(pct);
+        violation_stats.add(report.sufficient_violation);
+        all_bounded = all_bounded &&
+                      opt.utility() <= reference.optimal_utility + 1e-6;
+        table.add_row({util::Table::cell(static_cast<long long>(servers)),
+                       util::Table::cell(static_cast<long long>(commodities)),
+                       util::Table::cell(static_cast<long long>(seed)),
+                       util::Table::cell(reference.optimal_utility),
+                       util::Table::cell(opt.utility()),
+                       util::Table::cell(pct, 2),
+                       util::Table::cell(report.sufficient_violation, 5)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nsummary: mean %.2f%% of LP (min %.2f%%, max %.2f%%);"
+              " mean Thm2 violation %.5f\n\n",
+              ratio_stats.mean(), ratio_stats.min(), ratio_stats.max(),
+              violation_stats.mean());
+
+  std::printf("shape checks:\n");
+  bool ok = true;
+  ok &= bench::shape_check("every instance converges to >= 92% of its LP optimum",
+                           ratio_stats.min() >= 92.0);
+  ok &= bench::shape_check("mean convergence >= 95% of LP", ratio_stats.mean() >= 95.0);
+  ok &= bench::shape_check("gradient never exceeds the LP optimum", all_bounded);
+  // Residuals vanish as the step-size tail plays out; at the 12k-iteration
+  // budget a few instances retain ~1e-2 (they are at ~98-99% of LP already).
+  ok &= bench::shape_check("Theorem-2 sufficient violations are small (< 0.02)",
+                           violation_stats.max() < 0.02);
+  return ok ? 0 : 1;
+}

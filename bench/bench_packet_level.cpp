@@ -1,0 +1,105 @@
+// E13 — extension: packet-level validation of the fluid optimum. The paper
+// evaluates its algorithms in the fluid model; here the converged routing is
+// executed as an operating policy in a discrete-event queueing simulation
+// (Poisson arrivals, Bernoulli admission, probabilistic routing, FIFO
+// service). Two questions:
+//   1. fidelity — do the fluid-promised admission/delivery rates
+//      materialize at packet level?
+//   2. the eps trade-off — Section 3 says the barrier's reserved headroom
+//      helps in practice; in queueing terms, headroom *is* latency margin:
+//      smaller eps pushes utilization toward 1 and delay up.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/optimizer.hpp"
+#include "des/packet_sim.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+int main() {
+  using namespace maxutil;
+
+  std::printf("=== E13: packet-level execution of the fluid optimum ===\n");
+  std::printf("Section-6 instance (seed 2007); DES: Poisson arrivals,"
+              " packet size 0.5, 3000s horizon, 300s warm-up\n\n");
+
+  const auto net = bench::paper_instance();
+
+  util::Table table({"eps", "fluid utility", "packet utility",
+                     "fidelity", "max utilization", "mean latency (s)",
+                     "p95 latency (s)"});
+  std::vector<double> max_rhos, latencies;
+  bool fidelity_ok = true;
+  for (const double eps : {0.4, 0.2, 0.1, 0.05, 0.02}) {
+    xform::PenaltyConfig penalty;
+    penalty.epsilon = eps;
+    const xform::ExtendedGraph xg(net, penalty);
+    core::GradientOptions options;
+    options.eta = 0.04;
+    options.record_history = false;
+    options.max_iterations = 8000;
+    core::GradientOptimizer opt(xg, options);
+    opt.run();
+    const auto fluid = opt.admitted();
+    const double fluid_utility = opt.utility();
+
+    des::PacketSimOptions sopts;
+    sopts.horizon = 3000.0;
+    sopts.warmup = 300.0;
+    sopts.packet_size = 0.5;
+    sopts.seed = 11;
+    des::PacketSimulator sim(xg, opt.routing(), sopts);
+    sim.run();
+
+    double packet_utility = 0.0;
+    double worst_fidelity = 0.0;
+    util::RunningStats latency;
+    for (stream::CommodityId j = 0; j < xg.commodity_count(); ++j) {
+      const auto stats = sim.commodity_stats(j);
+      packet_utility += stats.delivered_rate;  // linear utility = throughput
+      if (fluid[j] > 0.5) {
+        worst_fidelity = std::max(
+            worst_fidelity, std::abs(stats.delivered_rate - fluid[j]) / fluid[j]);
+      }
+      latency.add(stats.mean_latency);
+    }
+    double max_rho = 0.0, p95 = 0.0;
+    for (graph::NodeId v = 0; v < xg.node_count(); ++v) {
+      if (xg.has_finite_capacity(v)) {
+        max_rho = std::max(max_rho, sim.node_stats(v).utilization);
+      }
+    }
+    for (stream::CommodityId j = 0; j < xg.commodity_count(); ++j) {
+      p95 = std::max(p95, sim.commodity_stats(j).p95_latency);
+    }
+    max_rhos.push_back(max_rho);
+    latencies.push_back(latency.mean());
+    fidelity_ok = fidelity_ok && worst_fidelity < 0.15;
+    table.add_row({util::Table::cell(eps), util::Table::cell(fluid_utility),
+                   util::Table::cell(packet_utility),
+                   util::Table::cell(100.0 * (1.0 - worst_fidelity), 1) + "%",
+                   util::Table::cell(max_rho, 3),
+                   util::Table::cell(latency.mean(), 3),
+                   util::Table::cell(p95, 3)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nshape checks:\n");
+  bool ok = true;
+  ok &= bench::shape_check(
+      "packet-level delivery within 15% of every fluid promise", fidelity_ok);
+  ok &= bench::shape_check(
+      "utilization rises toward 1 as eps shrinks (headroom consumed)",
+      max_rhos.back() > max_rhos.front());
+  ok &= bench::shape_check(
+      "queueing latency grows as eps shrinks (the price of less headroom)",
+      latencies.back() > latencies.front());
+  ok &= bench::shape_check("no node saturated (utilization < 1 everywhere)",
+                           *std::max_element(max_rhos.begin(), max_rhos.end()) <
+                               1.0);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared helpers for the bench harness (see DESIGN.md Section 5 for the
+// experiment index each binary implements).
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/random_instance.hpp"
+#include "stream/model.hpp"
+#include "util/rng.hpp"
+#include "util/timeseries.hpp"
+
+namespace maxutil::bench {
+
+/// The Section-6 instance: 40 servers, 3 commodities, capacities ~ U[1,100],
+/// g ~ U[1,10], c ~ U[1,5]. Seed 2007 is the repository's canonical
+/// instance; benches also sweep other seeds.
+inline stream::StreamNetwork paper_instance(std::uint64_t seed = 2007) {
+  util::Rng rng(seed);
+  return gen::random_instance({}, rng);
+}
+
+/// First iteration whose `column` value reaches `fraction * target`;
+/// returns SIZE_MAX when never reached.
+inline std::size_t iterations_to_fraction(const util::TimeSeries& history,
+                                          const std::string& column,
+                                          double target, double fraction) {
+  const auto& values = history.column(column);
+  const auto& iters = history.column("iteration");
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    if (values[r] >= fraction * target) {
+      return static_cast<std::size_t>(iters[r]);
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Jain fairness index of an allocation: (sum x)^2 / (n * sum x^2);
+/// 1 = perfectly equal, 1/n = single winner.
+inline double jain_index(const std::vector<double>& x) {
+  double s = 0.0, s2 = 0.0;
+  for (const double v : x) {
+    s += v;
+    s2 += v * v;
+  }
+  if (s2 == 0.0) return 1.0;
+  return s * s / (static_cast<double>(x.size()) * s2);
+}
+
+/// Prints a PASS/FAIL shape-check line (the reproduction criterion is the
+/// *shape* of the paper's result, not its absolute numbers).
+inline bool shape_check(const char* claim, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim);
+  return ok;
+}
+
+}  // namespace maxutil::bench

@@ -1,0 +1,122 @@
+// Capacity planning with shadow prices: where is the system constrained,
+// and what is one more unit of capacity worth? The LP reference exposes the
+// exact capacity duals; the running gradient optimizer exposes the same
+// economics *distributedly* through the barrier's marginal prices
+// (eps * D'(f), local at every node). Both point at the same node to
+// upgrade, and the predicted utility gain (price x delta-capacity) matches a
+// re-solve.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/bottleneck.hpp"
+#include "core/optimizer.hpp"
+#include "gen/random_instance.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+int main() {
+  using namespace maxutil;
+
+  util::Rng rng(2007);
+  gen::RandomInstanceParams params;
+  params.servers = 20;
+  params.commodities = 3;
+  params.stages = 3;
+  auto net = gen::random_instance(params, rng);
+
+  xform::PenaltyConfig penalty;
+  penalty.epsilon = 0.02;  // small eps: barrier prices approach LP duals
+  const xform::ExtendedGraph xg(net, penalty);
+
+  const auto reference = xform::solve_reference(xg);
+  core::GradientOptions options;
+  options.eta = 0.05;
+  options.record_history = false;
+  options.max_iterations = 20000;
+  core::GradientOptimizer optimizer(xg, options);
+  optimizer.run();
+
+  std::printf("capacity planning on a contended 20-server instance"
+              " (utility: gradient %.3f, LP %.3f)\n\n",
+              optimizer.utility(), reference.optimal_utility);
+
+  const auto report = core::bottleneck_report(xg, optimizer.flows(), 5);
+  util::Table table({"rank", "resource", "utilization", "barrier price",
+                     "LP shadow price"});
+  for (std::size_t i = 0; i < report.size(); ++i) {
+    const auto& entry = report[i];
+    table.add_row({util::Table::cell(static_cast<long long>(i + 1)),
+                   xg.node_label(entry.node),
+                   util::Table::cell(100.0 * entry.utilization, 1) + "%",
+                   util::Table::cell(entry.price, 4),
+                   util::Table::cell(reference.node_shadow_price[entry.node], 4)});
+  }
+  table.print(std::cout);
+
+  // "What if we upgrade the top bottleneck by 20%?" — the dual predicts the
+  // utility gain to first order.
+  const auto& top = report.front();
+  const double price = reference.node_shadow_price[top.node];
+  const double old_capacity = xg.capacity(top.node);
+  const double delta = 0.2 * old_capacity;
+
+  // Apply the upgrade on the physical network (server or link).
+  if (xg.node_kind(top.node) == xform::NodeKind::kBandwidth) {
+    std::printf("\n(top bottleneck is a link; upgrading its bandwidth)\n");
+  }
+  // Rebuild the network with the upgraded capacity.
+  stream::StreamNetwork upgraded;
+  {
+    const auto& g = net.graph();
+    for (stream::NodeId n = 0; n < net.node_count(); ++n) {
+      if (net.is_sink(n)) {
+        upgraded.add_sink(net.node_name(n));
+      } else {
+        double capacity = net.capacity(n);
+        if (xg.node_kind(top.node) == xform::NodeKind::kServer &&
+            xg.physical_node(top.node) == n) {
+          capacity += delta;
+        }
+        upgraded.add_server(net.node_name(n), capacity);
+      }
+    }
+    for (std::size_t l = 0; l < net.link_count(); ++l) {
+      double bandwidth = net.bandwidth(l);
+      if (xg.node_kind(top.node) == xform::NodeKind::kBandwidth &&
+          xg.physical_link_of_bandwidth_node(top.node) == l) {
+        bandwidth += delta;
+      }
+      upgraded.add_link(g.tail(l), g.head(l), bandwidth);
+    }
+    for (std::size_t j = 0; j < net.commodity_count(); ++j) {
+      upgraded.add_commodity(net.commodity_name(j), net.source(j), net.sink(j),
+                             net.lambda(j), net.utility(j));
+      for (std::size_t l = 0; l < net.link_count(); ++l) {
+        if (net.uses_link(j, l)) {
+          upgraded.enable_link(j, l, net.consumption(j, l));
+        }
+      }
+      for (stream::NodeId n = 0; n < net.node_count(); ++n) {
+        upgraded.set_potential(j, n, net.potential(j, n));
+      }
+    }
+  }
+  const xform::ExtendedGraph xg2(upgraded, penalty);
+  const auto upgraded_reference = xform::solve_reference(xg2);
+
+  const double predicted = price * delta;
+  const double actual =
+      upgraded_reference.optimal_utility - reference.optimal_utility;
+  std::printf("\nupgrade '%s' by %.2f units of capacity:\n",
+              xg.node_label(top.node).c_str(), delta);
+  std::printf("  shadow-price prediction: +%.4f utility\n", predicted);
+  std::printf("  actual LP re-solve:      +%.4f utility\n", actual);
+  std::printf("\nThe dual predicts the gain to first order (it overestimates"
+              " once the upgrade is large enough that the bottleneck moves"
+              " elsewhere) — and the *distributed* barrier prices identified"
+              " the same resource without any centralized solve.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Failure recovery: a replicated operator's server crashes mid-operation.
+// The network is rebuilt without the failed server (stream::without_server
+// prunes the dead branches) and the optimizer re-converges on the surviving
+// topology. Because the penalty barrier leaves headroom on every node
+// (Section 3's remark on failure recovery), the surviving replicas absorb
+// the load without violating any capacity.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/optimizer.hpp"
+#include "gen/figure1.hpp"
+#include "stream/surgery.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+namespace {
+
+struct RunResult {
+  double utility;
+  double lp_optimum;
+  std::size_t iterations_to_99;
+};
+
+RunResult optimize(const maxutil::stream::StreamNetwork& net) {
+  using namespace maxutil;
+  const xform::ExtendedGraph xg(net);
+  const auto reference = xform::solve_reference(xg);
+  core::GradientOptions options;
+  options.eta = 0.1;
+  options.max_iterations = 5000;
+  core::GradientOptimizer optimizer(xg, options);
+  optimizer.run();
+  // First iteration reaching 99% of the final value (re-convergence speed).
+  const auto& utility = optimizer.history().column("utility");
+  std::size_t hit = utility.size();
+  for (std::size_t i = 0; i < utility.size(); ++i) {
+    if (utility[i] >= 0.99 * utility.back()) {
+      hit = i;
+      break;
+    }
+  }
+  return {optimizer.utility(), reference.optimal_utility, hit};
+}
+
+}  // namespace
+
+int main() {
+  using namespace maxutil;
+
+  gen::Figure1Params params;
+  params.lambda = 30.0;
+  params.server_capacity = 40.0;
+  params.link_bandwidth = 25.0;
+  gen::Figure1Ids ids;
+  const auto net = gen::figure1_example(params, &ids);
+
+  const RunResult before = optimize(net);
+
+  // Server 2 hosts one replica of S1's task B; its crash leaves server 3 as
+  // the only B operator (shared with S2's task E).
+  const auto failed = ids.server[1];
+  std::printf("failing '%s' (replica of S1 task B)...\n\n",
+              net.node_name(failed).c_str());
+  const auto surgery = stream::without_server(net, failed);
+  std::printf("surviving network: %zu nodes, %zu links, %zu commodities\n\n",
+              surgery.network.node_count(), surgery.network.link_count(),
+              surgery.network.commodity_count());
+
+  const RunResult after = optimize(surgery.network);
+
+  util::Table table({"phase", "gradient utility", "LP optimum",
+                     "iterations to 99%"});
+  table.add_row({"before failure", util::Table::cell(before.utility),
+                 util::Table::cell(before.lp_optimum),
+                 util::Table::cell(static_cast<long long>(before.iterations_to_99))});
+  table.add_row({"after failure", util::Table::cell(after.utility),
+                 util::Table::cell(after.lp_optimum),
+                 util::Table::cell(static_cast<long long>(after.iterations_to_99))});
+  table.print(std::cout);
+
+  std::printf("\nS1 lost one of its two B replicas, so server 3 now carries"
+              " both streams' middle stages; total utility drops to the new"
+              " (smaller) optimum rather than collapsing, and no capacity is"
+              " ever violated during re-convergence.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Financial-analysis scenario: three market data streams share an analytics
+// cluster. Each stream is first *decrypted/decompressed*, which EXPANDS the
+// data (beta > 1, the paper's expansion case), then aggregated back down.
+// Customers pay for different service tiers, expressed as weighted linear
+// utilities; the optimizer allocates the scarce decryption stage to the
+// highest-value traffic first, and admission control sheds the rest.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "stream/model.hpp"
+#include "stream/validate.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+int main() {
+  using namespace maxutil;
+
+  stream::StreamNetwork net;
+  // Shared pipeline servers.
+  const auto decrypt = net.add_server("decrypt", /*capacity=*/60.0);
+  const auto aggregate = net.add_server("aggregate", /*capacity=*/120.0);
+
+  struct Tier {
+    const char* name;
+    double weight;
+    double lambda;
+  };
+  const std::vector<Tier> tiers{{"gold", 3.0, 20.0},
+                                {"silver", 2.0, 20.0},
+                                {"bronze", 1.0, 20.0}};
+
+  std::vector<stream::CommodityId> streams;
+  std::vector<stream::NodeId> sinks;
+  for (const Tier& tier : tiers) {
+    const auto ingress =
+        net.add_server(std::string(tier.name) + ".ingress", 100.0);
+    const auto sink = net.add_sink(std::string(tier.name) + ".sink");
+    const auto l0 = net.add_link(ingress, decrypt, 100.0);
+    const auto l1 = net.graph().has_edge(decrypt, aggregate)
+                        ? net.graph().find_edge(decrypt, aggregate)
+                        : net.add_link(decrypt, aggregate, 200.0);
+    const auto l2 = net.add_link(aggregate, sink, 100.0);
+
+    const auto j =
+        net.add_commodity(tier.name, ingress, sink, tier.lambda,
+                          stream::Utility::linear(tier.weight));
+    net.enable_link(j, l0, 1.0);  // parse
+    net.enable_link(j, l1, 2.0);  // decrypt: expensive...
+    net.enable_link(j, l2, 1.0);  // aggregate
+    // ...and expanding: decryption triples the stream, aggregation shrinks
+    // it to a tenth.
+    net.set_potential(j, ingress, 1.0);
+    net.set_potential(j, decrypt, 1.0);
+    net.set_potential(j, aggregate, 3.0);
+    net.set_potential(j, sink, 0.3);
+    streams.push_back(j);
+    sinks.push_back(sink);
+  }
+  stream::validate_or_throw(net);
+
+  const xform::ExtendedGraph xg(net);
+  core::GradientOptions options;
+  options.eta = 0.05;
+  options.max_iterations = 8000;
+  core::GradientOptimizer optimizer(xg, options);
+  optimizer.run();
+  const auto reference = xform::solve_reference(xg);
+
+  std::printf("market analytics: shared decrypt(60 cpu, c=2/unit) ->"
+              " aggregate stage; decryption expands streams 3x\n\n");
+  const auto alloc = optimizer.allocation();
+  util::Table table({"tier", "weight", "offered", "admitted (gradient)",
+                     "admitted (LP)", "delivered"});
+  for (std::size_t q = 0; q < tiers.size(); ++q) {
+    const auto j = streams[q];
+    table.add_row({tiers[q].name, util::Table::cell(tiers[q].weight, 1),
+                   util::Table::cell(net.lambda(j), 1),
+                   util::Table::cell(alloc.admitted[j]),
+                   util::Table::cell(reference.admitted[j]),
+                   util::Table::cell(alloc.delivered[j])});
+  }
+  table.print(std::cout);
+  std::printf("\nweighted utility: gradient %.4f vs LP %.4f\n",
+              optimizer.utility(), reference.optimal_utility);
+  std::printf("decrypt cpu in use: %.2f / 60\n", alloc.server_usage[decrypt]);
+  std::printf("\nThe decrypt stage fits 30 stream-units (60 cpu at c=2);"
+              " weights 3 > 2 > 1 mean gold and silver are admitted in full"
+              " and bronze absorbs the shedding.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a tiny stream-processing network, optimize it with the
+// distributed gradient algorithm, and inspect the resulting admission rates
+// and resource allocation.
+//
+// Pipeline: source server -> relay server -> sink, one stream whose
+// filtering stage halves the data rate (beta = 0.5).
+
+#include <cstdio>
+
+#include "core/optimizer.hpp"
+#include "stream/model.hpp"
+#include "stream/validate.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace maxutil;
+
+  // 1. Describe the physical system: servers with computing power, links
+  //    with bandwidth, sinks that only receive.
+  stream::StreamNetwork net;
+  const auto source = net.add_server("ingest", /*capacity=*/10.0);
+  const auto relay = net.add_server("filter", /*capacity=*/20.0);
+  const auto sink = net.add_sink("dashboard");
+  const auto l_in = net.add_link(source, relay, /*bandwidth=*/5.0);
+  const auto l_out = net.add_link(relay, sink, /*bandwidth=*/6.0);
+
+  // 2. Declare the stream: up to 8 units/s are offered; the operator on the
+  //    ingest server costs 2 resource units per stream unit, the filter 1.
+  const auto s = net.add_commodity("sensor-feed", source, sink,
+                                   /*lambda=*/8.0, stream::Utility::linear());
+  net.enable_link(s, l_in, /*consumption=*/2.0);
+  net.enable_link(s, l_out, /*consumption=*/1.0);
+
+  // The filter halves the rate: potentials 1 -> 0.5 (Property 1 holds by
+  // construction).
+  net.set_potential(s, relay, 0.5);
+  net.set_potential(s, sink, 0.5);
+  stream::validate_or_throw(net);
+
+  // 3. Transform (Section 3): bandwidth nodes unify link and CPU limits;
+  //    dummy nodes turn admission control into routing. A small penalty
+  //    epsilon keeps the barrier-induced optimality gap tight.
+  xform::PenaltyConfig penalty;
+  penalty.epsilon = 0.05;
+  const xform::ExtendedGraph xg(net, penalty);
+
+  // 4. Run the distributed gradient algorithm (Section 5).
+  core::GradientOptions options;
+  options.eta = 0.2;
+  options.max_iterations = 2000;
+  core::GradientOptimizer optimizer(xg, options);
+  optimizer.run();
+
+  // 5. Compare against the centralized LP optimum and print the allocation.
+  const auto reference = xform::solve_reference(xg);
+  const auto alloc = optimizer.allocation();
+
+  std::printf("quickstart: one stream through ingest(10 cpu) -> 5 bw -> "
+              "filter(20 cpu) -> 6 bw -> dashboard\n\n");
+  util::Table table({"quantity", "value"});
+  table.add_row({"offered rate (lambda)", util::Table::cell(net.lambda(s))});
+  table.add_row({"admitted rate a*", util::Table::cell(alloc.admitted[0])});
+  table.add_row({"delivered at sink", util::Table::cell(alloc.delivered[0])});
+  table.add_row({"utility (gradient)", util::Table::cell(optimizer.utility())});
+  table.add_row({"utility (LP optimum)",
+                 util::Table::cell(reference.optimal_utility)});
+  table.add_row({"ingest cpu used / 10",
+                 util::Table::cell(alloc.server_usage[source])});
+  table.add_row({"filter cpu used / 20",
+                 util::Table::cell(alloc.server_usage[relay])});
+  table.add_row({"link ingest->filter used / 5",
+                 util::Table::cell(alloc.link_usage[l_in])});
+  table.add_row({"link filter->sink used / 6",
+                 util::Table::cell(alloc.link_usage[l_out])});
+  table.add_row({"iterations", util::Table::cell(
+                                   static_cast<long long>(optimizer.iterations()))});
+  table.print(std::cout);
+
+  std::printf("\nThe ingest stage is the bottleneck: 10 cpu / 2 per unit = 5"
+              " units/s max, below the offered 8 -> admission control holds"
+              " the stream at ~5.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Environmental-monitoring scenario (one of the application domains the
+// paper's introduction motivates): several sensor feeds are placed onto a
+// shared cluster with the GreedyPlacer, each pipeline filtering its stream
+// down (beta < 1). Offered load far exceeds cluster capacity, so the
+// admission controller must decide how much of each feed to accept.
+// Logarithmic utilities make the optimal admission proportionally fair
+// rather than winner-takes-all.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "placement/greedy_placer.hpp"
+#include "stream/validate.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+int main() {
+  using namespace maxutil;
+
+  // A 12-server edge cluster.
+  stream::StreamNetwork net;
+  std::vector<stream::NodeId> servers;
+  for (int i = 0; i < 12; ++i) {
+    servers.push_back(net.add_server("edge" + std::to_string(i),
+                                     /*capacity=*/30.0));
+  }
+
+  // Three sensor pipelines: ingest -> denoise -> detect, each stage
+  // filtering the stream to 60% of its input, entering at different edge
+  // servers. Offered rates heavily oversubscribe the cluster.
+  placement::GreedyPlacer placer(net, servers, /*link_bandwidth=*/40.0);
+  std::vector<stream::CommodityId> feeds;
+  const char* names[] = {"air-quality", "seismic", "acoustic"};
+  const double lambdas[] = {60.0, 40.0, 80.0};
+  for (int q = 0; q < 3; ++q) {
+    placement::PlacementRequest request;
+    request.name = names[q];
+    request.source = servers[static_cast<std::size_t>(q)];
+    request.stages = 2;
+    request.replicas_per_stage = 2;
+    request.lambda = lambdas[q];
+    request.utility = stream::Utility::logarithmic();
+    request.consumption = 1.0;
+    request.stage_gain = 0.6;
+    feeds.push_back(placer.place(request));
+  }
+  stream::validate_or_throw(net);
+
+  xform::PenaltyConfig penalty;
+  penalty.epsilon = 0.05;
+  const xform::ExtendedGraph xg(net, penalty);
+  core::GradientOptions options;
+  options.eta = 0.05;
+  options.max_iterations = 12000;
+  core::GradientOptimizer optimizer(xg, options);
+  optimizer.run();
+
+  xform::ReferenceOptions ropts;
+  ropts.pwl_segments = 300;
+  const auto reference = xform::solve_reference(xg, ropts);
+
+  std::printf("sensor fusion: 3 feeds, log utilities, cluster of 12 x 30 cpu"
+              " (offered %.0f+%.0f+%.0f, far beyond capacity)\n\n",
+              lambdas[0], lambdas[1], lambdas[2]);
+  const auto alloc = optimizer.allocation();
+  util::Table table({"feed", "offered", "admitted (gradient)",
+                     "admitted (LP)", "share of offer"});
+  for (int q = 0; q < 3; ++q) {
+    const auto j = feeds[static_cast<std::size_t>(q)];
+    table.add_row({names[q], util::Table::cell(net.lambda(j), 1),
+                   util::Table::cell(alloc.admitted[j]),
+                   util::Table::cell(reference.admitted[j]),
+                   util::Table::cell(100.0 * alloc.admitted[j] / net.lambda(j), 1) +
+                       "%"});
+  }
+  table.print(std::cout);
+  std::printf("\nutility: gradient %.4f vs LP reference %.4f\n",
+              optimizer.utility(), reference.optimal_utility);
+  std::printf("\nWith log utilities no feed is starved: each gets a"
+              " diminishing-returns share instead of the throughput-max"
+              " solution that would favor the cheapest feed only.\n");
+  return 0;
+}

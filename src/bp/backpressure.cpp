@@ -1,0 +1,189 @@
+#include "bp/backpressure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace maxutil::bp {
+
+using maxutil::util::ensure;
+using maxutil::xform::LinkKind;
+
+namespace {
+
+std::vector<std::string> history_columns(std::size_t commodities) {
+  std::vector<std::string> cols{"iteration", "utility"};
+  for (std::size_t j = 0; j < commodities; ++j) {
+    cols.push_back("admitted" + std::to_string(j));
+  }
+  return cols;
+}
+
+}  // namespace
+
+BackPressureOptimizer::BackPressureOptimizer(const xform::ExtendedGraph& xg,
+                                             BackPressureOptions options)
+    : xg_(&xg),
+      options_(options),
+      buffers_(xg.commodity_count(),
+               std::vector<double>(xg.node_count(), 0.0)),
+      delivered_(xg.commodity_count(), 0.0),
+      dropped_(xg.commodity_count(), 0.0),
+      history_(history_columns(xg.commodity_count())) {
+  ensure(options_.buffer_cap_multiplier > 0.0,
+         "BackPressure: buffer cap must be positive");
+  ensure(options_.step_scale > 0.0 && options_.step_scale <= 1.0,
+         "BackPressure: step_scale outside (0, 1]");
+  ensure(options_.history_stride >= 1, "BackPressure: zero history stride");
+}
+
+double BackPressureOptimizer::pressure_score(
+    CommodityId j, EdgeId e, const std::vector<std::vector<double>>& snapshot,
+    double q_local) const {
+  const NodeId head = xg_->graph().head(e);
+  // Sinks drain instantly: their buffer is always empty.
+  const double q_head =
+      (head == xg_->sink(j)) ? 0.0 : snapshot[j][head];
+  return q_local - xg_->beta(j, e) * q_head;
+}
+
+void BackPressureOptimizer::step() {
+  const auto& g = xg_->graph();
+  const std::size_t ncommodities = xg_->commodity_count();
+
+  // 1. Offered load arrives at the dummy sources.
+  for (CommodityId j = 0; j < ncommodities; ++j) {
+    buffers_[j][xg_->dummy_source(j)] += xg_->lambda(j);
+  }
+
+  // 2. Neighbor buffer levels from the start of the round — the one O(1)
+  // message exchange per iteration.
+  const std::vector<std::vector<double>> snapshot = buffers_;
+
+  // Transfers are accumulated and applied after all nodes decide, modelling
+  // the synchronous parallel rounds of the baseline.
+  struct Transfer {
+    CommodityId j;
+    EdgeId e;
+    double amount;  // tail units
+  };
+  std::vector<Transfer> transfers;
+
+  struct Pair {
+    CommodityId j;
+    EdgeId e;
+    double score;  // weighted pressure per resource unit
+  };
+  std::vector<Pair> pairs;
+
+  for (NodeId v = 0; v < xg_->node_count(); ++v) {
+    // Collect candidate (commodity, out-edge) pairs with positive pressure.
+    pairs.clear();
+    for (const EdgeId e : g.out_edges(v)) {
+      if (xg_->link_kind(e) == LinkKind::kDummyDifference) continue;
+      for (CommodityId j = 0; j < ncommodities; ++j) {
+        if (!xg_->usable(j, e)) continue;
+        if (snapshot[j][v] <= 0.0) continue;
+        const double pressure = pressure_score(j, e, snapshot, snapshot[j][v]);
+        if (pressure <= 0.0) continue;
+        const double weight = xg_->network().utility(j).weight();
+        pairs.push_back({j, e, weight * pressure / xg_->cost_rate(j, e)});
+      }
+    }
+    if (pairs.empty()) continue;
+    // Greedy: best potential decrease per unit of this node's resource first.
+    std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+      return a.score > b.score;
+    });
+
+    double budget = xg_->capacity(v);  // +inf for dummy sources
+    std::vector<double> local_q(ncommodities);
+    for (CommodityId j = 0; j < ncommodities; ++j) local_q[j] = buffers_[j][v];
+
+    for (const Pair& p : pairs) {
+      if (budget <= 0.0) break;
+      const double c = xg_->cost_rate(p.j, p.e);
+      const double beta = xg_->beta(p.j, p.e);
+      const double pressure = pressure_score(p.j, p.e, snapshot, local_q[p.j]);
+      if (pressure <= 0.0) continue;
+      // Unconstrained quadratic-potential optimum for this pair alone:
+      // minimize -pressure*x + (1 + beta^2) x^2 / 2.
+      double x = options_.step_scale * pressure / (1.0 + beta * beta);
+      x = std::min(x, local_q[p.j]);
+      if (std::isfinite(budget)) x = std::min(x, budget / c);
+      if (x <= 0.0) continue;
+      local_q[p.j] -= x;
+      if (std::isfinite(budget)) budget -= x * c;
+      transfers.push_back({p.j, p.e, x});
+    }
+    if (std::isfinite(xg_->capacity(v))) {
+      max_budget_violation_ =
+          std::max(max_budget_violation_, -std::min(budget, 0.0));
+    }
+  }
+
+  // 3. Apply transfers; deliveries at the sink leave the system.
+  for (const Transfer& t : transfers) {
+    buffers_[t.j][g.tail(t.e)] -= t.amount;
+    const NodeId head = g.head(t.e);
+    const double arriving = t.amount * xg_->beta(t.j, t.e);
+    if (head == xg_->sink(t.j)) {
+      delivered_[t.j] += arriving;
+    } else {
+      buffers_[t.j][head] += arriving;
+    }
+  }
+
+  // 4. Admission control by overflow at the capped dummy buffer.
+  for (CommodityId j = 0; j < ncommodities; ++j) {
+    const double cap = options_.buffer_cap_multiplier * xg_->lambda(j);
+    double& q = buffers_[j][xg_->dummy_source(j)];
+    if (q > cap) {
+      dropped_[j] += q - cap;
+      q = cap;
+    }
+  }
+
+  ++iterations_;
+  if (options_.record_history &&
+      (iterations_ % options_.history_stride == 0 || iterations_ == 1)) {
+    std::vector<double> row{static_cast<double>(iterations_), utility()};
+    for (const double a : admitted_rates()) row.push_back(a);
+    history_.append(row);
+  }
+}
+
+void BackPressureOptimizer::run(std::size_t iterations) {
+  for (std::size_t i = 0; i < iterations; ++i) step();
+}
+
+std::vector<double> BackPressureOptimizer::admitted_rates() const {
+  std::vector<double> rates(xg_->commodity_count(), 0.0);
+  if (iterations_ == 0) return rates;
+  for (CommodityId j = 0; j < rates.size(); ++j) {
+    const double gain = xg_->network().delivery_gain(j);
+    rates[j] = delivered_[j] / gain / static_cast<double>(iterations_);
+  }
+  return rates;
+}
+
+double BackPressureOptimizer::utility() const {
+  double total = 0.0;
+  const auto rates = admitted_rates();
+  for (CommodityId j = 0; j < rates.size(); ++j) {
+    total += xg_->network().utility(j).value(
+        std::clamp(rates[j], 0.0, xg_->lambda(j)));
+  }
+  return total;
+}
+
+double BackPressureOptimizer::buffer(CommodityId j, NodeId v) const {
+  ensure(j < buffers_.size() && v < xg_->node_count(),
+         "BackPressure::buffer: out of range");
+  return buffers_[j][v];
+}
+
+}  // namespace maxutil::bp

@@ -1,0 +1,58 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace maxutil::core {
+
+double PhysicalAllocation::max_capacity_violation(
+    const xform::ExtendedGraph& xg) const {
+  const auto& net = xg.network();
+  double worst = 0.0;
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    if (net.is_sink(n)) continue;
+    worst = std::max(worst, server_usage[n] - net.capacity(n));
+  }
+  for (stream::LinkId l = 0; l < net.link_count(); ++l) {
+    worst = std::max(worst, link_usage[l] - net.bandwidth(l));
+  }
+  return std::max(worst, 0.0);
+}
+
+PhysicalAllocation map_to_physical(const xform::ExtendedGraph& xg,
+                                   const FlowState& flows) {
+  const auto& net = xg.network();
+  PhysicalAllocation out;
+  out.admitted.resize(xg.commodity_count());
+  out.delivered.resize(xg.commodity_count());
+  out.server_usage.assign(net.node_count(), 0.0);
+  out.link_usage.assign(net.link_count(), 0.0);
+  out.link_flow.assign(xg.commodity_count(),
+                       std::vector<double>(net.link_count(), 0.0));
+
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    out.admitted[j] = admitted_rate(xg, flows, j);
+    out.delivered[j] = out.admitted[j] * net.delivery_gain(j);
+  }
+  // Extended server/sink nodes share ids with physical nodes.
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    out.server_usage[n] = flows.f_node[n];
+  }
+  for (stream::LinkId l = 0; l < net.link_count(); ++l) {
+    out.link_usage[l] = flows.f_node[xg.bandwidth_node(l)];
+  }
+  // The processing edge i -> n_ik carries the commodity flow entering the
+  // physical link.
+  for (EdgeId e = 0; e < xg.edge_count(); ++e) {
+    if (xg.link_kind(e) != xform::LinkKind::kProcessing) continue;
+    const auto l = xg.physical_link(e);
+    for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+      out.link_flow[j][l] = flows.y[j][e];
+    }
+  }
+  out.utility = total_utility(xg, flows);
+  return out;
+}
+
+}  // namespace maxutil::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "core/flow.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace maxutil::core {
+
+/// A solution expressed back in physical-network terms — what an operator
+/// deploys: admission rates, per-server computing usage, per-link bandwidth
+/// usage, and per-commodity flow on each physical link.
+struct PhysicalAllocation {
+  std::vector<double> admitted;   // a_j per commodity
+  std::vector<double> delivered;  // rate arriving at sink = a_j * gain_j
+  std::vector<double> server_usage;  // computing usage per physical node
+  std::vector<double> link_usage;    // bandwidth usage per physical link
+  /// Commodity-j flow entering physical link l, in tail-node (pre-
+  /// processing) units.
+  std::vector<std::vector<double>> link_flow;  // [commodity][link]
+  double utility = 0.0;  // sum_j U_j(a_j)
+
+  /// Largest capacity/bandwidth overshoot (0 when feasible).
+  double max_capacity_violation(const xform::ExtendedGraph& xg) const;
+};
+
+/// Projects extended-graph flows back onto the physical network: server
+/// usage is the extended server node's f_i, link usage the bandwidth node's
+/// f_i, and admission the dummy input link's flow.
+PhysicalAllocation map_to_physical(const xform::ExtendedGraph& xg,
+                                   const FlowState& flows);
+
+}  // namespace maxutil::core

@@ -1,0 +1,27 @@
+#include "core/bottleneck.hpp"
+
+#include <algorithm>
+
+namespace maxutil::core {
+
+std::vector<BottleneckEntry> bottleneck_report(const xform::ExtendedGraph& xg,
+                                               const FlowState& flows,
+                                               std::size_t top_k) {
+  std::vector<BottleneckEntry> entries;
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    if (!xg.has_finite_capacity(v)) continue;
+    BottleneckEntry entry;
+    entry.node = v;
+    entry.utilization = flows.f_node[v] / xg.capacity(v);
+    entry.price = xg.node_penalty_derivative(v, flows.f_node[v]);
+    entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const BottleneckEntry& a, const BottleneckEntry& b) {
+              return a.price > b.price;
+            });
+  if (top_k > 0 && entries.size() > top_k) entries.resize(top_k);
+  return entries;
+}
+
+}  // namespace maxutil::core

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace maxutil::core {
+
+/// One constrained resource at a solution: where capacity is tight and what
+/// one more unit of it is worth.
+struct BottleneckEntry {
+  NodeId node = 0;            // extended node (server or bandwidth node)
+  double utilization = 0.0;   // f_v / C_v
+  double price = 0.0;         // eps * D'_v(f_v): the barrier's local price
+};
+
+/// Ranks the finite-capacity extended nodes by the barrier's marginal price
+/// eps * D'(f) — the *distributed* analogue of the LP capacity duals, which
+/// every node can compute from purely local state. As eps -> 0 the
+/// high-price set converges to the LP's positive-dual set (tested), so an
+/// operator can read "what should we upgrade" off the running system without
+/// a centralized solve. Sorted by price, descending; `top_k = 0` returns all.
+std::vector<BottleneckEntry> bottleneck_report(const xform::ExtendedGraph& xg,
+                                               const FlowState& flows,
+                                               std::size_t top_k = 0);
+
+}  // namespace maxutil::core

@@ -1,0 +1,88 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::core {
+
+using maxutil::util::ensure;
+
+FlowState compute_flows(const ExtendedGraph& xg, const RoutingState& routing) {
+  const auto& g = xg.graph();
+  FlowState flows;
+  flows.t.assign(xg.commodity_count(),
+                 std::vector<double>(xg.node_count(), 0.0));
+  flows.y.assign(xg.commodity_count(),
+                 std::vector<double>(xg.edge_count(), 0.0));
+  flows.f_edge.assign(xg.edge_count(), 0.0);
+  flows.f_node.assign(xg.node_count(), 0.0);
+
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    const auto order =
+        maxutil::graph::topological_sort(g, xg.commodity_filter(j));
+    ensure(order.has_value(), "compute_flows: usable subgraph has a cycle");
+    auto& t = flows.t[j];
+    t[xg.dummy_source(j)] = xg.lambda(j);
+    for (const NodeId v : *order) {
+      const double tv = t[v];
+      if (tv == 0.0) continue;
+      for (const EdgeId e : g.out_edges(v)) {
+        if (!xg.usable(j, e)) continue;
+        const double y = tv * routing.phi(j, e);
+        if (y == 0.0) continue;
+        flows.y[j][e] = y;
+        t[g.head(e)] += y * xg.beta(j, e);
+        flows.f_edge[e] += y * xg.cost_rate(j, e);
+      }
+    }
+  }
+
+  for (EdgeId e = 0; e < xg.edge_count(); ++e) {
+    flows.f_node[g.tail(e)] += flows.f_edge[e];
+    flows.utility_loss += xg.edge_cost(e, flows.f_edge[e]);
+  }
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    flows.penalty += xg.node_penalty(v, flows.f_node[v]);
+  }
+  return flows;
+}
+
+double admitted_rate(const ExtendedGraph& xg, const FlowState& flows,
+                     CommodityId j) {
+  return flows.y[j][xg.dummy_input_link(j)];
+}
+
+double total_utility(const ExtendedGraph& xg, const FlowState& flows) {
+  double total = 0.0;
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    const double a =
+        std::clamp(admitted_rate(xg, flows, j), 0.0, xg.lambda(j));
+    total += xg.network().utility(j).value(a);
+  }
+  return total;
+}
+
+double max_balance_residual(const ExtendedGraph& xg, const FlowState& flows) {
+  const auto& g = xg.graph();
+  double worst = 0.0;
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    for (const NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j)) continue;
+      double out = 0.0;
+      for (const EdgeId e : g.out_edges(v)) {
+        if (xg.usable(j, e)) out += flows.y[j][e];
+      }
+      double in = (v == xg.dummy_source(j)) ? xg.lambda(j) : 0.0;
+      for (const EdgeId e : g.in_edges(v)) {
+        if (xg.usable(j, e)) in += flows.y[j][e] * xg.beta(j, e);
+      }
+      worst = std::max(worst, std::abs(out - in));
+    }
+  }
+  return worst;
+}
+
+}  // namespace maxutil::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "core/routing.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace maxutil::core {
+
+/// All flow quantities induced by a routing decision (Section 4, eqs. 3-5):
+/// node traffic t, per-(commodity, edge) flow y = t * phi, per-edge resource
+/// usage f_ik, per-node usage f_i, and the decomposed cost A = Y + eps*D
+/// (eq. 8 summed over nodes).
+struct FlowState {
+  std::vector<std::vector<double>> t;  // [commodity][node]: traffic rate
+  std::vector<std::vector<double>> y;  // [commodity][edge]: flow (tail units)
+  std::vector<double> f_edge;          // [edge]: resource usage rate f_ik
+  std::vector<double> f_node;          // [node]: total usage f_i
+  double utility_loss = 0.0;           // Y = sum of dummy difference costs
+  double penalty = 0.0;                // eps * D summed over nodes
+
+  /// Total transformed cost A = Y + eps*D that the algorithm minimizes.
+  double cost() const { return utility_loss + penalty; }
+};
+
+/// Solves the flow balance equations (3) by propagating in topological order
+/// of each commodity's usable subgraph (a DAG, so the unique fixed point is
+/// reached in one pass), then accumulates f (eqs. 4-5) and the cost terms.
+FlowState compute_flows(const ExtendedGraph& xg, const RoutingState& routing);
+
+/// Admitted rate a_j = flow on the dummy input link.
+double admitted_rate(const ExtendedGraph& xg, const FlowState& flows,
+                     CommodityId j);
+
+/// Overall system utility sum_j U_j(a_j) at this flow.
+double total_utility(const ExtendedGraph& xg, const FlowState& flows);
+
+/// Largest violation of the eq.-7 balance identity
+///   sum_out y - sum_in beta*y = r  at every non-sink commodity node,
+/// for verifying the propagation (tests/property checks).
+double max_balance_residual(const ExtendedGraph& xg, const FlowState& flows);
+
+}  // namespace maxutil::core

@@ -1,0 +1,150 @@
+#include "core/gamma.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::core {
+
+using maxutil::util::ensure;
+
+std::vector<bool> compute_blocked_tags(const ExtendedGraph& xg,
+                                       const RoutingState& routing,
+                                       const FlowState& flows,
+                                       const MarginalCosts& marginals,
+                                       CommodityId j,
+                                       const GammaOptions& options) {
+  const auto& g = xg.graph();
+  const auto order = maxutil::graph::topological_sort(g, xg.commodity_filter(j));
+  ensure(order.has_value(), "compute_blocked_tags: cyclic usable subgraph");
+  const auto& dr = marginals.d_cost_d_input[j];
+  std::vector<bool> tagged(xg.node_count(), false);
+  // Reverse topological order: downstream tags are final before v looks at
+  // its neighbors — the sweep form of the paper's tag-in-broadcast protocol.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    if (v == xg.sink(j)) continue;
+    const double tv = flows.t[j][v];
+    for (const EdgeId e : g.out_edges(v)) {
+      if (!xg.usable(j, e)) continue;
+      const double phi = routing.phi(j, e);
+      if (phi <= 0.0) continue;
+      const NodeId m = g.head(e);
+      if (tagged[m]) {
+        tagged[v] = true;
+        break;
+      }
+      // Improper link test (eq. 18), with two adaptations:
+      //  * the downstream marginal is shrinkage-scaled (dr_v vs beta * dr_m):
+      //    eq. 18 is Gallager's beta = 1 form, and with shrinkage one unit
+      //    at v legitimately becomes beta units at m, so the unscaled
+      //    comparison would tag every normally-operating node (see
+      //    DESIGN.md);
+      //  * multiplied through by t_v so a zero-traffic node needs no special
+      //    casing: phi * t_v >= eta * (marginal via e - dA/dr_v).
+      if (dr[v] <= xg.beta(j, e) * dr[m] &&
+          phi * tv >= options.eta *
+                          (marginal_via_edge(xg, flows, marginals, j, e) -
+                           dr[v])) {
+        tagged[v] = true;
+        break;
+      }
+    }
+  }
+  return tagged;
+}
+
+GammaStats apply_gamma(const ExtendedGraph& xg, const FlowState& flows,
+                       const MarginalCosts& marginals,
+                       const GammaOptions& options, RoutingState& routing) {
+  ensure(options.eta > 0.0, "apply_gamma: eta must be positive");
+  const auto& g = xg.graph();
+  GammaStats stats;
+
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    const auto tagged =
+        compute_blocked_tags(xg, routing, flows, marginals, j, options);
+
+    for (const NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j)) continue;
+
+      // Candidate out-edges, with the blocked set B_i(j) removed: an edge is
+      // blocked when phi = 0 and its head carries the tag (eq. 14).
+      std::vector<EdgeId> eligible;
+      for (const EdgeId e : g.out_edges(v)) {
+        if (!xg.usable(j, e)) continue;
+        if (routing.phi(j, e) == 0.0 && tagged[g.head(e)]) {
+          ++stats.blocked_edges;
+          continue;
+        }
+        eligible.push_back(e);
+      }
+      ensure(!eligible.empty(), "apply_gamma: all out-edges blocked");
+
+      // Best (cheapest-marginal) eligible link k(i,j) of eq. 16/17.
+      EdgeId best = eligible.front();
+      double best_via = std::numeric_limits<double>::infinity();
+      for (const EdgeId e : eligible) {
+        const double via = marginal_via_edge(xg, flows, marginals, j, e);
+        if (via < best_via) {
+          best_via = via;
+          best = e;
+        }
+      }
+
+      const double tv = flows.t[j][v];
+      double shifted = 0.0;
+      if (tv <= options.traffic_floor) {
+        // Gallager's t -> 0 limit: Delta = phi on every non-best link.
+        ++stats.snapped_nodes;
+        for (const EdgeId e : eligible) {
+          if (e == best) continue;
+          const double phi = routing.phi(j, e);
+          if (phi == 0.0) continue;
+          shifted += phi;
+          stats.max_phi_change = std::max(stats.max_phi_change, phi);
+          routing.set_phi(j, e, 0.0);
+        }
+      } else {
+        const double best_curvature =
+            options.step_mode == StepMode::kCurvatureScaled
+                ? curvature_via_edge(xg, flows, marginals, j, best)
+                : 0.0;
+        for (const EdgeId e : eligible) {
+          if (e == best) continue;
+          const double phi = routing.phi(j, e);
+          if (phi == 0.0) continue;
+          const double a =
+              marginal_via_edge(xg, flows, marginals, j, e) - best_via;
+          double step;
+          if (options.step_mode == StepMode::kCurvatureScaled) {
+            // Newton step for the 1-D move of mass from e to best:
+            // A(delta) ~ -a t delta + 1/2 (kappa_e + kappa_best) t^2 delta^2.
+            const double kappa =
+                std::max(curvature_via_edge(xg, flows, marginals, j, e) +
+                             best_curvature,
+                         options.curvature_floor);
+            step = options.eta * a / (tv * kappa);
+          } else {
+            step = options.eta * a / tv;
+          }
+          const double delta = std::min(phi, step);
+          if (delta <= 0.0) continue;
+          shifted += delta;
+          stats.max_phi_change = std::max(stats.max_phi_change, delta);
+          routing.set_phi(j, e, phi - delta);
+        }
+      }
+      if (shifted > 0.0) {
+        routing.set_phi(j, best, routing.phi(j, best) + shifted);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace maxutil::core

@@ -1,0 +1,76 @@
+#include "core/marginals.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::core {
+
+using maxutil::util::ensure;
+
+double marginal_via_edge(const ExtendedGraph& xg, const FlowState& flows,
+                         const MarginalCosts& marginals, CommodityId j,
+                         EdgeId e) {
+  const auto& g = xg.graph();
+  const NodeId tail = g.tail(e);
+  const NodeId head = g.head(e);
+  const double dAi_dfe = xg.edge_cost_derivative(e, flows.f_edge[e]) +
+                         xg.node_penalty_derivative(tail, flows.f_node[tail]);
+  return dAi_dfe * xg.cost_rate(j, e) +
+         xg.beta(j, e) * marginals.d_cost_d_input[j][head];
+}
+
+double curvature_via_edge(const ExtendedGraph& xg, const FlowState& flows,
+                          const MarginalCosts& marginals, CommodityId j,
+                          EdgeId e) {
+  const auto& g = xg.graph();
+  const NodeId tail = g.tail(e);
+  const NodeId head = g.head(e);
+  const double c = xg.cost_rate(j, e);
+  const double beta = xg.beta(j, e);
+  const double second =
+      xg.edge_cost_second_derivative(e, flows.f_edge[e]) +
+      xg.node_penalty_second_derivative(tail, flows.f_node[tail]);
+  return c * c * second + beta * beta * marginals.curvature[j][head];
+}
+
+MarginalCosts compute_marginals(const ExtendedGraph& xg,
+                                const RoutingState& routing,
+                                const FlowState& flows) {
+  const auto& g = xg.graph();
+  MarginalCosts marginals;
+  marginals.d_cost_d_input.assign(xg.commodity_count(),
+                                  std::vector<double>(xg.node_count(), 0.0));
+  marginals.curvature.assign(xg.commodity_count(),
+                             std::vector<double>(xg.node_count(), 0.0));
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    const auto order =
+        maxutil::graph::topological_sort(g, xg.commodity_filter(j));
+    ensure(order.has_value(), "compute_marginals: usable subgraph has a cycle");
+    auto& dr = marginals.d_cost_d_input[j];
+    auto& kk = marginals.curvature[j];
+    // Reverse topological order: by the time node v is processed, every
+    // downstream dA/dr is final — the sweep models the paper's wait-for-all-
+    // downstream message protocol. dA/dr at the sink is 0 by convention.
+    for (auto it = order->rbegin(); it != order->rend(); ++it) {
+      const NodeId v = *it;
+      if (v == xg.sink(j)) continue;
+      double total = 0.0;
+      double total_curvature = 0.0;
+      for (const EdgeId e : g.out_edges(v)) {
+        if (!xg.usable(j, e)) continue;
+        const double phi = routing.phi(j, e);
+        if (phi == 0.0) continue;
+        total += phi * marginal_via_edge(xg, flows, marginals, j, e);
+        total_curvature +=
+            phi * phi * curvature_via_edge(xg, flows, marginals, j, e);
+      }
+      dr[v] = total;
+      kk[v] = total_curvature;
+    }
+  }
+  return marginals;
+}
+
+}  // namespace maxutil::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/routing.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace maxutil::core {
+
+/// Marginal costs of Section 5: dA/dr_i(j), computed by the paper's
+/// deadlock-free upstream protocol — every node waits for the value from all
+/// of its downstream neighbors, then broadcasts its own (eq. 9). Here the
+/// wave is realized as a reverse topological sweep of each commodity's
+/// usable DAG; the sim module re-implements it with real messages and is
+/// tested to agree.
+struct MarginalCosts {
+  /// dA/dr_i(j): marginal cost of one extra unit of commodity-j traffic at
+  /// node i. 0 at the commodity sink by convention.
+  std::vector<std::vector<double>> d_cost_d_input;  // [commodity][node]
+
+  /// Diagonal curvature estimate K_i(j) ~ d2A/dr_i(j)^2, computed by the
+  /// same downstream-to-upstream telescoping as eq. (9) with second
+  /// derivatives (K_i = sum_k phi^2 [c^2 (Y'' + eps D'') + beta^2 K_head]).
+  /// Powers the curvature-scaled (Newton-like) step variant that Gallager's
+  /// paper sketches as the "second derivative algorithm"; an approximation
+  /// (cross terms between sibling edges are dropped), which only affects
+  /// step *size*, never the descent property.
+  std::vector<std::vector<double>> curvature;  // [commodity][node]
+};
+
+/// The per-edge marginal of eq. (10)'s bracket (and eq. 15's a-term base):
+///   dA_i/df_e * c_e(j) + beta_e(j) * dA/dr_head(j)
+/// where dA_i/df_e = Y'_e(f_e) + eps*D'_i(f_i) (eq. 11 with the paper's
+/// epsilon folded into D).
+double marginal_via_edge(const ExtendedGraph& xg, const FlowState& flows,
+                         const MarginalCosts& marginals, CommodityId j,
+                         EdgeId e);
+
+/// Per-edge curvature kappa_e(j) = c^2 (Y'' + eps D'') + beta^2 K_head: the
+/// second-derivative analogue of `marginal_via_edge`.
+double curvature_via_edge(const ExtendedGraph& xg, const FlowState& flows,
+                          const MarginalCosts& marginals, CommodityId j,
+                          EdgeId e);
+
+/// Runs the upstream sweep (eq. 9) for every commodity.
+MarginalCosts compute_marginals(const ExtendedGraph& xg,
+                                const RoutingState& routing,
+                                const FlowState& flows);
+
+}  // namespace maxutil::core

@@ -1,0 +1,42 @@
+#include "core/optimality.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace maxutil::core {
+
+OptimalityReport check_optimality(const ExtendedGraph& xg,
+                                  const RoutingState& routing,
+                                  const FlowState& flows,
+                                  const MarginalCosts& marginals) {
+  const auto& g = xg.graph();
+  OptimalityReport report;
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    const auto& dr = marginals.d_cost_d_input[j];
+    for (const NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j)) continue;
+      double min_via = std::numeric_limits<double>::infinity();
+      for (const EdgeId e : g.out_edges(v)) {
+        if (!xg.usable(j, e)) continue;
+        const double via = marginal_via_edge(xg, flows, marginals, j, e);
+        min_via = std::min(min_via, via);
+        // Sufficient condition (13): via >= dA/dr_v on every usable edge.
+        report.sufficient_violation =
+            std::max(report.sufficient_violation, dr[v] - via);
+      }
+      for (const EdgeId e : g.out_edges(v)) {
+        if (!xg.usable(j, e)) continue;
+        const double phi = routing.phi(j, e);
+        if (phi <= 0.0) continue;
+        const double via = marginal_via_edge(xg, flows, marginals, j, e);
+        // Necessary condition (12): loaded links sit at the minimum,
+        // weighted by phi so vanishing fractions do not dominate.
+        report.stationarity_gap =
+            std::max(report.stationarity_gap, phi * (via - min_via));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace maxutil::core

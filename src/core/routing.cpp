@@ -1,0 +1,95 @@
+#include "core/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace maxutil::core {
+
+using maxutil::util::ensure;
+
+RoutingState::RoutingState(const ExtendedGraph& xg)
+    : phi_(xg.commodity_count(),
+           std::vector<double>(xg.edge_count(), 0.0)) {}
+
+RoutingState RoutingState::initial(const ExtendedGraph& xg) {
+  RoutingState state(xg);
+  const auto& g = xg.graph();
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    for (const NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j)) continue;
+      if (v == xg.dummy_source(j)) {
+        state.phi_[j][xg.dummy_difference_link(j)] = 1.0;
+        continue;
+      }
+      std::vector<EdgeId> usable;
+      for (const EdgeId e : g.out_edges(v)) {
+        if (xg.usable(j, e)) usable.push_back(e);
+      }
+      ensure(!usable.empty(),
+             "RoutingState::initial: commodity node without usable out-edge");
+      const double share = 1.0 / static_cast<double>(usable.size());
+      for (const EdgeId e : usable) state.phi_[j][e] = share;
+    }
+  }
+  return state;
+}
+
+void RoutingState::set_phi(CommodityId j, EdgeId e, double value) {
+  ensure(j < phi_.size() && e < phi_[j].size(),
+         "RoutingState::set_phi: out of range");
+  // Values above 1 are tolerated so callers (finite-difference tests,
+  // sensitivity analyses) may treat phi entries as free variables; the
+  // per-node sum-to-1 invariant is what `is_valid` enforces.
+  ensure(value >= -1e-12, "RoutingState::set_phi: negative fraction");
+  phi_[j][e] = std::max(value, 0.0);
+}
+
+double RoutingState::max_invariant_violation(const ExtendedGraph& xg) const {
+  const auto& g = xg.graph();
+  double worst = 0.0;
+  for (CommodityId j = 0; j < commodity_count(); ++j) {
+    for (EdgeId e = 0; e < edge_count(); ++e) {
+      if (phi_[j][e] < 0.0) worst = std::max(worst, -phi_[j][e]);
+      if (!xg.usable(j, e)) worst = std::max(worst, std::abs(phi_[j][e]));
+    }
+    for (const NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j)) continue;
+      double total = 0.0;
+      for (const EdgeId e : g.out_edges(v)) {
+        if (xg.usable(j, e)) total += phi_[j][e];
+      }
+      worst = std::max(worst, std::abs(total - 1.0));
+    }
+  }
+  return worst;
+}
+
+bool RoutingState::is_valid(const ExtendedGraph& xg, double tol) const {
+  return max_invariant_violation(xg) <= tol;
+}
+
+double RoutingState::max_difference(const RoutingState& other) const {
+  ensure(commodity_count() == other.commodity_count() &&
+             edge_count() == other.edge_count(),
+         "RoutingState::max_difference: shape mismatch");
+  double worst = 0.0;
+  for (std::size_t j = 0; j < phi_.size(); ++j) {
+    for (std::size_t e = 0; e < phi_[j].size(); ++e) {
+      worst = std::max(worst, std::abs(phi_[j][e] - other.phi_[j][e]));
+    }
+  }
+  return worst;
+}
+
+void RoutingState::blend_toward(const RoutingState& target, double alpha) {
+  ensure(alpha >= 0.0 && alpha <= 1.0, "RoutingState::blend_toward: bad alpha");
+  for (std::size_t j = 0; j < phi_.size(); ++j) {
+    for (std::size_t e = 0; e < phi_[j].size(); ++e) {
+      phi_[j][e] += alpha * (target.phi_[j][e] - phi_[j][e]);
+    }
+  }
+}
+
+}  // namespace maxutil::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "xform/extended_graph.hpp"
+
+namespace maxutil::core {
+
+using maxutil::graph::EdgeId;
+using maxutil::graph::NodeId;
+using maxutil::stream::CommodityId;
+using maxutil::xform::ExtendedGraph;
+
+/// The routing decision phi of Section 4: phi_ik(j) is the fraction of node
+/// i's commodity-j traffic t_i(j) processed over extended edge (i,k).
+///
+/// Invariants (enforced by `is_valid`):
+///  * phi >= 0, and phi = 0 on edges not usable by the commodity;
+///  * fractions at every non-sink node of the commodity's node set sum to 1;
+///  * the support never leaves the commodity's usable subgraph, which is a
+///    DAG by construction (commodity DAGs + dummy links), so routing is
+///    structurally loop-free — the paper's loop-freedom requirement holds at
+///    every iterate, while the blocked-set machinery (gamma.hpp) still rules
+///    out the *latent* loops Gallager's update must avoid.
+class RoutingState {
+ public:
+  /// All-zero fractions (invalid until initialized); prefer `initial`.
+  explicit RoutingState(const ExtendedGraph& xg);
+
+  /// The paper's starting point: every commodity routes its entire offered
+  /// load over the dummy difference link (admitted rate 0 — trivially
+  /// feasible), and interior nodes spread uniformly over their usable
+  /// out-edges so the first marginal-cost sweep is well defined everywhere.
+  static RoutingState initial(const ExtendedGraph& xg);
+
+  double phi(CommodityId j, EdgeId e) const { return phi_[j][e]; }
+  void set_phi(CommodityId j, EdgeId e, double value);
+
+  std::size_t commodity_count() const { return phi_.size(); }
+  std::size_t edge_count() const { return phi_.empty() ? 0 : phi_[0].size(); }
+
+  /// Largest violation of the routing invariants (0 when valid): negative
+  /// fractions, mass on unusable edges, or per-node sums away from 1.
+  double max_invariant_violation(const ExtendedGraph& xg) const;
+
+  /// True when `max_invariant_violation` is below `tol`.
+  bool is_valid(const ExtendedGraph& xg, double tol = 1e-9) const;
+
+  /// Largest |phi - other.phi| across all commodities/edges.
+  double max_difference(const RoutingState& other) const;
+
+  /// this = (1 - alpha) * this + alpha * target (used by the capacity
+  /// safeguard to damp a Gamma step; preserves all invariants since the
+  /// simplex of fractions is convex).
+  void blend_toward(const RoutingState& target, double alpha);
+
+ private:
+  std::vector<std::vector<double>> phi_;  // [commodity][edge]
+};
+
+}  // namespace maxutil::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "core/routing.hpp"
+#include "stream/surgery.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace maxutil::core {
+
+/// Transfers a converged routing decision from a network onto its
+/// post-surgery survivor (stream::without_server), giving the optimizer a
+/// warm start after a failure instead of restarting from all-rejected.
+///
+/// For every surviving commodity, the fraction of each surviving usable
+/// extended edge is copied and the per-node fractions renormalized (mass
+/// that pointed at the failed server is spread proportionally over the
+/// remaining links; a node whose entire mass died falls back to uniform).
+/// The result always satisfies the RoutingState invariants on `new_xg`.
+///
+/// Warm starts are one payoff of the paper's Section-3 observation that the
+/// penalty barrier leaves spare capacity "for faster recovery in the case of
+/// node or link failures": the surviving routing is feasible-with-headroom
+/// and already near-optimal for the reduced network (bench_recovery
+/// quantifies the saved iterations).
+/// `capacity_guard` mirrors GradientOptions::capacity_guard: if concentrating
+/// the surviving mass would overload a node past guard * C (the failed
+/// server's load landing on one replica), the transferred routing is blended
+/// toward the all-rejected initial state until it is strictly feasible, so
+/// it is always a legal optimizer start.
+RoutingState transfer_routing(const xform::ExtendedGraph& old_xg,
+                              const RoutingState& old_routing,
+                              const xform::ExtendedGraph& new_xg,
+                              const stream::SurgeryResult& surgery,
+                              double capacity_guard = 0.999);
+
+}  // namespace maxutil::core

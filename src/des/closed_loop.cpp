@@ -1,0 +1,117 @@
+#include "des/closed_loop.hpp"
+
+#include <algorithm>
+
+#include "core/flow.hpp"
+#include "core/marginals.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::des {
+
+using maxutil::util::ensure;
+
+namespace {
+
+void ema(std::vector<double>& state, const std::vector<double>& sample,
+         double rho) {
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    state[i] += rho * (sample[i] - state[i]);
+  }
+}
+
+}  // namespace
+
+MeasurementDrivenOptimizer::MeasurementDrivenOptimizer(
+    const xform::ExtendedGraph& xg, ClosedLoopOptions options)
+    : xg_(&xg),
+      options_(options),
+      routing_(core::RoutingState::initial(xg)),
+      history_({"epoch", "measured_utility", "fluid_utility"}) {
+  ensure(options_.epochs > 0, "MeasurementDrivenOptimizer: zero epochs");
+  ensure(options_.capacity_guard > 0.0 && options_.capacity_guard <= 1.0,
+         "MeasurementDrivenOptimizer: bad capacity guard");
+  ensure(options_.smoothing > 0.0 && options_.smoothing <= 1.0,
+         "MeasurementDrivenOptimizer: smoothing outside (0, 1]");
+  ensure(options_.gain_decay_epochs >= 0.0,
+         "MeasurementDrivenOptimizer: negative gain decay");
+}
+
+double MeasurementDrivenOptimizer::epoch() {
+  // 1. Observe: run the current routing at packet level for one window,
+  // with a fresh seed per epoch (new sample path, same policy).
+  PacketSimOptions sim_options = options_.sim;
+  sim_options.seed = options_.sim.seed + epochs_ * 7919;
+  PacketSimulator sim(*xg_, routing_, sim_options);
+  sim.run();
+
+  // 2. Telemetry, exponentially smoothed across epochs (Poisson noise in a
+  // finite window would otherwise whipsaw the routing).
+  core::FlowState sample;
+  sample.f_edge = sim.measured_edge_usage();
+  sample.f_node = sim.measured_node_usage();
+  sample.t.resize(xg_->commodity_count());
+  for (CommodityId j = 0; j < xg_->commodity_count(); ++j) {
+    sample.t[j] = sim.measured_traffic(j);
+  }
+  if (!has_measurements_) {
+    smoothed_ = sample;
+    smoothed_.y.assign(xg_->commodity_count(),
+                       std::vector<double>(xg_->edge_count(), 0.0));
+    has_measurements_ = true;
+  } else {
+    ema(smoothed_.f_edge, sample.f_edge, options_.smoothing);
+    ema(smoothed_.f_node, sample.f_node, options_.smoothing);
+    for (CommodityId j = 0; j < xg_->commodity_count(); ++j) {
+      ema(smoothed_.t[j], sample.t[j], options_.smoothing);
+    }
+  }
+
+  // Capacities are hard known quantities: clamp the filtered usage just
+  // inside the barrier region so a burst cannot produce infinite marginals.
+  core::FlowState measured = smoothed_;
+  for (NodeId v = 0; v < xg_->node_count(); ++v) {
+    if (!xg_->has_finite_capacity(v)) continue;
+    const double cap = options_.capacity_guard * xg_->capacity(v);
+    if (measured.f_node[v] > cap) {
+      const double scale = cap / measured.f_node[v];
+      measured.f_node[v] = cap;
+      for (const EdgeId e : xg_->graph().out_edges(v)) {
+        measured.f_edge[e] *= scale;
+      }
+    }
+  }
+
+  // 3. Update with a Robbins-Monro decayed gain.
+  core::GammaOptions gamma = options_.gamma;
+  if (options_.gain_decay_epochs > 0.0) {
+    gamma.eta /= 1.0 + static_cast<double>(epochs_) /
+                           options_.gain_decay_epochs;
+  }
+  const auto marginals = core::compute_marginals(*xg_, routing_, measured);
+  core::apply_gamma(*xg_, measured, marginals, gamma, routing_);
+
+  // 4. Report the epoch's measured utility (delivered rates).
+  double measured_utility = 0.0;
+  for (CommodityId j = 0; j < xg_->commodity_count(); ++j) {
+    const auto stats = sim.commodity_stats(j);
+    measured_utility += xg_->network().utility(j).value(
+        std::clamp(stats.delivered_rate, 0.0, xg_->lambda(j)));
+  }
+  ++epochs_;
+  if (options_.record_history) {
+    history_.append({static_cast<double>(epochs_), measured_utility,
+                     fluid_utility()});
+  }
+  return measured_utility;
+}
+
+void MeasurementDrivenOptimizer::run() {
+  for (std::size_t i = 0; i < options_.epochs; ++i) epoch();
+}
+
+double MeasurementDrivenOptimizer::fluid_utility() const {
+  const auto flows = core::compute_flows(*xg_, routing_);
+  return core::total_utility(*xg_, flows);
+}
+
+}  // namespace maxutil::des

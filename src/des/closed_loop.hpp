@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/gamma.hpp"
+#include "core/routing.hpp"
+#include "des/packet_sim.hpp"
+#include "util/timeseries.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace maxutil::des {
+
+/// Options for the measurement-driven (closed-loop) optimizer.
+struct ClosedLoopOptions {
+  /// Step rule for the Gamma update applied to measured state.
+  core::GammaOptions gamma{.eta = 0.04};
+  /// Per-epoch measurement window (the simulated observation period).
+  PacketSimOptions sim{.horizon = 100.0, .warmup = 10.0, .packet_size = 0.5};
+  /// Number of simulate-measure-update epochs for run().
+  std::size_t epochs = 50;
+  /// Measured usage is clamped below guard * C when fed to the barrier
+  /// derivatives: capacities are hard known quantities, and a Poisson burst
+  /// in a finite window must not produce infinite marginals.
+  double capacity_guard = 0.999;
+  /// Record a history row per epoch.
+  bool record_history = true;
+
+  /// Exponential smoothing factor for the telemetry (state_k =
+  /// (1-rho) state_{k-1} + rho sample). Filtering the Poisson noise is what
+  /// keeps the loop from chasing single-window fluctuations; 1 disables.
+  double smoothing = 0.3;
+
+  /// Robbins-Monro gain decay: the working eta of epoch k is
+  /// eta / (1 + k / gain_decay_epochs); 0 keeps eta constant. Decreasing
+  /// gains are the standard stochastic-approximation requirement for
+  /// convergence (constant gains hover in a noise ball instead).
+  double gain_decay_epochs = 30.0;
+};
+
+/// The gradient algorithm run the way a deployment runs it: against
+/// *measured* telemetry rather than fluid predictions.
+///
+/// Each epoch executes the current routing at packet level for a finite
+/// window, reconstructs the flow state (f_ik, f_i, t_i(j)) from the measured
+/// rates — the paper's protocol already assumes "each node can estimate the
+/// demand rate entering from i" — and applies the marginal-cost sweep and
+/// Gamma update to the measurements. Finite windows and Poisson arrivals
+/// make this stochastic approximation: the iterates converge to a
+/// neighborhood of the fluid optimum whose radius shrinks with the window
+/// length (tested in closed_loop_test.cpp).
+class MeasurementDrivenOptimizer {
+ public:
+  MeasurementDrivenOptimizer(const xform::ExtendedGraph& xg,
+                             ClosedLoopOptions options = {});
+
+  /// One simulate-measure-update epoch; returns the epoch's measured
+  /// delivered-rate utility.
+  double epoch();
+
+  /// Runs options.epochs epochs.
+  void run();
+
+  std::size_t epochs_run() const { return epochs_; }
+  const core::RoutingState& routing() const { return routing_; }
+
+  /// Utility of the *fluid* evaluation of the current routing (observer
+  /// metric, not used by the loop).
+  double fluid_utility() const;
+
+  /// Trace: epoch, measured_utility, fluid_utility.
+  const util::TimeSeries& history() const { return history_; }
+
+ private:
+  const xform::ExtendedGraph* xg_;
+  ClosedLoopOptions options_;
+  core::RoutingState routing_;
+  core::FlowState smoothed_;  // EMA-filtered telemetry
+  bool has_measurements_ = false;
+  std::size_t epochs_ = 0;
+  util::TimeSeries history_;
+};
+
+}  // namespace maxutil::des

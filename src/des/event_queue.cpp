@@ -1,0 +1,32 @@
+#include "des/event_queue.hpp"
+
+#include "util/check.hpp"
+
+namespace maxutil::des {
+
+void EventQueue::schedule(SimTime at, std::function<void()> handler) {
+  maxutil::util::ensure(at >= now_, "EventQueue: scheduling into the past");
+  maxutil::util::ensure(handler != nullptr, "EventQueue: null handler");
+  heap_.push({at, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(SimTime delay, std::function<void()> handler) {
+  maxutil::util::ensure(delay >= 0.0, "EventQueue: negative delay");
+  schedule(now_ + delay, std::move(handler));
+}
+
+std::size_t EventQueue::run_until(SimTime horizon) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= horizon) {
+    // Copy out before pop so the handler may schedule new events.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = entry.time;
+    entry.handler();
+    ++executed;
+  }
+  if (heap_.empty() && now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+}  // namespace maxutil::des

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace maxutil::des {
+
+/// Simulation clock time (seconds of simulated time).
+using SimTime = double;
+
+/// Discrete-event scheduler: a time-ordered queue of closures.
+///
+/// Ties break by insertion order (FIFO), which keeps runs deterministic for
+/// a fixed seed. Handlers may schedule further events; `run_until` drains
+/// the queue up to a horizon.
+class EventQueue {
+ public:
+  /// Schedules `handler` at absolute time `at` (must be >= now()).
+  void schedule(SimTime at, std::function<void()> handler);
+
+  /// Schedules `handler` `delay` seconds from now.
+  void schedule_in(SimTime delay, std::function<void()> handler);
+
+  /// Current simulation time (the timestamp of the last handled event).
+  SimTime now() const { return now_; }
+
+  /// Number of events still pending.
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Executes events in time order until the queue is empty or the next
+  /// event lies beyond `horizon`. Returns the number of events executed.
+  std::size_t run_until(SimTime horizon);
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace maxutil::des

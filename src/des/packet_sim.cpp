@@ -1,0 +1,251 @@
+#include "des/packet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace maxutil::des {
+
+using maxutil::util::ensure;
+using maxutil::xform::LinkKind;
+using maxutil::xform::NodeKind;
+
+PacketSimulator::PacketSimulator(const xform::ExtendedGraph& xg,
+                                 const core::RoutingState& routing,
+                                 PacketSimOptions options)
+    : xg_(&xg),
+      options_(options),
+      rng_(options.seed),
+      nodes_(xg.node_count()),
+      choices_(xg.commodity_count() * xg.node_count()),
+      offered_(xg.commodity_count(), 0),
+      admitted_(xg.commodity_count(), 0),
+      rejected_(xg.commodity_count(), 0),
+      delivered_(xg.commodity_count(), 0),
+      sojourns_(xg.commodity_count()),
+      edge_work_(xg.edge_count(), 0.0),
+      node_arrivals_(xg.commodity_count(),
+                     std::vector<double>(xg.node_count(), 0.0)) {
+  ensure(options.horizon > options.warmup && options.warmup >= 0.0,
+         "PacketSimulator: horizon must exceed warmup");
+  ensure(options.packet_size > 0.0, "PacketSimulator: packet size positive");
+  ensure(routing.is_valid(xg, 1e-6), "PacketSimulator: invalid routing");
+
+  // Freeze the routing into cumulative sampling tables.
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    for (const NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j)) continue;
+      auto& table = choices_[j * xg.node_count() + v];
+      double cum = 0.0;
+      for (const EdgeId e : xg.graph().out_edges(v)) {
+        if (!xg.usable(j, e)) continue;
+        const double phi = routing.phi(j, e);
+        if (phi <= 0.0) continue;
+        cum += phi;
+        table.push_back({e, cum});
+      }
+      ensure(!table.empty(), "PacketSimulator: node with no routed edge");
+      // Normalize against rounding (cum ~ 1).
+      for (auto& c : table) c.cumulative /= cum;
+    }
+  }
+}
+
+void PacketSimulator::generate_arrival(CommodityId j) {
+  const double rate = xg_->lambda(j) / options_.packet_size;
+  // Exponential inter-arrival.
+  const double gap = -std::log(1.0 - rng_.uniform(0.0, 1.0)) / rate;
+  events_.schedule_in(gap, [this, j] {
+    if (events_.now() >= options_.warmup) ++offered_[j];
+    arrive(xg_->dummy_source(j),
+           {j, options_.packet_size, events_.now()});
+    generate_arrival(j);
+  });
+}
+
+EdgeId PacketSimulator::sample_edge(NodeId v, CommodityId j) {
+  const auto& table = choices_[j * xg_->node_count() + v];
+  const double u = rng_.uniform(0.0, 1.0);
+  for (const auto& c : table) {
+    if (u <= c.cumulative) return c.edge;
+  }
+  return table.back().edge;
+}
+
+void PacketSimulator::touch_queue(NodeId v) {
+  NodeState& n = nodes_[v];
+  const SimTime now = events_.now();
+  if (now > options_.warmup) {
+    const SimTime from = std::max(n.last_change, options_.warmup);
+    const auto queued = n.queue.size() - (n.busy ? 1 : 0);
+    n.queue_integral += static_cast<double>(queued) * (now - from);
+  }
+  n.last_change = now;
+}
+
+void PacketSimulator::arrive(NodeId v, Packet packet) {
+  const CommodityId j = packet.commodity;
+  if (events_.now() >= options_.warmup) node_arrivals_[j][v] += packet.size;
+  // Dummy sources split instantly: admission or rejection.
+  if (xg_->node_kind(v) == NodeKind::kDummySource) {
+    const EdgeId e = sample_edge(v, j);
+    // Dummy edges never enter a service queue, but their (unit-rate) usage
+    // is still telemetry: the difference link's measured rate is what the
+    // admission marginal Y'(lambda - x) must see in the closed loop.
+    if (events_.now() >= options_.warmup) edge_work_[e] += packet.size;
+    if (xg_->link_kind(e) == LinkKind::kDummyDifference) {
+      if (events_.now() >= options_.warmup) ++rejected_[j];
+      return;  // shed at the source
+    }
+    if (events_.now() >= options_.warmup) ++admitted_[j];
+    packet.admitted_at = events_.now();
+    arrive(xg_->graph().head(e), std::move(packet));
+    return;
+  }
+  // Sinks absorb.
+  if (v == xg_->sink(j)) {
+    if (events_.now() >= options_.warmup) {
+      ++delivered_[j];
+      sojourns_[j].push_back(events_.now() - packet.admitted_at);
+    }
+    return;
+  }
+  touch_queue(v);
+  nodes_[v].queue.push_back(std::move(packet));
+  if (!nodes_[v].busy) start_service(v);
+}
+
+void PacketSimulator::start_service(NodeId v) {
+  NodeState& n = nodes_[v];
+  ensure(!n.queue.empty() && !n.busy, "PacketSimulator: bad service start");
+  touch_queue(v);
+  n.busy = true;
+  n.busy_since = events_.now();
+  Packet& packet = n.queue.front();
+  const EdgeId e = sample_edge(v, packet.commodity);
+  const double capacity = xg_->capacity(v);
+  const double work = packet.size * xg_->cost_rate(packet.commodity, e);
+  if (events_.now() >= options_.warmup) edge_work_[e] += work;
+  const double service = std::isinf(capacity) ? 0.0 : work / capacity;
+  events_.schedule_in(service, [this, v, e] {
+    NodeState& node = nodes_[v];
+    Packet packet = std::move(node.queue.front());
+    node.queue.erase(node.queue.begin());
+    // Account busy time clipped to the measurement window.
+    const SimTime from = std::max(node.busy_since, options_.warmup);
+    if (events_.now() > from) node.busy_time += events_.now() - from;
+    node.busy = false;
+    touch_queue(v);
+    packet.size *= xg_->beta(packet.commodity, e);
+    arrive(xg_->graph().head(e), std::move(packet));
+    if (!node.queue.empty()) start_service(v);
+  });
+}
+
+std::size_t PacketSimulator::run() {
+  if (ran_) return 0;
+  ran_ = true;
+  for (CommodityId j = 0; j < xg_->commodity_count(); ++j) {
+    generate_arrival(j);
+  }
+  return events_.run_until(options_.horizon);
+}
+
+double PacketSimulator::measured_window() const {
+  return options_.horizon - options_.warmup;
+}
+
+CommodityStats PacketSimulator::commodity_stats(CommodityId j) const {
+  ensure(j < xg_->commodity_count(), "PacketSimulator: commodity range");
+  ensure(ran_, "PacketSimulator: run() first");
+  CommodityStats stats;
+  const double window = measured_window();
+  const double unit = options_.packet_size / window;
+  stats.offered_rate = static_cast<double>(offered_[j]) * unit;
+  stats.admitted_rate = static_cast<double>(admitted_[j]) * unit;
+  stats.rejected_rate = static_cast<double>(rejected_[j]) * unit;
+  stats.delivered_rate = static_cast<double>(delivered_[j]) * unit;
+  stats.delivered_packets = delivered_[j];
+  if (!sojourns_[j].empty()) {
+    stats.mean_latency = maxutil::util::mean_of(sojourns_[j]);
+    stats.p95_latency = maxutil::util::percentile(sojourns_[j], 95.0);
+  }
+  return stats;
+}
+
+NodeStats PacketSimulator::node_stats(NodeId v) const {
+  ensure(v < xg_->node_count(), "PacketSimulator: node range");
+  ensure(ran_, "PacketSimulator: run() first");
+  NodeStats stats;
+  const NodeState& n = nodes_[v];
+  const double window = measured_window();
+  double busy = n.busy_time;
+  if (n.busy) {
+    busy += options_.horizon - std::max(n.busy_since, options_.warmup);
+  }
+  stats.utilization = busy / window;
+  // Close the queue integral at the horizon.
+  double integral = n.queue_integral;
+  const SimTime from = std::max(n.last_change, options_.warmup);
+  const auto queued = n.queue.size() - (n.busy ? 1 : 0);
+  integral += static_cast<double>(queued) * (options_.horizon - from);
+  stats.mean_queue = integral / window;
+  return stats;
+}
+
+std::vector<double> PacketSimulator::measured_edge_usage() const {
+  ensure(ran_, "PacketSimulator: run() first");
+  std::vector<double> usage(edge_work_.size());
+  const double window = measured_window();
+  for (std::size_t e = 0; e < usage.size(); ++e) {
+    usage[e] = edge_work_[e] / window;
+  }
+  return usage;
+}
+
+std::vector<double> PacketSimulator::measured_node_usage() const {
+  // For finite-capacity nodes the busy fraction is the physically right
+  // estimator (usage = utilization * C): under overload the queue absorbs
+  // the excess and throughput-based work rates *underestimate* demand, which
+  // would fool a closed-loop controller into admitting more. Utilization
+  // saturates at 1 instead. Infinite-capacity nodes (dummies) fall back to
+  // the work-based rate.
+  const auto edges = measured_edge_usage();
+  std::vector<double> usage(xg_->node_count(), 0.0);
+  for (EdgeId e = 0; e < edges.size(); ++e) {
+    usage[xg_->graph().tail(e)] += edges[e];
+  }
+  for (NodeId v = 0; v < usage.size(); ++v) {
+    const double capacity = xg_->capacity(v);
+    if (std::isfinite(capacity)) {
+      usage[v] = node_stats(v).utilization * capacity;
+    }
+  }
+  return usage;
+}
+
+std::vector<double> PacketSimulator::measured_traffic(CommodityId j) const {
+  ensure(j < xg_->commodity_count(), "PacketSimulator: commodity range");
+  ensure(ran_, "PacketSimulator: run() first");
+  std::vector<double> traffic(xg_->node_count(), 0.0);
+  const double window = measured_window();
+  for (NodeId v = 0; v < traffic.size(); ++v) {
+    traffic[v] = node_arrivals_[j][v] / window;
+  }
+  return traffic;
+}
+
+std::size_t PacketSimulator::queued_packets(NodeId v) const {
+  ensure(v < nodes_.size(), "PacketSimulator: node range");
+  return nodes_[v].queue.size();
+}
+
+std::size_t PacketSimulator::in_flight() const {
+  std::size_t total = 0;
+  for (const auto& n : nodes_) total += n.queue.size();
+  return total;
+}
+
+}  // namespace maxutil::des

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/routing.hpp"
+#include "des/event_queue.hpp"
+#include "util/rng.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace maxutil::des {
+
+using maxutil::graph::EdgeId;
+using maxutil::graph::NodeId;
+using maxutil::stream::CommodityId;
+
+/// Options for a packet-level run.
+struct PacketSimOptions {
+  /// Simulated seconds.
+  SimTime horizon = 2000.0;
+  /// Statistics ignore everything before this time (transient warm-up).
+  SimTime warmup = 200.0;
+  /// Fluid units per packet: arrivals are Poisson with rate
+  /// lambda_j / packet_size packets per second.
+  double packet_size = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Per-commodity results, in fluid (source) units per second.
+struct CommodityStats {
+  double offered_rate = 0.0;    // measured Poisson arrivals
+  double admitted_rate = 0.0;   // past the dummy admission split
+  double delivered_rate = 0.0;  // arrived at the sink (source units)
+  double rejected_rate = 0.0;
+  double mean_latency = 0.0;    // admission -> sink sojourn, seconds
+  double p95_latency = 0.0;
+  std::size_t delivered_packets = 0;
+};
+
+/// Per-extended-node results.
+struct NodeStats {
+  double utilization = 0.0;  // busy fraction after warm-up
+  double mean_queue = 0.0;   // time-average packets queued (excl. in service)
+};
+
+/// Packet-level discrete-event validation of a fluid solution.
+///
+/// The paper's model (and both optimizers) are *fluid*: rates, not packets.
+/// This simulator turns a converged routing decision into an operating
+/// policy — Poisson packet arrivals at each dummy source, Bernoulli
+/// admission/rejection by the dummy fractions, probabilistic per-packet
+/// routing by phi, FIFO service at every extended node at its resource rate
+/// (a packet of fluid size s crossing edge e occupies its tail for
+/// s * c_e(j) / C_v seconds, then shrinks by beta_e) — and measures whether
+/// the promised rates and stability actually materialize in a queueing
+/// system. The fluid capacity headroom left by the barrier (Section 3)
+/// shows up here as finite queues and bounded latency; bench_packet_level
+/// quantifies the eps -> latency trade-off.
+class PacketSimulator {
+ public:
+  /// `routing` must be a valid RoutingState on `xg` (typically a converged
+  /// optimizer iterate). The referenced objects must outlive the simulator.
+  PacketSimulator(const xform::ExtendedGraph& xg,
+                  const core::RoutingState& routing,
+                  PacketSimOptions options = {});
+
+  /// Runs the full horizon (idempotent; returns total events executed).
+  std::size_t run();
+
+  CommodityStats commodity_stats(CommodityId j) const;
+  NodeStats node_stats(NodeId v) const;
+
+  /// Total packets still queued or in service when the horizon ended — a
+  /// stability probe (bounded for utilization < 1).
+  std::size_t in_flight() const;
+
+  // --- Measured rates (post-warm-up), the telemetry a real deployment
+  // would feed back into the optimizer (des::MeasurementDrivenOptimizer) ---
+
+  /// Resource-consumption rate per extended edge: work started on the edge
+  /// divided by the measurement window (the packet estimate of f_ik).
+  std::vector<double> measured_edge_usage() const;
+
+  /// Resource-consumption rate per node (estimate of f_i).
+  std::vector<double> measured_node_usage() const;
+
+  /// Commodity-j fluid arrival rate per node (estimate of t_i(j)); the
+  /// dummy source reports its offered rate.
+  std::vector<double> measured_traffic(CommodityId j) const;
+
+  /// Packets queued (including in service) at node v when the horizon
+  /// ended — the congestion signal a closed-loop controller watches: a
+  /// backlog means the node is effectively saturated even if a short
+  /// window's utilization reads below 1.
+  std::size_t queued_packets(NodeId v) const;
+
+ private:
+  struct Packet {
+    CommodityId commodity;
+    double size;           // current fluid size (shrinks/expands per edge)
+    SimTime admitted_at;
+  };
+  struct NodeState {
+    std::vector<Packet> queue;  // FIFO; front is in service
+    bool busy = false;
+    SimTime busy_since = 0.0;
+    double busy_time = 0.0;        // after warm-up
+    double queue_integral = 0.0;   // time-weighted queued count after warm-up
+    SimTime last_change = 0.0;
+  };
+  struct Choice {
+    EdgeId edge;
+    double cumulative;  // cumulative phi for sampling
+  };
+
+  void generate_arrival(CommodityId j);
+  void arrive(NodeId v, Packet packet);
+  void start_service(NodeId v);
+  EdgeId sample_edge(NodeId v, CommodityId j);
+  void touch_queue(NodeId v);
+  double measured_window() const;
+
+  const xform::ExtendedGraph* xg_;
+  PacketSimOptions options_;
+  maxutil::util::Rng rng_;
+  EventQueue events_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::vector<Choice>> choices_;  // [commodity * V + node]
+  // Per-commodity counters (post-warm-up).
+  std::vector<std::size_t> offered_, admitted_, rejected_, delivered_;
+  std::vector<std::vector<double>> sojourns_;
+  // Telemetry accumulators (post-warm-up): fluid work per edge, fluid
+  // arrivals per (commodity, node).
+  std::vector<double> edge_work_;
+  std::vector<std::vector<double>> node_arrivals_;  // [commodity][node]
+  bool ran_ = false;
+};
+
+}  // namespace maxutil::des

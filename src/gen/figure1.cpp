@@ -1,0 +1,84 @@
+#include "gen/figure1.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "stream/validate.hpp"
+
+namespace maxutil::gen {
+
+using maxutil::stream::CommodityId;
+using maxutil::stream::NodeId;
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+
+StreamNetwork figure1_example(const Figure1Params& params, Figure1Ids* ids) {
+  StreamNetwork net;
+  Figure1Ids local;
+  for (int i = 0; i < 8; ++i) {
+    local.server[static_cast<std::size_t>(i)] =
+        net.add_server("Server " + std::to_string(i + 1), params.server_capacity);
+  }
+  local.sink1 = net.add_sink("Sink 1");
+  local.sink2 = net.add_sink("Sink 2");
+
+  const auto s = [&](int i) { return local.server[static_cast<std::size_t>(i - 1)]; };
+  const auto link = [&](NodeId a, NodeId b) {
+    return net.add_link(a, b, params.link_bandwidth);
+  };
+
+  // Physical links. 3->5 is shared by both streams (E->F for S2 and one of
+  // the B->C stages for S1).
+  const auto l12 = link(s(1), s(2));
+  const auto l13 = link(s(1), s(3));
+  const auto l24 = link(s(2), s(4));
+  const auto l25 = link(s(2), s(5));
+  const auto l34 = link(s(3), s(4));
+  const auto l35 = link(s(3), s(5));
+  const auto l46 = link(s(4), s(6));
+  const auto l56 = link(s(5), s(6));
+  const auto l6k1 = link(s(6), local.sink1);
+  const auto l73 = link(s(7), s(3));
+  const auto l58 = link(s(5), s(8));
+  const auto l8k2 = link(s(8), local.sink2);
+
+  local.s1 = net.add_commodity("S1", s(1), local.sink1, params.lambda,
+                               Utility::linear());
+  local.s2 = net.add_commodity("S2", s(7), local.sink2, params.lambda,
+                               Utility::linear());
+
+  // Stream S1: A at 1; B at 2 or 3; C at 4 or 5; D at 6.
+  for (const auto l : {l12, l13, l24, l25, l34, l35, l46, l56, l6k1}) {
+    net.enable_link(local.s1, l, params.consumption);
+  }
+  // Stream S2: G at 7; E at 3; F at 5; H at 8.
+  for (const auto l : {l73, l35, l58, l8k2}) {
+    net.enable_link(local.s2, l, params.consumption);
+  }
+
+  // Potentials encode uniform per-stage shrinkage. Stages for S1:
+  // 1 (A done) -> {2,3} (B done) -> {4,5} (C done) -> 6 (D done) -> sink.
+  const double r = params.stage_shrinkage;
+  const auto set_stage = [&](CommodityId j, NodeId n, int stage) {
+    net.set_potential(j, n, std::pow(r, stage));
+  };
+  set_stage(local.s1, s(1), 0);
+  set_stage(local.s1, s(2), 1);
+  set_stage(local.s1, s(3), 1);
+  set_stage(local.s1, s(4), 2);
+  set_stage(local.s1, s(5), 2);
+  set_stage(local.s1, s(6), 3);
+  set_stage(local.s1, local.sink1, 4);
+  // Stages for S2: 7 (G) -> 3 (E) -> 5 (F) -> 8 (H) -> sink.
+  set_stage(local.s2, s(7), 0);
+  set_stage(local.s2, s(3), 1);
+  set_stage(local.s2, s(5), 2);
+  set_stage(local.s2, s(8), 3);
+  set_stage(local.s2, local.sink2, 4);
+
+  maxutil::stream::validate_or_throw(net);
+  if (ids != nullptr) *ids = local;
+  return net;
+}
+
+}  // namespace maxutil::gen

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <array>
+
+#include "stream/model.hpp"
+
+namespace maxutil::gen {
+
+/// Node/commodity handles into the Figure-1 network, for tests and examples
+/// that need to address specific servers.
+struct Figure1Ids {
+  std::array<maxutil::stream::NodeId, 8> server{};  // server[i] = "Server i+1"
+  maxutil::stream::NodeId sink1 = 0;
+  maxutil::stream::NodeId sink2 = 0;
+  maxutil::stream::CommodityId s1 = 0;
+  maxutil::stream::CommodityId s2 = 0;
+};
+
+/// Tunable parameters for the Figure-1 instance. Defaults give a mildly
+/// loaded system where both streams compete for Server 3, Server 5, and the
+/// 3->5 link — the contention the paper's example is built to illustrate.
+struct Figure1Params {
+  double server_capacity = 50.0;
+  double link_bandwidth = 40.0;
+  double lambda = 10.0;
+  double consumption = 1.0;
+  /// Per-task shrinkage applied between consecutive stages (flow shrinks by
+  /// this factor at each hop); 1.0 disables shrinkage.
+  double stage_shrinkage = 0.8;
+};
+
+/// Builds the paper's Figure-1 example: 8 servers, 2 sinks, 2 streams.
+///
+/// Stream S1 runs tasks A,B,C,D placed as T1={A}, T2={B}, T3={B,E}, T4={C},
+/// T5={C,F}, T6={D}; its solid subgraph is 1->{2,3}->{4,5}->6->Sink1.
+/// Stream S2 runs tasks G,E,F,H placed as T7={G}, T3={E}, T5={F}, T8={H};
+/// its dashed subgraph is 7->3->5->8->Sink2. Both per-stream subgraphs are
+/// DAGs; the union shares Server 3, Server 5, and the 3->5 link.
+maxutil::stream::StreamNetwork figure1_example(
+    const Figure1Params& params = {}, Figure1Ids* ids = nullptr);
+
+}  // namespace maxutil::gen

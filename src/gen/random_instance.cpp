@@ -1,0 +1,146 @@
+#include "gen/random_instance.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stream/validate.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::gen {
+
+using maxutil::stream::CommodityId;
+using maxutil::stream::LinkId;
+using maxutil::stream::NodeId;
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+using maxutil::util::ensure;
+using maxutil::util::Rng;
+
+StreamNetwork random_instance(const RandomInstanceParams& params, Rng& rng) {
+  ensure(params.commodities >= 1, "random_instance: need >= 1 commodity");
+  ensure(params.stages >= 1, "random_instance: need >= 1 stage");
+  ensure(params.min_width >= 1 && params.min_width <= params.max_width,
+         "random_instance: invalid width range");
+  const std::size_t worst_case_pool =
+      1 + (params.stages - 1) * params.max_width;
+  ensure(params.servers >= worst_case_pool,
+         "random_instance: not enough servers for the deepest commodity");
+  ensure(params.servers >= params.commodities,
+         "random_instance: need a distinct source per commodity");
+  ensure(params.edge_probability >= 0.0 && params.edge_probability <= 1.0,
+         "random_instance: edge_probability outside [0,1]");
+
+  StreamNetwork net;
+  std::vector<NodeId> servers(params.servers);
+  for (std::size_t i = 0; i < params.servers; ++i) {
+    servers[i] =
+        net.add_server("server" + std::to_string(i),
+                       rng.uniform(params.min_capacity, params.max_capacity));
+  }
+
+  // Distinct sources across commodities.
+  std::vector<NodeId> shuffled = servers;
+  rng.shuffle(shuffled);
+  std::vector<NodeId> sources(shuffled.begin(),
+                              shuffled.begin() +
+                                  static_cast<std::ptrdiff_t>(params.commodities));
+
+  // Physical links are shared across commodities: one link per (tail, head).
+  std::map<std::pair<NodeId, NodeId>, LinkId> links;
+  const auto link_between = [&](NodeId a, NodeId b) {
+    const auto key = std::make_pair(a, b);
+    const auto it = links.find(key);
+    if (it != links.end()) return it->second;
+    const LinkId id = net.add_link(
+        a, b, rng.uniform(params.min_bandwidth, params.max_bandwidth));
+    links.emplace(key, id);
+    return id;
+  };
+
+  for (CommodityId j = 0; j < params.commodities; ++j) {
+    const NodeId source = sources[j];
+    const NodeId sink = net.add_sink("sink" + std::to_string(j));
+    const Utility utility =
+        params.utility_for ? params.utility_for(j) : Utility::linear();
+    ensure(net.add_commodity("commodity" + std::to_string(j), source, sink,
+                             params.lambda, utility) == j,
+           "random_instance: commodity id mismatch");
+
+    // Stage layers: the source alone, then sampled interior stages. Within a
+    // commodity layers are disjoint (a server runs at most one task per
+    // commodity); other commodities' sources may appear in interior layers.
+    std::vector<NodeId> pool;
+    for (const NodeId s : servers) {
+      if (s != source) pool.push_back(s);
+    }
+    rng.shuffle(pool);
+    std::vector<std::vector<NodeId>> layers{{source}};
+    std::size_t taken = 0;
+    for (std::size_t stage = 1; stage < params.stages; ++stage) {
+      const auto width = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(params.min_width),
+          static_cast<std::int64_t>(params.max_width)));
+      std::vector<NodeId> layer(pool.begin() + static_cast<std::ptrdiff_t>(taken),
+                                pool.begin() +
+                                    static_cast<std::ptrdiff_t>(taken + width));
+      taken += width;
+      layers.push_back(std::move(layer));
+    }
+
+    const auto enable = [&](NodeId a, NodeId b) {
+      const LinkId l = link_between(a, b);
+      if (!net.uses_link(j, l)) {
+        net.enable_link(
+            j, l, rng.uniform(params.min_consumption, params.max_consumption));
+      }
+    };
+
+    // Random bipartite wiring between consecutive layers, patched so every
+    // node keeps at least one usable outgoing and one usable incoming link.
+    for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+      const auto& upper = layers[l];
+      const auto& lower = layers[l + 1];
+      std::vector<bool> has_out(upper.size(), false);
+      std::vector<bool> has_in(lower.size(), false);
+      for (std::size_t a = 0; a < upper.size(); ++a) {
+        for (std::size_t b = 0; b < lower.size(); ++b) {
+          if (rng.chance(params.edge_probability)) {
+            enable(upper[a], lower[b]);
+            has_out[a] = true;
+            has_in[b] = true;
+          }
+        }
+      }
+      for (std::size_t a = 0; a < upper.size(); ++a) {
+        if (!has_out[a]) {
+          const std::size_t b = rng.index(lower.size());
+          enable(upper[a], lower[b]);
+          has_in[b] = true;
+        }
+      }
+      for (std::size_t b = 0; b < lower.size(); ++b) {
+        if (!has_in[b]) enable(upper[rng.index(upper.size())], lower[b]);
+      }
+    }
+    // Final stage: every last-layer server delivers to the sink.
+    for (const NodeId u : layers.back()) enable(u, sink);
+
+    // Potentials g ~ U[min_potential, max_potential] on the commodity's
+    // nodes; beta_ik = g_k / g_i per the paper's Property-1 construction.
+    for (const auto& layer : layers) {
+      for (const NodeId n : layer) {
+        net.set_potential(j, n,
+                          rng.uniform(params.min_potential, params.max_potential));
+      }
+    }
+    net.set_potential(j, sink,
+                      rng.uniform(params.min_potential, params.max_potential));
+  }
+
+  maxutil::stream::validate_or_throw(net);
+  return net;
+}
+
+}  // namespace maxutil::gen

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "stream/model.hpp"
+#include "util/rng.hpp"
+
+namespace maxutil::gen {
+
+/// Parameters of the Section-6 synthetic workload. Defaults reproduce the
+/// paper's published distributions: 40 servers, 3 commodities, node and link
+/// capacities ~ U[1,100], potentials g ~ U[1,10] (so shrinkage
+/// beta_ik = g_k/g_i per Property 1), resource consumption c ~ U[1,5].
+struct RandomInstanceParams {
+  std::size_t servers = 40;
+  std::size_t commodities = 3;
+
+  /// Number of processing stages (tasks) per commodity, source included.
+  /// The commodity DAG has `stages` server layers followed by the sink, so
+  /// its depth is stages hops of processing plus the final delivery hop.
+  std::size_t stages = 5;
+
+  /// Servers assigned per interior task (layer width), sampled uniformly in
+  /// [min_width, max_width]; the source stage always has width 1.
+  std::size_t min_width = 1;
+  std::size_t max_width = 3;
+
+  /// Probability of each possible layer-(l) -> layer-(l+1) edge beyond the
+  /// connectivity patching that guarantees no dead ends.
+  double edge_probability = 0.5;
+
+  double min_capacity = 1.0;
+  double max_capacity = 100.0;
+  double min_bandwidth = 1.0;
+  double max_bandwidth = 100.0;
+  double min_potential = 1.0;
+  double max_potential = 10.0;
+  double min_consumption = 1.0;
+  double max_consumption = 5.0;
+
+  /// Maximum source rate lambda_j. Section 6 maximizes total throughput, so
+  /// the default saturates the network and admission control binds.
+  double lambda = 100.0;
+
+  /// Utility family per commodity; defaults to the paper's linear
+  /// "total throughput" objective.
+  std::function<maxutil::stream::Utility(maxutil::stream::CommodityId)>
+      utility_for;
+};
+
+/// Generates a random layered stream-processing instance.
+///
+/// Each commodity gets a dedicated source server and sink; interior stages
+/// draw (possibly overlapping across commodities) server sets from the
+/// shared pool, so commodities contend for both computing power and link
+/// bandwidth, as in the paper's 40-node 3-commodity experiment. Per
+/// commodity, stage layers are connected by random bipartite edges patched
+/// so that every layer node has at least one incoming and one outgoing
+/// usable link (no dead ends); physical links are shared across commodities
+/// when both use the same (tail, head) server pair. The result always passes
+/// stream::validate.
+maxutil::stream::StreamNetwork random_instance(const RandomInstanceParams& params,
+                                               maxutil::util::Rng& rng);
+
+}  // namespace maxutil::gen

@@ -1,0 +1,76 @@
+#include "gen/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace maxutil::gen {
+
+using maxutil::util::ensure;
+
+namespace {
+constexpr double kFloor = 1e-3;
+}
+
+DemandTrace::DemandTrace(std::function<double(std::size_t)> fn)
+    : fn_(std::move(fn)) {}
+
+double DemandTrace::at(std::size_t t) const {
+  return std::max(fn_(t), kFloor);
+}
+
+DemandTrace DemandTrace::constant(double level) {
+  ensure(level > 0.0, "DemandTrace::constant: level must be positive");
+  return DemandTrace([level](std::size_t) { return level; });
+}
+
+DemandTrace DemandTrace::step(double before, double after, std::size_t at) {
+  ensure(before > 0.0 && after > 0.0, "DemandTrace::step: rates must be positive");
+  return DemandTrace(
+      [before, after, at](std::size_t t) { return t < at ? before : after; });
+}
+
+DemandTrace DemandTrace::on_off(double high, double low, std::size_t period,
+                                std::size_t duty) {
+  ensure(high > 0.0 && low > 0.0, "DemandTrace::on_off: rates must be positive");
+  ensure(period > 0 && duty <= period, "DemandTrace::on_off: bad period/duty");
+  return DemandTrace([high, low, period, duty](std::size_t t) {
+    return (t % period) < duty ? high : low;
+  });
+}
+
+DemandTrace DemandTrace::sine(double base, double amplitude,
+                              std::size_t period) {
+  ensure(base > amplitude && amplitude >= 0.0,
+         "DemandTrace::sine: base must exceed amplitude");
+  ensure(period > 0, "DemandTrace::sine: period must be positive");
+  return DemandTrace([base, amplitude, period](std::size_t t) {
+    return base + amplitude * std::sin(2.0 * std::numbers::pi *
+                                       static_cast<double>(t) /
+                                       static_cast<double>(period));
+  });
+}
+
+DemandTrace DemandTrace::random_walk(double base, double sigma,
+                                     std::uint64_t seed) {
+  ensure(base > 0.0 && sigma >= 0.0, "DemandTrace::random_walk: bad params");
+  // Materialize lazily but deterministically: extend the path on demand so
+  // at(t) is a pure function of (seed, t).
+  auto state = std::make_shared<std::vector<double>>(1, base);
+  auto rng = std::make_shared<maxutil::util::Rng>(seed);
+  return DemandTrace([base, sigma, state, rng](std::size_t t) {
+    while (state->size() <= t) {
+      const double previous = state->back();
+      // Mean-reverting multiplicative step.
+      const double pulled = 0.9 * previous + 0.1 * base;
+      state->push_back(pulled * std::exp(sigma * rng->normal()));
+    }
+    return (*state)[t];
+  });
+}
+
+}  // namespace maxutil::gen

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "util/rng.hpp"
+
+namespace maxutil::gen {
+
+/// A demand trace lambda(t): the offered rate of a stream over (discrete)
+/// time, for the dynamic-workload experiments. The paper's introduction
+/// motivates exactly this regime — "data rates can be bursty and
+/// unpredictable, which can create a load that exceeds the system capacity
+/// during times of stress" — and the dummy-node admission controller is the
+/// mechanism that absorbs it.
+///
+/// Traces are strictly positive (values are clamped to a small floor, since
+/// the model requires lambda > 0).
+class DemandTrace {
+ public:
+  /// Constant offered rate.
+  static DemandTrace constant(double level);
+
+  /// Steps from `before` to `after` at time `at`.
+  static DemandTrace step(double before, double after, std::size_t at);
+
+  /// Bursty on/off (telecom-style): `high` for the first `duty` ticks of
+  /// every `period`, `low` for the rest.
+  static DemandTrace on_off(double high, double low, std::size_t period,
+                            std::size_t duty);
+
+  /// Smooth diurnal-style variation: base + amplitude * sin(2 pi t / period).
+  static DemandTrace sine(double base, double amplitude, std::size_t period);
+
+  /// Multiplicative random-walk burstiness around `base`: each tick the
+  /// level is multiplied by exp(sigma * N(0,1)) and pulled back toward base
+  /// (mean-reverting). Deterministic for a given seed.
+  static DemandTrace random_walk(double base, double sigma, std::uint64_t seed);
+
+  /// Offered rate at tick t (always >= the positivity floor).
+  double at(std::size_t t) const;
+
+ private:
+  explicit DemandTrace(std::function<double(std::size_t)> fn);
+  std::function<double(std::size_t)> fn_;
+};
+
+}  // namespace maxutil::gen

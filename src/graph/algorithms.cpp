@@ -1,0 +1,174 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace maxutil::graph {
+
+using maxutil::util::ensure;
+
+namespace {
+
+bool accepts(const EdgeFilter& filter, EdgeId e) {
+  return !filter || filter(e);
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> topological_sort(const Digraph& g,
+                                                    const EdgeFilter& filter) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> indegree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const EdgeId e : g.in_edges(v)) {
+      if (accepts(filter, e)) ++indegree[v];
+    }
+  }
+  std::deque<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indegree[v] == 0) frontier.push_back(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    order.push_back(v);
+    for (const EdgeId e : g.out_edges(v)) {
+      if (!accepts(filter, e)) continue;
+      const NodeId w = g.head(e);
+      if (--indegree[w] == 0) frontier.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool is_dag(const Digraph& g, const EdgeFilter& filter) {
+  return topological_sort(g, filter).has_value();
+}
+
+std::vector<bool> reachable_from(const Digraph& g, NodeId start,
+                                 const EdgeFilter& filter) {
+  ensure(start < g.node_count(), "reachable_from: node out of range");
+  std::vector<bool> seen(g.node_count(), false);
+  std::deque<NodeId> frontier{start};
+  seen[start] = true;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const EdgeId e : g.out_edges(v)) {
+      if (!accepts(filter, e)) continue;
+      const NodeId w = g.head(e);
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> reaches(const Digraph& g, NodeId target,
+                          const EdgeFilter& filter) {
+  ensure(target < g.node_count(), "reaches: node out of range");
+  std::vector<bool> seen(g.node_count(), false);
+  std::deque<NodeId> frontier{target};
+  seen[target] = true;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const EdgeId e : g.in_edges(v)) {
+      if (!accepts(filter, e)) continue;
+      const NodeId w = g.tail(e);
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+std::size_t longest_path_length(const Digraph& g, const EdgeFilter& filter) {
+  const auto order = topological_sort(g, filter);
+  ensure(order.has_value(), "longest_path_length: filtered graph is cyclic");
+  std::vector<std::size_t> depth(g.node_count(), 0);
+  std::size_t longest = 0;
+  for (const NodeId v : *order) {
+    for (const EdgeId e : g.out_edges(v)) {
+      if (!accepts(filter, e)) continue;
+      const NodeId w = g.head(e);
+      depth[w] = std::max(depth[w], depth[v] + 1);
+      longest = std::max(longest, depth[w]);
+    }
+  }
+  return longest;
+}
+
+namespace {
+
+void enumerate_paths_impl(const Digraph& g, NodeId current, NodeId to,
+                          const EdgeFilter& filter, std::size_t max_paths,
+                          std::vector<NodeId>& stack,
+                          std::vector<bool>& on_stack,
+                          std::vector<std::vector<NodeId>>& out) {
+  if (out.size() >= max_paths) return;
+  if (current == to) {
+    out.push_back(stack);
+    return;
+  }
+  for (const EdgeId e : g.out_edges(current)) {
+    if (!accepts(filter, e)) continue;
+    const NodeId w = g.head(e);
+    if (on_stack[w]) continue;  // keep paths simple
+    stack.push_back(w);
+    on_stack[w] = true;
+    enumerate_paths_impl(g, w, to, filter, max_paths, stack, on_stack, out);
+    on_stack[w] = false;
+    stack.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> enumerate_paths(const Digraph& g, NodeId from,
+                                                 NodeId to,
+                                                 const EdgeFilter& filter,
+                                                 std::size_t max_paths) {
+  ensure(from < g.node_count() && to < g.node_count(),
+         "enumerate_paths: node out of range");
+  std::vector<std::vector<NodeId>> out;
+  std::vector<NodeId> stack{from};
+  std::vector<bool> on_stack(g.node_count(), false);
+  on_stack[from] = true;
+  enumerate_paths_impl(g, from, to, filter, max_paths, stack, on_stack, out);
+  return out;
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  if (n <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::deque<NodeId> frontier{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    const auto visit = [&](NodeId w) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        frontier.push_back(w);
+      }
+    };
+    for (const EdgeId e : g.out_edges(v)) visit(g.head(e));
+    for (const EdgeId e : g.in_edges(v)) visit(g.tail(e));
+  }
+  return visited == n;
+}
+
+}  // namespace maxutil::graph

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace maxutil::graph {
+
+/// Predicate deciding whether an edge participates in a traversal; used to
+/// restrict algorithms to a commodity subgraph or to the positive-routing
+/// support without materializing subgraphs.
+using EdgeFilter = std::function<bool(EdgeId)>;
+
+/// Kahn topological sort over edges accepted by `filter` (all edges when the
+/// filter is empty). Returns std::nullopt when the filtered graph has a
+/// cycle; otherwise the nodes in an order where every accepted edge goes
+/// forward.
+std::optional<std::vector<NodeId>> topological_sort(
+    const Digraph& g, const EdgeFilter& filter = {});
+
+/// True when the filtered graph is acyclic.
+bool is_dag(const Digraph& g, const EdgeFilter& filter = {});
+
+/// Nodes reachable from `start` along accepted edges (including `start`).
+std::vector<bool> reachable_from(const Digraph& g, NodeId start,
+                                 const EdgeFilter& filter = {});
+
+/// Nodes from which `target` is reachable along accepted edges
+/// (including `target`).
+std::vector<bool> reaches(const Digraph& g, NodeId target,
+                          const EdgeFilter& filter = {});
+
+/// Length (edge count) of the longest path in the filtered DAG; throws
+/// util::CheckError if the filtered graph is cyclic. The paper's Section 6
+/// denotes this L — the per-iteration message-propagation depth of the
+/// gradient algorithm.
+std::size_t longest_path_length(const Digraph& g, const EdgeFilter& filter = {});
+
+/// All simple paths from `from` to `to` along accepted edges, as node
+/// sequences. Exponential in general; callers use it on the small
+/// per-commodity DAGs of tests/examples (guarded by `max_paths`).
+std::vector<std::vector<NodeId>> enumerate_paths(const Digraph& g, NodeId from,
+                                                 NodeId to,
+                                                 const EdgeFilter& filter = {},
+                                                 std::size_t max_paths = 10000);
+
+/// True when every node in `nodes` is connected to at least one accepted
+/// edge or the graph has a single node.
+bool is_weakly_connected(const Digraph& g);
+
+}  // namespace maxutil::graph

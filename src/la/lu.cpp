@@ -1,0 +1,100 @@
+#include "la/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace maxutil::la {
+
+using maxutil::util::ensure;
+
+LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  ensure(lu_.rows() == lu_.cols(), "LU: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest-magnitude entry in this column.
+    std::size_t pivot = col;
+    double best = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    ensure(best > 1e-13, "LU: matrix is singular to working precision");
+    if (pivot != col) {
+      lu_.swap_rows(pivot, col);
+      std::swap(perm_[pivot], perm_[col]);
+      permutation_sign_ = -permutation_sign_;
+    }
+    const double diag = lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) / diag;
+      lu_(r, col) = factor;  // store L below the diagonal
+      if (factor == 0.0) continue;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(col, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+  const std::size_t n = size();
+  ensure(b.size() == n, "LU::solve: dimension mismatch");
+  // Forward substitution with permuted b: L y = P b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) total -= lu_(i, j) * y[j];
+    y[i] = total;
+  }
+  // Backward substitution: U x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double total = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) total -= lu_(ii, j) * x[j];
+    x[ii] = total / lu_(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> LuFactorization::solve_transposed(
+    std::span<const double> b) const {
+  const std::size_t n = size();
+  ensure(b.size() == n, "LU::solve_transposed: dimension mismatch");
+  // A^T = (P^T L U)^T = U^T L^T P. Solve U^T y = b, then L^T z = y, then
+  // unpermute: x[perm_[i]] = z[i].
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = b[i];
+    for (std::size_t j = 0; j < i; ++j) total -= lu_(j, i) * y[j];
+    y[i] = total / lu_(i, i);
+  }
+  std::vector<double> z(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double total = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) total -= lu_(j, ii) * z[j];
+    z[ii] = total;
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = z[i];
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  double det = permutation_sign_;
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::vector<double> solve_dense(Matrix a, std::span<const double> b) {
+  return LuFactorization(std::move(a)).solve(b);
+}
+
+}  // namespace maxutil::la

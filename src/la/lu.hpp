@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace maxutil::la {
+
+/// LU factorization with partial pivoting (PA = LU) of a square matrix.
+///
+/// Used for exact flow-balance solves when the routing support contains
+/// near-cycles and for small dense systems inside the solvers. Construction
+/// throws util::CheckError if the matrix is singular to working precision.
+class LuFactorization {
+ public:
+  /// Factorizes `a`; throws on a non-square or numerically singular input.
+  explicit LuFactorization(Matrix a);
+
+  /// Solves A x = b for x; b.size() must equal the matrix dimension.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves A^T x = b (useful for adjoint/marginal-cost systems).
+  std::vector<double> solve_transposed(std::span<const double> b) const;
+
+  /// Dimension n of the factored n x n matrix.
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Determinant of the original matrix (product of U diagonal, signed by
+  /// the permutation parity).
+  double determinant() const;
+
+ private:
+  Matrix lu_;                     // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_; // row permutation: row i of PA is perm_[i] of A
+  int permutation_sign_ = 1;
+};
+
+/// Convenience one-shot solve of A x = b.
+std::vector<double> solve_dense(Matrix a, std::span<const double> b);
+
+}  // namespace maxutil::la

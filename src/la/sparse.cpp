@@ -1,0 +1,95 @@
+#include "la/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace maxutil::la {
+
+using maxutil::util::ensure;
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> entries)
+    : rows_(rows), cols_(cols), row_starts_(rows + 1, 0) {
+  for (const auto& t : entries) {
+    ensure(t.row < rows_ && t.col < cols_, "CsrMatrix: entry out of range");
+  }
+  std::sort(entries.begin(), entries.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  // Accumulate duplicates while streaming into CSR arrays.
+  for (std::size_t i = 0; i < entries.size();) {
+    std::size_t j = i + 1;
+    double total = entries[i].value;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      total += entries[j].value;
+      ++j;
+    }
+    col_index_.push_back(entries[i].col);
+    values_.push_back(total);
+    ++row_starts_[entries[i].row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_starts_[r + 1] += row_starts_[r];
+}
+
+std::vector<double> CsrMatrix::multiply(std::span<const double> x) const {
+  ensure(x.size() == cols_, "CsrMatrix::multiply: dimension mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double total = 0.0;
+    for (std::size_t k = row_starts_[r]; k < row_starts_[r + 1]; ++k) {
+      total += values_[k] * x[col_index_[k]];
+    }
+    y[r] = total;
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::multiply_transposed(
+    std::span<const double> x) const {
+  ensure(x.size() == rows_, "CsrMatrix::multiply_transposed: dimension mismatch");
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_starts_[r]; k < row_starts_[r + 1]; ++k) {
+      y[col_index_[k]] += values_[k] * xr;
+    }
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::solve_fixed_point(std::span<const double> b,
+                                                 double tol,
+                                                 std::size_t max_iters) const {
+  ensure(rows_ == cols_, "solve_fixed_point: matrix must be square");
+  ensure(b.size() == rows_, "solve_fixed_point: dimension mismatch");
+  std::vector<double> x(b.begin(), b.end());
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    std::vector<double> next = multiply(x);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      next[i] += b[i];
+      delta = std::max(delta, std::abs(next[i] - x[i]));
+    }
+    x = std::move(next);
+    if (delta <= tol) return x;
+  }
+  throw maxutil::util::CheckError(
+      "solve_fixed_point: no convergence (spectral radius >= 1?)");
+}
+
+std::vector<std::pair<std::size_t, double>> CsrMatrix::row_entries(
+    std::size_t r) const {
+  ensure(r < rows_, "CsrMatrix::row_entries: out of range");
+  std::vector<std::pair<std::size_t, double>> out;
+  for (std::size_t k = row_starts_[r]; k < row_starts_[r + 1]; ++k) {
+    out.emplace_back(col_index_[k], values_[k]);
+  }
+  return out;
+}
+
+}  // namespace maxutil::la

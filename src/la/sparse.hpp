@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace maxutil::la {
+
+/// One (row, col, value) entry used to assemble a sparse matrix.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Compressed sparse row (CSR) matrix.
+///
+/// Assembled from triplets (duplicates are summed). Provides the products and
+/// the fixed-point iteration the flow-balance solver needs; not a general
+/// sparse-algebra package.
+class CsrMatrix {
+ public:
+  /// Builds a rows x cols CSR matrix from `entries`; duplicate (row, col)
+  /// pairs are accumulated. Entries must be in range.
+  CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> entries);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Number of stored non-zeros (after duplicate accumulation).
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A x.
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  /// y = A^T x.
+  std::vector<double> multiply_transposed(std::span<const double> x) const;
+
+  /// Solves x = b + A x (i.e. (I - A) x = b) by fixed-point iteration,
+  /// which converges when the spectral radius of A is < 1 — guaranteed for
+  /// loop-free routing matrices, where A is (permutable to) strictly
+  /// triangular. Throws if `max_iters` is exhausted before the update falls
+  /// below `tol`.
+  std::vector<double> solve_fixed_point(std::span<const double> b,
+                                        double tol = 1e-12,
+                                        std::size_t max_iters = 100000) const;
+
+  /// Row r as (col, value) pairs, for inspection in tests.
+  std::vector<std::pair<std::size_t, double>> row_entries(std::size_t r) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_starts_;  // size rows_+1
+  std::vector<std::size_t> col_index_;
+  std::vector<double> values_;
+};
+
+}  // namespace maxutil::la

@@ -1,0 +1,49 @@
+#include "la/vector_ops.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace maxutil::la {
+
+using maxutil::util::ensure;
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  ensure(a.size() == b.size(), "dot: size mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+void axpy(double alpha, std::span<const double> x, std::vector<double>& y) {
+  ensure(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::vector<double>& x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(std::span<const double> x) {
+  double worst = 0.0;
+  for (const double v : x) worst = std::max(worst, std::abs(v));
+  return worst;
+}
+
+double sum(std::span<const double> x) {
+  double total = 0.0;
+  for (const double v : x) total += v;
+  return total;
+}
+
+std::vector<double> subtract(std::span<const double> a,
+                             std::span<const double> b) {
+  ensure(a.size() == b.size(), "subtract: size mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace maxutil::la

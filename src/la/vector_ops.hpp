@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace maxutil::la {
+
+/// Dense vector helpers shared by the LP solver and the optimizers.
+/// All operate on std::vector<double>/std::span<const double>; sizes must
+/// match where two operands are involved.
+
+/// Dot product a·b.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x (classic axpy).
+void axpy(double alpha, std::span<const double> x, std::vector<double>& y);
+
+/// In-place scaling x *= alpha.
+void scale(std::vector<double>& x, double alpha);
+
+/// Euclidean norm.
+double norm2(std::span<const double> x);
+
+/// Maximum absolute entry (infinity norm).
+double norm_inf(std::span<const double> x);
+
+/// Sum of entries.
+double sum(std::span<const double> x);
+
+/// Elementwise a - b as a new vector.
+std::vector<double> subtract(std::span<const double> a, std::span<const double> b);
+
+}  // namespace maxutil::la

@@ -1,0 +1,110 @@
+#include "placement/greedy_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "stream/validate.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::placement {
+
+using maxutil::util::ensure;
+
+GreedyPlacer::GreedyPlacer(maxutil::stream::StreamNetwork& net,
+                           std::vector<NodeId> servers, double link_bandwidth)
+    : net_(&net),
+      pool_(std::move(servers)),
+      projected_(pool_.size(), 0.0),
+      link_bandwidth_(link_bandwidth) {
+  ensure(!pool_.empty(), "GreedyPlacer: empty server pool");
+  ensure(link_bandwidth > 0.0, "GreedyPlacer: bandwidth must be positive");
+  std::set<NodeId> unique(pool_.begin(), pool_.end());
+  ensure(unique.size() == pool_.size(), "GreedyPlacer: duplicate servers");
+  for (const NodeId s : pool_) {
+    ensure(!net.is_sink(s), "GreedyPlacer: pool contains a sink");
+  }
+}
+
+CommodityId GreedyPlacer::place(const PlacementRequest& request) {
+  ensure(request.stages >= 1, "GreedyPlacer: at least one stage");
+  ensure(request.replicas_per_stage >= 1, "GreedyPlacer: at least one replica");
+  ensure(request.lambda > 0.0 && request.consumption > 0.0 &&
+             request.stage_gain > 0.0,
+         "GreedyPlacer: non-positive parameters");
+  const std::size_t needed = request.stages * request.replicas_per_stage;
+  ensure(pool_.size() >= needed + 1,
+         "GreedyPlacer: pool too small for requested chain");
+
+  auto& net = *net_;
+  const NodeId sink = net.add_sink(request.name + ".sink");
+  const CommodityId j = net.add_commodity(request.name, request.source, sink,
+                                          request.lambda, request.utility);
+
+  // Per-chosen-server load contribution of this chain.
+  const double bump = request.lambda * request.consumption /
+                      static_cast<double>(request.replicas_per_stage);
+
+  std::set<NodeId> used{request.source};
+  std::vector<NodeId> previous{request.source};
+  // Charge the source too: it processes the first operator.
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (pool_[i] == request.source) projected_[i] += request.lambda *
+                                                     request.consumption;
+  }
+
+  double gain = 1.0;
+  net.set_potential(j, request.source, 1.0);
+  for (std::size_t stage = 1; stage <= request.stages; ++stage) {
+    // Pick the least-loaded unused servers for this stage.
+    std::vector<std::size_t> order(pool_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return projected_[a] < projected_[b];
+                     });
+    std::vector<NodeId> layer;
+    for (const std::size_t i : order) {
+      if (layer.size() == request.replicas_per_stage) break;
+      if (used.count(pool_[i]) != 0) continue;
+      layer.push_back(pool_[i]);
+      used.insert(pool_[i]);
+      projected_[i] += bump;
+    }
+    ensure(layer.size() == request.replicas_per_stage,
+           "GreedyPlacer: ran out of distinct servers");
+
+    gain *= request.stage_gain;
+    for (const NodeId v : layer) net.set_potential(j, v, gain);
+    for (const NodeId u : previous) {
+      for (const NodeId v : layer) {
+        auto link = net.graph().find_edge(u, v);
+        if (link == net.graph().edge_count()) {
+          link = net.add_link(u, v, link_bandwidth_);
+        }
+        if (!net.uses_link(j, link)) {
+          net.enable_link(j, link, request.consumption);
+        }
+      }
+    }
+    previous = std::move(layer);
+  }
+
+  // Delivery stage into the dedicated sink.
+  net.set_potential(j, sink, gain * request.stage_gain);
+  for (const NodeId u : previous) {
+    const auto link = net.add_link(u, sink, link_bandwidth_);
+    net.enable_link(j, link, request.consumption);
+  }
+  return j;
+}
+
+double GreedyPlacer::projected_load(NodeId server) const {
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (pool_[i] == server) return projected_[i];
+  }
+  throw maxutil::util::CheckError("GreedyPlacer: server not in pool");
+}
+
+}  // namespace maxutil::placement

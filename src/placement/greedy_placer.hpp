@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stream/model.hpp"
+
+namespace maxutil::placement {
+
+using maxutil::stream::CommodityId;
+using maxutil::stream::NodeId;
+
+/// A stream's operator chain to be placed onto servers.
+///
+/// The paper assumes the task-to-server assignment is *given* (Section 2,
+/// citing operator-placement work [14]); this module is the convenience
+/// extension that produces such an assignment, so examples and users can go
+/// from "a cluster and a query plan" to a ready StreamNetwork.
+struct PlacementRequest {
+  std::string name;
+  NodeId source;                    ///< server where the stream enters
+  std::size_t stages = 3;           ///< operators after the source stage
+  std::size_t replicas_per_stage = 2;  ///< servers sharing each operator
+  double lambda = 10.0;
+  maxutil::stream::Utility utility = maxutil::stream::Utility::linear();
+  double consumption = 1.0;   ///< c for every enabled link
+  double stage_gain = 1.0;    ///< per-stage beta (shrinkage < 1, expansion > 1)
+};
+
+/// Greedy least-projected-load operator placement over a fixed server pool.
+///
+/// Each stage picks the `replicas_per_stage` servers with the smallest
+/// projected load that are not already used by this chain (the paper's
+/// "at most one task per commodity per server" rule), fully wires
+/// consecutive stages (creating physical links on demand), appends a
+/// dedicated sink, and sets Property-1 potentials so each stage applies
+/// `stage_gain`. Projected load is bumped by lambda * consumption / replicas
+/// per chosen server — a standard balancing heuristic.
+class GreedyPlacer {
+ public:
+  /// `servers` is the placement pool (must be servers of `net`); new links
+  /// are created with bandwidth `link_bandwidth`.
+  GreedyPlacer(maxutil::stream::StreamNetwork& net, std::vector<NodeId> servers,
+               double link_bandwidth);
+
+  /// Places one chain and returns the resulting commodity. Throws when the
+  /// pool is too small for the requested stages/replicas.
+  CommodityId place(const PlacementRequest& request);
+
+  /// Projected load currently attributed to `server` by past placements.
+  double projected_load(NodeId server) const;
+
+ private:
+  maxutil::stream::StreamNetwork* net_;
+  std::vector<NodeId> pool_;
+  std::vector<double> projected_;  // parallel to pool_
+  double link_bandwidth_;
+};
+
+}  // namespace maxutil::placement

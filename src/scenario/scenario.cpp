@@ -1,0 +1,262 @@
+#include "scenario/scenario.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace maxutil::scenario {
+
+using maxutil::stream::CommodityId;
+using maxutil::stream::NodeId;
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+using maxutil::util::CheckError;
+using maxutil::util::ensure;
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw CheckError("scenario: line " + std::to_string(line) + ": " + message);
+}
+
+double parse_number(const std::string& token, std::size_t line,
+                    const char* what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    fail(line, std::string("expected a number for ") + what + ", got '" +
+                   token + "'");
+  }
+  if (consumed != token.size()) {
+    fail(line, std::string("trailing characters in ") + what + " '" + token +
+                   "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Utility parse_utility(const std::string& token) {
+  // Split optional "*<w>" weight suffix.
+  double weight = 1.0;
+  std::string family = token;
+  if (const auto star = token.find('*'); star != std::string::npos) {
+    family = token.substr(0, star);
+    const std::string w = token.substr(star + 1);
+    try {
+      weight = std::stod(w);
+    } catch (const std::exception&) {
+      throw CheckError("scenario: bad utility weight '" + w + "'");
+    }
+  }
+  if (family == "linear") return Utility::linear(weight);
+  if (family == "log") return Utility::logarithmic(weight);
+  if (family == "sqrt") return Utility::square_root(weight);
+  if (family.rfind("alpha", 0) == 0) {
+    const std::string a = family.substr(5);
+    try {
+      return Utility::alpha_fair(std::stod(a), weight);
+    } catch (const CheckError&) {
+      throw;
+    } catch (const std::exception&) {
+      throw CheckError("scenario: bad alpha parameter '" + a + "'");
+    }
+  }
+  throw CheckError("scenario: unknown utility family '" + family + "'");
+}
+
+std::string utility_token(const Utility& utility) {
+  std::ostringstream os;
+  switch (utility.family()) {
+    case Utility::Family::kLinear:
+      os << "linear";
+      break;
+    case Utility::Family::kLog:
+      os << "log";
+      break;
+    case Utility::Family::kSqrt:
+      os << "sqrt";
+      break;
+    case Utility::Family::kAlphaFair:
+      os << "alpha" << utility.alpha();
+      break;
+  }
+  if (utility.weight() != 1.0) os << '*' << utility.weight();
+  return os.str();
+}
+
+StreamNetwork parse(std::istream& in) {
+  StreamNetwork net;
+  std::map<std::string, NodeId> nodes;
+  std::map<std::string, CommodityId> commodities;
+
+  const auto node_of = [&](const std::string& name, std::size_t line) {
+    const auto it = nodes.find(name);
+    if (it == nodes.end()) fail(line, "unknown node '" + name + "'");
+    return it->second;
+  };
+  const auto commodity_of = [&](const std::string& name, std::size_t line) {
+    const auto it = commodities.find(name);
+    if (it == commodities.end()) fail(line, "unknown commodity '" + name + "'");
+    return it->second;
+  };
+
+  std::string raw;
+  std::size_t line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    std::istringstream line(raw);
+    std::vector<std::string> tokens;
+    for (std::string t; line >> t;) tokens.push_back(t);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+    const auto want = [&](std::size_t n) {
+      if (tokens.size() != n + 1) {
+        fail(line_number, "'" + keyword + "' expects " + std::to_string(n) +
+                              " arguments, got " +
+                              std::to_string(tokens.size() - 1));
+      }
+    };
+
+    try {
+      if (keyword == "server") {
+        want(2);
+        if (nodes.count(tokens[1]) != 0) {
+          fail(line_number, "duplicate node '" + tokens[1] + "'");
+        }
+        nodes[tokens[1]] = net.add_server(
+            tokens[1], parse_number(tokens[2], line_number, "capacity"));
+      } else if (keyword == "sink") {
+        want(1);
+        if (nodes.count(tokens[1]) != 0) {
+          fail(line_number, "duplicate node '" + tokens[1] + "'");
+        }
+        nodes[tokens[1]] = net.add_sink(tokens[1]);
+      } else if (keyword == "link") {
+        want(3);
+        net.add_link(node_of(tokens[1], line_number),
+                     node_of(tokens[2], line_number),
+                     parse_number(tokens[3], line_number, "bandwidth"));
+      } else if (keyword == "commodity") {
+        want(5);
+        if (commodities.count(tokens[1]) != 0) {
+          fail(line_number, "duplicate commodity '" + tokens[1] + "'");
+        }
+        commodities[tokens[1]] = net.add_commodity(
+            tokens[1], node_of(tokens[2], line_number),
+            node_of(tokens[3], line_number),
+            parse_number(tokens[4], line_number, "lambda"),
+            parse_utility(tokens[5]));
+      } else if (keyword == "use") {
+        want(4);
+        const CommodityId j = commodity_of(tokens[1], line_number);
+        const NodeId from = node_of(tokens[2], line_number);
+        const NodeId to = node_of(tokens[3], line_number);
+        const auto link = net.graph().find_edge(from, to);
+        if (link == net.graph().edge_count()) {
+          fail(line_number,
+               "no link " + tokens[2] + " -> " + tokens[3] + " declared");
+        }
+        net.enable_link(j, link,
+                        parse_number(tokens[4], line_number, "consumption"));
+      } else if (keyword == "potential") {
+        want(3);
+        net.set_potential(commodity_of(tokens[1], line_number),
+                          node_of(tokens[2], line_number),
+                          parse_number(tokens[3], line_number, "potential"));
+      } else {
+        fail(line_number, "unknown keyword '" + keyword + "'");
+      }
+    } catch (const CheckError& e) {
+      const std::string what = e.what();
+      // Model-layer errors get the line number prefixed for context.
+      if (what.find("scenario: line") == std::string::npos) {
+        fail(line_number, what);
+      }
+      throw;
+    }
+  }
+  return net;
+}
+
+StreamNetwork parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+StreamNetwork load_file(const std::string& path) {
+  std::ifstream in(path);
+  ensure(in.good(), "scenario: cannot open '" + path + "'");
+  return parse(in);
+}
+
+void write(const StreamNetwork& net, std::ostream& out) {
+  // Names are whitespace-delimited tokens in this format.
+  const auto check_name = [](const std::string& name) {
+    ensure(!name.empty() &&
+               name.find_first_of(" \t\n#") == std::string::npos,
+           "scenario: name '" + name + "' contains whitespace or '#'");
+  };
+  for (NodeId n = 0; n < net.node_count(); ++n) check_name(net.node_name(n));
+  for (CommodityId j = 0; j < net.commodity_count(); ++j) {
+    check_name(net.commodity_name(j));
+  }
+  // The `use` keyword addresses links by endpoint pair, so parallel links
+  // are not representable in this format.
+  {
+    std::map<std::pair<NodeId, NodeId>, int> seen;
+    const auto& g = net.graph();
+    for (std::size_t l = 0; l < net.link_count(); ++l) {
+      ensure(++seen[{g.tail(l), g.head(l)}] == 1,
+             "scenario: parallel links are not representable");
+    }
+  }
+  out << "# maxutil scenario\n";
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    if (net.is_sink(n)) {
+      out << "sink " << net.node_name(n) << '\n';
+    } else {
+      out << "server " << net.node_name(n) << ' ' << net.capacity(n) << '\n';
+    }
+  }
+  const auto& g = net.graph();
+  for (std::size_t l = 0; l < net.link_count(); ++l) {
+    out << "link " << net.node_name(g.tail(l)) << ' '
+        << net.node_name(g.head(l)) << ' ' << net.bandwidth(l) << '\n';
+  }
+  for (CommodityId j = 0; j < net.commodity_count(); ++j) {
+    out << "commodity " << net.commodity_name(j) << ' '
+        << net.node_name(net.source(j)) << ' ' << net.node_name(net.sink(j))
+        << ' ' << net.lambda(j) << ' ' << utility_token(net.utility(j))
+        << '\n';
+    for (std::size_t l = 0; l < net.link_count(); ++l) {
+      if (!net.uses_link(j, l)) continue;
+      out << "use " << net.commodity_name(j) << ' '
+          << net.node_name(g.tail(l)) << ' ' << net.node_name(g.head(l)) << ' '
+          << net.consumption(j, l) << '\n';
+    }
+    for (NodeId n = 0; n < net.node_count(); ++n) {
+      if (net.potential(j, n) != 1.0) {
+        out << "potential " << net.commodity_name(j) << ' ' << net.node_name(n)
+            << ' ' << net.potential(j, n) << '\n';
+      }
+    }
+  }
+}
+
+std::string write_string(const StreamNetwork& net) {
+  std::ostringstream os;
+  os.precision(17);  // lossless double round-trip
+  write(net, os);
+  return os.str();
+}
+
+}  // namespace maxutil::scenario

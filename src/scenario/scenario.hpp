@@ -1,0 +1,51 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "stream/model.hpp"
+
+namespace maxutil::scenario {
+
+/// Line-oriented text format for stream-processing scenarios, so networks
+/// can be described in files, versioned, and fed to the CLI:
+///
+/// ```
+/// # comment (also after '#' on any line)
+/// server <name> <capacity>
+/// sink <name>
+/// link <from> <to> <bandwidth>
+/// commodity <name> <source> <sink> <lambda> <utility>
+/// use <commodity> <from> <to> <consumption>
+/// potential <commodity> <node> <g>
+/// ```
+///
+/// `<utility>` is one of `linear`, `log`, `sqrt` (each optionally `*<w>` for
+/// a weight, e.g. `linear*2.5`) or `alpha<a>` / `alpha<a>*<w>` for the
+/// alpha-fair family (e.g. `alpha2`, `alpha0.5*3`). Names must be unique and
+/// contain no whitespace; `use`/`potential` reference earlier declarations.
+///
+/// Parse errors throw util::CheckError with the offending line number.
+maxutil::stream::StreamNetwork parse(std::istream& in);
+
+/// Parses a scenario from a string (convenience for tests).
+maxutil::stream::StreamNetwork parse_string(const std::string& text);
+
+/// Loads a scenario file; throws util::CheckError when unreadable.
+maxutil::stream::StreamNetwork load_file(const std::string& path);
+
+/// Writes `net` in the scenario format; `parse(write(net))` reconstructs an
+/// equivalent network (same names, capacities, links, commodities, usable
+/// links, and potentials).
+void write(const maxutil::stream::StreamNetwork& net, std::ostream& out);
+
+/// Serializes to a string (convenience for tests).
+std::string write_string(const maxutil::stream::StreamNetwork& net);
+
+/// Formats a Utility as the scenario token (`linear*2`, `alpha2`, ...).
+std::string utility_token(const maxutil::stream::Utility& utility);
+
+/// Parses a scenario utility token; throws on an unknown family.
+maxutil::stream::Utility parse_utility(const std::string& token);
+
+}  // namespace maxutil::scenario

@@ -1,0 +1,355 @@
+#include "sim/distributed_gradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "core/flow.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::sim {
+
+using maxutil::util::ensure;
+
+NodeActor::NodeActor(const xform::ExtendedGraph& xg, NodeId self,
+                     core::GammaOptions gamma)
+    : xg_(&xg), self_(self), gamma_(gamma),
+      commodities_(xg.commodity_count()) {
+  const auto& g = xg.graph();
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    const auto& nodes = xg.commodity_nodes(j);
+    if (!std::binary_search(nodes.begin(), nodes.end(), self)) continue;
+    PerCommodity s;
+    s.is_sink = (self == xg.sink(j));
+    if (self == xg.dummy_source(j)) s.input_rate = xg.lambda(j);
+    for (const EdgeId e : g.out_edges(self)) {
+      if (!xg.usable(j, e)) continue;
+      s.out_edges.push_back(e);
+      s.out_heads.push_back(g.head(e));
+    }
+    for (const EdgeId e : g.in_edges(self)) {
+      if (!xg.usable(j, e)) continue;
+      s.in_edges.push_back(e);
+      s.in_tails.push_back(g.tail(e));
+    }
+    s.phi.assign(s.out_edges.size(), 0.0);
+    s.f_edge.assign(s.out_edges.size(), 0.0);
+    s.dr_head.assign(s.out_edges.size(), 0.0);
+    s.kappa_head.assign(s.out_edges.size(), 0.0);
+    s.head_tagged.assign(s.out_edges.size(), 0);
+    s.head_received.assign(s.out_edges.size(), 0);
+    s.inflow.assign(s.in_edges.size(), 0.0);
+    s.inflow_received.assign(s.in_edges.size(), 0);
+    commodities_[j] = std::move(s);
+  }
+}
+
+NodeActor::PerCommodity& NodeActor::state(CommodityId j) {
+  ensure(j < commodities_.size() && commodities_[j].has_value(),
+         "NodeActor: node does not carry this commodity");
+  return *commodities_[j];
+}
+
+const NodeActor::PerCommodity& NodeActor::state(CommodityId j) const {
+  ensure(j < commodities_.size() && commodities_[j].has_value(),
+         "NodeActor: node does not carry this commodity");
+  return *commodities_[j];
+}
+
+double NodeActor::via(CommodityId j, const PerCommodity& s,
+                      std::size_t idx) const {
+  const EdgeId e = s.out_edges[idx];
+  // All inputs are local: own usage f_node_, own per-edge usage, own cost
+  // functions, and the downstream marginal received by message.
+  const double dAi_dfe = xg_->edge_cost_derivative(e, s.f_edge[idx]) +
+                         xg_->node_penalty_derivative(self_, f_node_);
+  return dAi_dfe * xg_->cost_rate(j, e) +
+         xg_->beta(j, e) * s.dr_head[idx];
+}
+
+double NodeActor::kappa_via(CommodityId j, const PerCommodity& s,
+                            std::size_t idx) const {
+  const EdgeId e = s.out_edges[idx];
+  const double c = xg_->cost_rate(j, e);
+  const double beta = xg_->beta(j, e);
+  const double second =
+      xg_->edge_cost_second_derivative(e, s.f_edge[idx]) +
+      xg_->node_penalty_second_derivative(self_, f_node_);
+  return c * c * second + beta * beta * s.kappa_head[idx];
+}
+
+void NodeActor::begin_marginal(Outbox& out) {
+  for (CommodityId j = 0; j < commodities_.size(); ++j) {
+    if (!commodities_[j].has_value()) continue;
+    PerCommodity& s = *commodities_[j];
+    std::fill(s.head_received.begin(), s.head_received.end(), 0);
+    s.heads_received = 0;
+    // Sinks (no usable out-edges) start the upstream wave immediately.
+    if (s.out_edges.empty()) emit_marginal(out, j);
+  }
+}
+
+void NodeActor::emit_marginal(Outbox& out, CommodityId j) {
+  PerCommodity& s = *commodities_[j];
+  if (s.out_edges.empty()) {
+    s.dr_self = 0.0;  // dA/dr at the destination is 0 (paper's convention)
+    s.kappa_self = 0.0;
+    s.tagged_self = false;
+  } else {
+    double dr = 0.0;
+    double kappa = 0.0;
+    for (std::size_t i = 0; i < s.out_edges.size(); ++i) {
+      if (s.phi[i] > 0.0) {
+        dr += s.phi[i] * via(j, s, i);
+        kappa += s.phi[i] * s.phi[i] * kappa_via(j, s, i);
+      }
+    }
+    s.dr_self = dr;
+    s.kappa_self = kappa;
+    // Blocking tag (eq. 18, shrinkage-scaled; see core/gamma.cpp): the tag
+    // is set if any loaded out-link is improper or its head is tagged.
+    s.tagged_self = false;
+    for (std::size_t i = 0; i < s.out_edges.size(); ++i) {
+      if (s.phi[i] <= 0.0) continue;
+      if (s.head_tagged[i] != 0) {
+        s.tagged_self = true;
+        break;
+      }
+      if (dr <= xg_->beta(j, s.out_edges[i]) * s.dr_head[i] &&
+          s.phi[i] * s.t >= gamma_.eta * (via(j, s, i) - dr)) {
+        s.tagged_self = true;
+        break;
+      }
+    }
+  }
+  // Broadcast upstream along every usable in-edge (the curvature rides in
+  // the same message, so the second-derivative step costs no extra rounds).
+  for (std::size_t i = 0; i < s.in_edges.size(); ++i) {
+    out.send(s.in_tails[i], kMarginalTag, j,
+             {static_cast<double>(s.in_edges[i]), s.dr_self,
+              s.tagged_self ? 1.0 : 0.0, s.kappa_self});
+  }
+}
+
+void NodeActor::apply_update() {
+  for (CommodityId j = 0; j < commodities_.size(); ++j) {
+    if (!commodities_[j].has_value()) continue;
+    PerCommodity& s = *commodities_[j];
+    if (s.out_edges.empty()) continue;
+
+    // Eligible = not in the blocked set B_i(j) (phi = 0 and head tagged).
+    std::vector<std::size_t> eligible;
+    for (std::size_t i = 0; i < s.out_edges.size(); ++i) {
+      if (s.phi[i] == 0.0 && s.head_tagged[i] != 0) continue;
+      eligible.push_back(i);
+    }
+    ensure(!eligible.empty(), "NodeActor: all out-edges blocked");
+
+    std::size_t best = eligible.front();
+    double best_via = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : eligible) {
+      const double v = via(j, s, i);
+      if (v < best_via) {
+        best_via = v;
+        best = i;
+      }
+    }
+
+    double shifted = 0.0;
+    if (s.t <= gamma_.traffic_floor) {
+      for (const std::size_t i : eligible) {
+        if (i == best || s.phi[i] == 0.0) continue;
+        shifted += s.phi[i];
+        s.phi[i] = 0.0;
+      }
+    } else {
+      const bool newton =
+          gamma_.step_mode == core::StepMode::kCurvatureScaled;
+      const double best_kappa = newton ? kappa_via(j, s, best) : 0.0;
+      for (const std::size_t i : eligible) {
+        if (i == best || s.phi[i] == 0.0) continue;
+        const double a = via(j, s, i) - best_via;
+        double step;
+        if (newton) {
+          const double kappa = std::max(kappa_via(j, s, i) + best_kappa,
+                                        gamma_.curvature_floor);
+          step = gamma_.eta * a / (s.t * kappa);
+        } else {
+          step = gamma_.eta * a / s.t;
+        }
+        const double delta = std::min(s.phi[i], step);
+        if (delta <= 0.0) continue;
+        shifted += delta;
+        s.phi[i] -= delta;
+      }
+    }
+    s.phi[best] += shifted;
+  }
+}
+
+void NodeActor::begin_forecast(Outbox& out) {
+  f_node_pending_ = 0.0;
+  for (CommodityId j = 0; j < commodities_.size(); ++j) {
+    if (!commodities_[j].has_value()) continue;
+    PerCommodity& s = *commodities_[j];
+    std::fill(s.inflow_received.begin(), s.inflow_received.end(), 0);
+    s.inflows_received = 0;
+    // Roots of the wave: nodes with no usable in-edges (the dummy sources).
+    if (s.in_edges.empty()) emit_forecast(out, j);
+  }
+}
+
+void NodeActor::emit_forecast(Outbox& out, CommodityId j) {
+  PerCommodity& s = *commodities_[j];
+  double inflow_total = s.input_rate;
+  for (const double x : s.inflow) inflow_total += x;
+  s.t = inflow_total;
+  for (std::size_t i = 0; i < s.out_edges.size(); ++i) {
+    const EdgeId e = s.out_edges[i];
+    const double y = s.t * s.phi[i];
+    s.f_edge[i] = y * xg_->cost_rate(j, e);
+    f_node_pending_ += s.f_edge[i];
+    out.send(s.out_heads[i], kForecastTag, j,
+             {static_cast<double>(e), y * xg_->beta(j, e)});
+  }
+  // Once every commodity has emitted, the pending usage is complete; commit
+  // incrementally (marginal reads happen only after the wave is quiet).
+  f_node_ = f_node_pending_;
+}
+
+void NodeActor::on_round(Outbox& out, std::span<const Message> inbox) {
+  for (const Message& m : inbox) {
+    ensure(m.payload.size() >= 2, "NodeActor: malformed message");
+    const auto edge = static_cast<EdgeId>(m.payload[0]);
+    PerCommodity& s = state(m.commodity);
+    if (m.tag == kMarginalTag) {
+      const auto it =
+          std::find(s.out_edges.begin(), s.out_edges.end(), edge);
+      ensure(it != s.out_edges.end(), "NodeActor: marginal for unknown edge");
+      const auto idx = static_cast<std::size_t>(it - s.out_edges.begin());
+      s.dr_head[idx] = m.payload[1];
+      s.head_tagged[idx] = m.payload.size() > 2 && m.payload[2] != 0.0;
+      s.kappa_head[idx] = m.payload.size() > 3 ? m.payload[3] : 0.0;
+      if (s.head_received[idx] == 0) {
+        s.head_received[idx] = 1;
+        if (++s.heads_received == s.out_edges.size()) {
+          emit_marginal(out, m.commodity);
+        }
+      }
+    } else if (m.tag == kForecastTag) {
+      const auto it = std::find(s.in_edges.begin(), s.in_edges.end(), edge);
+      ensure(it != s.in_edges.end(), "NodeActor: forecast for unknown edge");
+      const auto idx = static_cast<std::size_t>(it - s.in_edges.begin());
+      s.inflow[idx] = m.payload[1];
+      if (s.inflow_received[idx] == 0) {
+        s.inflow_received[idx] = 1;
+        if (++s.inflows_received == s.in_edges.size()) {
+          emit_forecast(out, m.commodity);
+        }
+      }
+    } else {
+      ensure(false, "NodeActor: unknown message tag");
+    }
+  }
+}
+
+double NodeActor::phi(CommodityId j, EdgeId e) const {
+  const PerCommodity& s = state(j);
+  const auto it = std::find(s.out_edges.begin(), s.out_edges.end(), e);
+  ensure(it != s.out_edges.end(), "NodeActor::phi: unknown edge");
+  return s.phi[static_cast<std::size_t>(it - s.out_edges.begin())];
+}
+
+void NodeActor::set_phi(CommodityId j, EdgeId e, double value) {
+  PerCommodity& s = state(j);
+  const auto it = std::find(s.out_edges.begin(), s.out_edges.end(), e);
+  ensure(it != s.out_edges.end(), "NodeActor::set_phi: unknown edge");
+  ensure(value >= 0.0, "NodeActor::set_phi: negative fraction");
+  s.phi[static_cast<std::size_t>(it - s.out_edges.begin())] = value;
+}
+
+double NodeActor::traffic(CommodityId j) const { return state(j).t; }
+
+double NodeActor::marginal(CommodityId j) const { return state(j).dr_self; }
+
+// --- DistributedGradientSystem ---
+
+DistributedGradientSystem::DistributedGradientSystem(
+    const xform::ExtendedGraph& xg, core::GammaOptions gamma)
+    : xg_(&xg), gamma_(gamma) {
+  actors_.reserve(xg.node_count());
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    auto actor = std::make_unique<NodeActor>(xg, v, gamma);
+    actors_.push_back(actor.get());
+    const ActorId id = runtime_.add_actor(std::move(actor));
+    ensure(id == v, "DistributedGradientSystem: actor/node id mismatch");
+  }
+  // Install the paper's initial routing and bootstrap t/f with one forecast
+  // wave so the first marginal sweep has flows to differentiate.
+  const core::RoutingState initial = core::RoutingState::initial(xg);
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    for (const NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j)) continue;
+      for (const EdgeId e : xg.graph().out_edges(v)) {
+        if (xg.usable(j, e)) actors_[v]->set_phi(j, e, initial.phi(j, e));
+      }
+    }
+  }
+  forecast_wave();
+}
+
+void DistributedGradientSystem::forecast_wave() {
+  for (NodeId v = 0; v < xg_->node_count(); ++v) {
+    Outbox out(runtime_, v);
+    actors_[v]->begin_forecast(out);
+  }
+  runtime_.run_until_quiet();
+}
+
+std::size_t DistributedGradientSystem::iterate() {
+  const std::size_t rounds_before = runtime_.rounds();
+  const std::size_t messages_before = runtime_.delivered_messages();
+
+  // Phase 1: marginal-cost wave (upstream, O(L) rounds).
+  for (NodeId v = 0; v < xg_->node_count(); ++v) {
+    Outbox out(runtime_, v);
+    actors_[v]->begin_marginal(out);
+  }
+  runtime_.run_until_quiet();
+
+  // Phase 2: local Gamma updates (no messages).
+  for (NodeId v = 0; v < xg_->node_count(); ++v) actors_[v]->apply_update();
+
+  // Phase 3: forecast wave (downstream, O(L) rounds).
+  forecast_wave();
+
+  ++iterations_;
+  last_rounds_ = runtime_.rounds() - rounds_before;
+  last_messages_ = runtime_.delivered_messages() - messages_before;
+  return last_rounds_;
+}
+
+void DistributedGradientSystem::run(std::size_t iterations) {
+  for (std::size_t i = 0; i < iterations; ++i) iterate();
+}
+
+core::RoutingState DistributedGradientSystem::routing_snapshot() const {
+  core::RoutingState snapshot(*xg_);
+  for (CommodityId j = 0; j < xg_->commodity_count(); ++j) {
+    for (const NodeId v : xg_->commodity_nodes(j)) {
+      if (v == xg_->sink(j)) continue;
+      for (const EdgeId e : xg_->graph().out_edges(v)) {
+        if (xg_->usable(j, e)) snapshot.set_phi(j, e, actors_[v]->phi(j, e));
+      }
+    }
+  }
+  return snapshot;
+}
+
+double DistributedGradientSystem::utility() const {
+  const auto flows = core::compute_flows(*xg_, routing_snapshot());
+  return core::total_utility(*xg_, flows);
+}
+
+}  // namespace maxutil::sim

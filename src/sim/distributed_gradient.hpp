@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/gamma.hpp"
+#include "core/routing.hpp"
+#include "sim/runtime.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace maxutil::sim {
+
+using maxutil::graph::EdgeId;
+using maxutil::graph::NodeId;
+using maxutil::stream::CommodityId;
+
+/// Message tags of the distributed gradient protocol.
+inline constexpr int kMarginalTag = 1;  // payload [edge, dA/dr, blocked?, K]
+inline constexpr int kForecastTag = 2;  // payload [edge, arriving flow]
+
+/// One extended-graph node running the three per-iteration protocols of
+/// Section 5 with *only local knowledge*: its own capacity/cost functions,
+/// its incident edges' parameters, its routing fractions, and whatever
+/// arrives in messages. The runtime delivers messages with unit delay, so
+/// the marginal-cost wave genuinely takes O(L) rounds (L = longest path), as
+/// the paper's message-complexity discussion states.
+class NodeActor : public Actor {
+ public:
+  NodeActor(const xform::ExtendedGraph& xg, NodeId self,
+            core::GammaOptions gamma);
+
+  // --- Phase control (invoked by the system at iteration boundaries) ---
+
+  /// Marginal-cost phase: sinks (and any node with no usable out-edges)
+  /// immediately broadcast dA/dr = 0 upstream; everyone else waits for all
+  /// downstream values (eq. 9's deadlock-free protocol).
+  void begin_marginal(Outbox& out);
+
+  /// Applies the Gamma update (eqs. 14-17) using the received downstream
+  /// marginals and blocking tags. Purely local.
+  void apply_update();
+
+  /// Forecast phase: dummy sources emit t = lambda immediately; every node
+  /// forwards forecast flows once all upstream contributions arrived
+  /// (the Section-5 resource-allocation protocol).
+  void begin_forecast(Outbox& out);
+
+  void on_round(Outbox& out, std::span<const Message> inbox) override;
+
+  // --- Observer-side accessors (not part of the protocol) ---
+  double phi(CommodityId j, EdgeId e) const;
+  void set_phi(CommodityId j, EdgeId e, double value);
+  double traffic(CommodityId j) const;
+  double node_usage() const { return f_node_; }
+  double marginal(CommodityId j) const;
+
+ private:
+  struct PerCommodity {
+    std::vector<EdgeId> out_edges;
+    std::vector<NodeId> out_heads;
+    std::vector<EdgeId> in_edges;
+    std::vector<NodeId> in_tails;
+    std::vector<double> phi;      // parallel to out_edges
+    std::vector<double> f_edge;   // resource usage per out edge
+    std::vector<double> dr_head;  // received downstream marginals
+    std::vector<double> kappa_head;  // received downstream curvatures
+    std::vector<char> head_tagged;
+    std::vector<char> head_received;
+    std::size_t heads_received = 0;
+    std::vector<double> inflow;  // parallel to in_edges (arriving units)
+    std::vector<char> inflow_received;
+    std::size_t inflows_received = 0;
+    double input_rate = 0.0;  // lambda at the dummy source, else 0
+    double t = 0.0;           // traffic from the last forecast
+    double dr_self = 0.0;
+    double kappa_self = 0.0;
+    bool tagged_self = false;
+    bool is_sink = false;
+  };
+
+  PerCommodity& state(CommodityId j);
+  const PerCommodity& state(CommodityId j) const;
+  /// Marginal through out-edge `idx`: (Y' + D') c + beta * dr_head.
+  double via(CommodityId j, const PerCommodity& s, std::size_t idx) const;
+  /// Curvature through out-edge `idx`: c^2 (Y'' + D'') + beta^2 kappa_head.
+  double kappa_via(CommodityId j, const PerCommodity& s,
+                   std::size_t idx) const;
+  void emit_marginal(Outbox& out, CommodityId j);
+  void emit_forecast(Outbox& out, CommodityId j);
+
+  const xform::ExtendedGraph* xg_;
+  NodeId self_;
+  core::GammaOptions gamma_;
+  std::vector<std::optional<PerCommodity>> commodities_;
+  double f_node_ = 0.0;          // total usage from the last forecast
+  double f_node_pending_ = 0.0;  // accumulating during the current forecast
+};
+
+/// The full distributed system: one NodeActor per extended node on a
+/// synchronous message-passing Runtime. Each iterate() performs the
+/// marginal-cost wave, the local Gamma updates, and the forecast wave, and
+/// reports how many message rounds the iteration took — the quantity behind
+/// the paper's O(L)-vs-O(1) comparison with back-pressure (bench E4).
+///
+/// This runs the *pure* Section-5 algorithm (no global capacity safeguard —
+/// a node only knows local state); with the paper's small eta values the
+/// iterates stay strictly feasible, and the equivalence test against the
+/// centralized GradientOptimizer pins both implementations together.
+class DistributedGradientSystem {
+ public:
+  explicit DistributedGradientSystem(const xform::ExtendedGraph& xg,
+                                     core::GammaOptions gamma = {});
+
+  /// One full algorithm iteration; returns message rounds consumed.
+  std::size_t iterate();
+
+  void run(std::size_t iterations);
+
+  std::size_t iterations() const { return iterations_; }
+  std::size_t last_iteration_rounds() const { return last_rounds_; }
+  std::size_t last_iteration_messages() const { return last_messages_; }
+  const Runtime& runtime() const { return runtime_; }
+
+  /// Installs heterogeneous link delays (see Runtime::set_delay_model).
+  /// The wave protocols wait for all inputs, so the computed iterates are
+  /// identical to the uniform-delay execution — only rounds per iteration
+  /// grow to the longest-delay path.
+  void set_delay_model(std::function<std::size_t(ActorId, ActorId)> delay) {
+    runtime_.set_delay_model(std::move(delay));
+  }
+
+  /// Gathers the actors' routing fractions (observer-side).
+  core::RoutingState routing_snapshot() const;
+
+  /// Utility of the current routing, evaluated observer-side via the shared
+  /// flow solver.
+  double utility() const;
+
+ private:
+  void forecast_wave();
+
+  const xform::ExtendedGraph* xg_;
+  core::GammaOptions gamma_;
+  Runtime runtime_;
+  std::vector<NodeActor*> actors_;  // owned by runtime_, indexed by node id
+  std::size_t iterations_ = 0;
+  std::size_t last_rounds_ = 0;
+  std::size_t last_messages_ = 0;
+};
+
+}  // namespace maxutil::sim

@@ -1,0 +1,108 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace maxutil::sim {
+
+using maxutil::util::ensure;
+
+void Outbox::send(ActorId to, int tag, std::size_t commodity,
+                  std::vector<double> payload) {
+  runtime_->enqueue({self_, to, tag, commodity, std::move(payload)});
+}
+
+ActorId Runtime::add_actor(std::unique_ptr<Actor> actor) {
+  ensure(actor != nullptr, "Runtime::add_actor: null actor");
+  actors_.push_back(std::move(actor));
+  failed_.push_back(false);
+  return actors_.size() - 1;
+}
+
+void Runtime::fail(ActorId id) {
+  ensure(id < actors_.size(), "Runtime::fail: unknown actor");
+  failed_[id] = true;
+}
+
+bool Runtime::is_failed(ActorId id) const {
+  ensure(id < actors_.size(), "Runtime::is_failed: unknown actor");
+  return failed_[id];
+}
+
+void Runtime::set_delay_model(
+    std::function<std::size_t(ActorId, ActorId)> delay) {
+  delay_ = std::move(delay);
+}
+
+void Runtime::enqueue(Message message) {
+  ensure(message.to < actors_.size(), "Runtime: message to unknown actor");
+  if (failed_[message.from] || failed_[message.to]) {
+    ++dropped_messages_;
+    return;
+  }
+  const std::size_t delay =
+      delay_ ? std::max<std::size_t>(1, delay_(message.from, message.to)) : 1;
+  pending_.push_back({rounds_ + delay, std::move(message)});
+}
+
+std::size_t Runtime::run_round() {
+  ++rounds_;
+  // Pull the messages due this round; later-due ones stay queued. Sends
+  // made by actors during this round are stamped relative to rounds_, so a
+  // one-round delay lands them in the next round.
+  std::vector<Message> batch;
+  std::vector<Pending> later;
+  later.reserve(pending_.size());
+  for (auto& p : pending_) {
+    if (p.due <= rounds_) {
+      batch.push_back(std::move(p.message));
+    } else {
+      later.push_back(std::move(p));
+    }
+  }
+  pending_ = std::move(later);
+
+  // Group per recipient, preserving send order.
+  std::vector<std::vector<Message>> inboxes(actors_.size());
+  std::size_t delivered = 0;
+  for (auto& m : batch) {
+    if (failed_[m.to] || failed_[m.from]) {
+      ++dropped_messages_;
+      continue;
+    }
+    ++delivered;
+    delivered_payload_ += m.payload.size();
+    inboxes[m.to].push_back(std::move(m));
+  }
+  delivered_messages_ += delivered;
+
+  for (ActorId id = 0; id < actors_.size(); ++id) {
+    if (failed_[id]) continue;
+    Outbox out(*this, id);
+    actors_[id]->on_round(out, inboxes[id]);
+  }
+  return delivered;
+}
+
+std::size_t Runtime::run_until_quiet(std::size_t max_rounds) {
+  std::size_t used = 0;
+  while (!quiet() && used < max_rounds) {
+    run_round();
+    ++used;
+  }
+  ensure(quiet(), "Runtime::run_until_quiet: round budget exhausted");
+  return used;
+}
+
+Actor& Runtime::actor(ActorId id) {
+  ensure(id < actors_.size(), "Runtime::actor: unknown actor");
+  return *actors_[id];
+}
+
+const Actor& Runtime::actor(ActorId id) const {
+  ensure(id < actors_.size(), "Runtime::actor: unknown actor");
+  return *actors_[id];
+}
+
+}  // namespace maxutil::sim

@@ -1,0 +1,74 @@
+#include "stream/surgery.hpp"
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "stream/validate.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::stream {
+
+using maxutil::util::ensure;
+
+SurgeryResult without_server(const StreamNetwork& net, NodeId failed) {
+  ensure(failed < net.node_count(), "without_server: node out of range");
+  ensure(!net.is_sink(failed), "without_server: sinks do not process; fail a server");
+
+  SurgeryResult result;
+  auto& out = result.network;
+
+  // Nodes.
+  result.node_map.assign(net.node_count(), kRemovedEntity);
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    if (n == failed) continue;
+    result.node_map[n] = net.is_sink(n)
+                             ? out.add_sink(net.node_name(n))
+                             : out.add_server(net.node_name(n), net.capacity(n));
+  }
+
+  // Links between surviving nodes.
+  const auto& g = net.graph();
+  result.link_map.assign(net.link_count(), kRemovedEntity);
+  for (LinkId l = 0; l < net.link_count(); ++l) {
+    const NodeId tail = g.tail(l);
+    const NodeId head = g.head(l);
+    if (tail == failed || head == failed) continue;
+    result.link_map[l] = out.add_link(result.node_map[tail],
+                                      result.node_map[head], net.bandwidth(l));
+  }
+
+  // Commodities: prune each usable subgraph to links on a surviving
+  // source -> sink path.
+  result.commodity_map.assign(net.commodity_count(), kRemovedEntity);
+  for (CommodityId j = 0; j < net.commodity_count(); ++j) {
+    if (net.source(j) == failed) continue;  // source died with the server
+    const auto survives = [&](maxutil::graph::EdgeId e) {
+      return net.uses_link(j, e) && result.link_map[e] != kRemovedEntity;
+    };
+    const auto from_source = maxutil::graph::reachable_from(g, net.source(j),
+                                                            survives);
+    if (!from_source[net.sink(j)]) continue;  // disconnected: drop
+    const auto to_sink = maxutil::graph::reaches(g, net.sink(j), survives);
+
+    const CommodityId nj = out.add_commodity(
+        net.commodity_name(j), result.node_map[net.source(j)],
+        result.node_map[net.sink(j)], net.lambda(j), net.utility(j));
+    result.commodity_map[j] = nj;
+    for (NodeId n = 0; n < net.node_count(); ++n) {
+      if (result.node_map[n] == kRemovedEntity) continue;
+      out.set_potential(nj, result.node_map[n], net.potential(j, n));
+    }
+    for (LinkId l = 0; l < net.link_count(); ++l) {
+      if (!survives(l)) continue;
+      // Keep only links on some surviving source->sink path: both endpoints
+      // must be downstream of the source and upstream of the sink.
+      if (!from_source[g.tail(l)] || !to_sink[g.head(l)]) continue;
+      out.enable_link(nj, result.link_map[l], net.consumption(j, l));
+    }
+  }
+
+  validate_or_throw(out);
+  return result;
+}
+
+}  // namespace maxutil::stream

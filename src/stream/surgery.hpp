@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/model.hpp"
+
+namespace maxutil::stream {
+
+/// Sentinel in SurgeryResult maps: the entity did not survive the surgery.
+inline constexpr std::size_t kRemovedEntity = static_cast<std::size_t>(-1);
+
+/// Result of rebuilding a network without a failed server.
+struct SurgeryResult {
+  StreamNetwork network;
+  /// Old node id -> new node id (kRemovedEntity for the failed server).
+  std::vector<NodeId> node_map;
+  /// Old link id -> new link id (kRemovedEntity when an endpoint died).
+  std::vector<LinkId> link_map;
+  /// Old commodity id -> new commodity id (kRemovedEntity when the failure
+  /// disconnected its source from its sink).
+  std::vector<CommodityId> commodity_map;
+};
+
+/// Rebuilds `net` as if `failed` crashed fail-stop: the server and its
+/// incident links disappear; each commodity's usable subgraph is pruned to
+/// the links still on some source->sink path (so the result always passes
+/// validate()); commodities whose sink became unreachable are dropped.
+///
+/// This is the recovery path of the paper's Section-3 remark that spare
+/// penalty-induced headroom helps "faster recovery in the case of node or
+/// link failures": after surgery one simply re-runs the optimizer on the
+/// surviving network (see examples/failure_recovery.cpp).
+SurgeryResult without_server(const StreamNetwork& net, NodeId failed);
+
+}  // namespace maxutil::stream

@@ -1,0 +1,98 @@
+#include "stream/utility.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace maxutil::stream {
+
+using maxutil::util::ensure;
+
+Utility::Utility(Kind kind, double weight, double alpha)
+    : kind_(kind), weight_(weight), alpha_(alpha) {
+  ensure(weight > 0.0, "Utility: weight must be positive");
+  ensure(alpha >= 0.0, "Utility: alpha must be non-negative");
+}
+
+Utility Utility::linear(double weight) {
+  return Utility(Kind::kLinear, weight, 0.0);
+}
+
+Utility Utility::logarithmic(double weight) {
+  return Utility(Kind::kLog, weight, 1.0);
+}
+
+Utility Utility::square_root(double weight) {
+  return Utility(Kind::kSqrt, weight, 0.5);
+}
+
+Utility Utility::alpha_fair(double alpha, double weight) {
+  return Utility(Kind::kAlphaFair, weight, alpha);
+}
+
+double Utility::value(double a) const {
+  ensure(a >= 0.0, "Utility::value: negative rate");
+  switch (kind_) {
+    case Kind::kLinear:
+      return weight_ * a;
+    case Kind::kLog:
+      return weight_ * std::log1p(a);
+    case Kind::kSqrt:
+      return weight_ * std::sqrt(a);
+    case Kind::kAlphaFair:
+      if (alpha_ == 1.0) return weight_ * std::log1p(a);
+      return weight_ * (std::pow(1.0 + a, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+  }
+  return 0.0;
+}
+
+double Utility::derivative(double a) const {
+  ensure(a >= 0.0, "Utility::derivative: negative rate");
+  switch (kind_) {
+    case Kind::kLinear:
+      return weight_;
+    case Kind::kLog:
+      return weight_ / (1.0 + a);
+    case Kind::kSqrt:
+      // U' is unbounded at 0; clamp to keep gradient steps finite. The
+      // clamped region [0, 1e-12] is far below any meaningful stream rate.
+      return weight_ * 0.5 / std::sqrt(std::max(a, 1e-12));
+    case Kind::kAlphaFair:
+      return weight_ * std::pow(1.0 + a, -alpha_);
+  }
+  return 0.0;
+}
+
+double Utility::second_derivative(double a) const {
+  ensure(a >= 0.0, "Utility::second_derivative: negative rate");
+  switch (kind_) {
+    case Kind::kLinear:
+      return 0.0;
+    case Kind::kLog:
+      return -weight_ / ((1.0 + a) * (1.0 + a));
+    case Kind::kSqrt: {
+      const double safe = std::max(a, 1e-12);
+      return -weight_ * 0.25 / (safe * std::sqrt(safe));
+    }
+    case Kind::kAlphaFair:
+      return -weight_ * alpha_ * std::pow(1.0 + a, -alpha_ - 1.0);
+  }
+  return 0.0;
+}
+
+std::string Utility::describe() const {
+  switch (kind_) {
+    case Kind::kLinear:
+      return "linear(w=" + std::to_string(weight_) + ")";
+    case Kind::kLog:
+      return "log1p(w=" + std::to_string(weight_) + ")";
+    case Kind::kSqrt:
+      return "sqrt(w=" + std::to_string(weight_) + ")";
+    case Kind::kAlphaFair:
+      return "alpha_fair(alpha=" + std::to_string(alpha_) +
+             ",w=" + std::to_string(weight_) + ")";
+  }
+  return "unknown";
+}
+
+}  // namespace maxutil::stream

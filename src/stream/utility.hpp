@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+
+namespace maxutil::stream {
+
+/// Concave increasing utility function U_j(a) of an admitted stream rate,
+/// with an exact closed-form derivative (the gradient algorithm's dummy
+/// difference-link costs need U').
+///
+/// Value-semantic: a small tagged union over the families the paper's
+/// evaluation and common NUM literature use. All families are increasing and
+/// concave on [0, inf); all are finite at 0 (alpha-fair is the shifted
+/// variant (1+a)^(1-alpha) so that zero admission has finite utility, which
+/// the dummy-node admission scheme requires).
+class Utility {
+ public:
+  /// U(a) = w * a — the paper's Section 6 choice ("total throughput").
+  static Utility linear(double weight = 1.0);
+
+  /// U(a) = w * log(1 + a) — proportional-fairness style.
+  static Utility logarithmic(double weight = 1.0);
+
+  /// U(a) = w * sqrt(a).
+  static Utility square_root(double weight = 1.0);
+
+  /// Shifted alpha-fair: U(a) = w * ((1+a)^(1-alpha) - 1) / (1-alpha) for
+  /// alpha != 1, and w * log(1+a) for alpha == 1. alpha >= 0.
+  static Utility alpha_fair(double alpha, double weight = 1.0);
+
+  /// U(a).
+  double value(double a) const;
+
+  /// dU/da; strictly positive for all families.
+  double derivative(double a) const;
+
+  /// d2U/da2; non-positive for all families (concavity). Used by the
+  /// curvature-scaled (second-derivative) step variant.
+  double second_derivative(double a) const;
+
+  /// The utility families this library ships.
+  enum class Family { kLinear, kLog, kSqrt, kAlphaFair };
+
+  /// True for the linear family (lets solvers skip PWL approximation).
+  bool is_linear() const { return kind_ == Family::kLinear; }
+
+  /// Which family this instance belongs to.
+  Family family() const { return kind_; }
+
+  /// Multiplicative weight w.
+  double weight() const { return weight_; }
+
+  /// Fairness parameter (meaningful for the alpha-fair family; 1 for log,
+  /// 0.5 for sqrt, 0 for linear by convention).
+  double alpha() const { return alpha_; }
+
+  /// Family name plus parameters, for reports.
+  std::string describe() const;
+
+ private:
+  using Kind = Family;
+  Utility(Kind kind, double weight, double alpha);
+  Kind kind_;
+  double weight_;
+  double alpha_;
+};
+
+}  // namespace maxutil::stream

@@ -1,0 +1,94 @@
+#include "stream/validate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::stream {
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : errors) os << "error: " << e << '\n';
+  for (const auto& w : warnings) os << "warning: " << w << '\n';
+  return os.str();
+}
+
+ValidationReport validate(const StreamNetwork& network) {
+  ValidationReport report;
+  const auto& g = network.graph();
+
+  if (!maxutil::graph::is_weakly_connected(g)) {
+    report.warnings.push_back("physical graph is not weakly connected");
+  }
+
+  for (CommodityId j = 0; j < network.commodity_count(); ++j) {
+    const std::string who = "commodity '" + network.commodity_name(j) + "'";
+    const auto filter = network.commodity_filter(j);
+
+    if (!maxutil::graph::is_dag(g, filter)) {
+      report.errors.push_back(who + ": usable subgraph has a cycle");
+      continue;  // downstream checks assume a DAG
+    }
+
+    const auto from_source =
+        maxutil::graph::reachable_from(g, network.source(j), filter);
+    if (!from_source[network.sink(j)]) {
+      report.errors.push_back(who + ": sink unreachable from source");
+    }
+
+    const auto to_sink = maxutil::graph::reaches(g, network.sink(j), filter);
+    for (NodeId n = 0; n < g.node_count(); ++n) {
+      if (from_source[n] && !to_sink[n]) {
+        report.errors.push_back(who + ": node '" + network.node_name(n) +
+                                "' is a dead end (reachable from source, "
+                                "cannot reach sink)");
+      }
+    }
+
+    for (LinkId link = 0; link < network.link_count(); ++link) {
+      if (!network.uses_link(j, link)) continue;
+      const NodeId head = g.head(link);
+      if (network.is_sink(head) && head != network.sink(j)) {
+        report.errors.push_back(who + ": usable link enters foreign sink '" +
+                                network.node_name(head) + "'");
+      }
+    }
+  }
+  return report;
+}
+
+void validate_or_throw(const StreamNetwork& network) {
+  const ValidationReport report = validate(network);
+  maxutil::util::ensure(report.ok(),
+                        "StreamNetwork validation failed:\n" + report.to_string());
+}
+
+bool verify_path_independence(const StreamNetwork& network, CommodityId j,
+                              double tolerance, std::size_t max_paths) {
+  const auto& g = network.graph();
+  const auto filter = network.commodity_filter(j);
+  const auto paths = maxutil::graph::enumerate_paths(
+      g, network.source(j), network.sink(j), filter, max_paths);
+  const double expected = network.delivery_gain(j);
+  for (const auto& path : paths) {
+    double product = 1.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      // Pick a *usable* edge between consecutive path nodes (parallel edges
+      // share potentials, hence shrinkage, so any usable one is fine).
+      for (const auto link : g.out_edges(path[i])) {
+        if (g.head(link) == path[i + 1] && network.uses_link(j, link)) {
+          product *= network.shrinkage(j, link);
+          break;
+        }
+      }
+    }
+    if (std::abs(product - expected) > tolerance * (1.0 + std::abs(expected))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace maxutil::stream

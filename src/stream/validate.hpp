@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stream/model.hpp"
+
+namespace maxutil::stream {
+
+/// Result of structural validation of a StreamNetwork.
+struct ValidationReport {
+  std::vector<std::string> errors;    // model is unusable until fixed
+  std::vector<std::string> warnings;  // legal but suspicious
+
+  bool ok() const { return errors.empty(); }
+
+  /// All messages joined with newlines (errors first).
+  std::string to_string() const;
+};
+
+/// Checks the Section-2 model assumptions:
+///  * every commodity's usable subgraph is a DAG (the paper's G_j);
+///  * the sink is reachable from the source over usable links;
+///  * no usable link enters a foreign sink;
+///  * no dead ends: every node reachable from the source can reach the sink;
+///  * warns when the overall graph is not weakly connected.
+ValidationReport validate(const StreamNetwork& network);
+
+/// Throws util::CheckError with the full report when validation fails.
+void validate_or_throw(const StreamNetwork& network);
+
+/// Numerically verifies the paper's Property 1 for commodity j: the product
+/// of shrinkage factors along every source->sink path agrees (and equals
+/// delivery_gain). Path enumeration is exponential — intended for the small
+/// graphs in tests and examples.
+bool verify_path_independence(const StreamNetwork& network, CommodityId j,
+                              double tolerance = 1e-9,
+                              std::size_t max_paths = 10000);
+
+}  // namespace maxutil::stream

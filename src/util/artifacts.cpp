@@ -1,0 +1,30 @@
+#include "util/artifacts.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace maxutil::util {
+
+std::optional<std::string> results_dir() {
+  const char* dir = std::getenv("MAXUTIL_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string(dir);
+}
+
+std::optional<std::string> save_series(const TimeSeries& series,
+                                       const std::string& name) {
+  const auto dir = results_dir();
+  if (!dir.has_value()) return std::nullopt;
+  ensure(name.find('/') == std::string::npos,
+         "save_series: name must not contain path separators");
+  const std::string path = *dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  ensure(out.good(), "save_series: cannot write '" + path + "'");
+  series.write_csv(out);
+  ensure(out.good(), "save_series: write failed for '" + path + "'");
+  return path;
+}
+
+}  // namespace maxutil::util

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/timeseries.hpp"
+
+namespace maxutil::util {
+
+/// Directory for bench result artifacts, taken from the MAXUTIL_RESULTS_DIR
+/// environment variable; std::nullopt when unset or empty. Benches that
+/// regenerate figures write their raw series there so the plots can be
+/// reproduced outside the console tables.
+std::optional<std::string> results_dir();
+
+/// Writes `series` as "<results_dir>/<name>.csv" when MAXUTIL_RESULTS_DIR is
+/// set; returns the written path, or std::nullopt when exporting is off.
+/// Throws util::CheckError when the directory is set but unwritable.
+std::optional<std::string> save_series(const TimeSeries& series,
+                                       const std::string& name);
+
+}  // namespace maxutil::util

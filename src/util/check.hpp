@@ -1,0 +1,34 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace maxutil::util {
+
+/// Error thrown when a precondition or internal invariant is violated.
+///
+/// The message embeds the source location of the failed check so that
+/// failures surfaced from deep inside an optimizer iteration can be traced
+/// without a debugger.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws CheckError when `condition` is false.
+///
+/// Used for argument validation on public APIs and for internal invariants
+/// that must hold regardless of build type (unlike `assert`, this is active
+/// in release builds; the optimizer hot paths use it sparingly).
+inline void ensure(bool condition, std::string_view message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": check failed: " +
+                     std::string(message));
+  }
+}
+
+}  // namespace maxutil::util

@@ -1,0 +1,92 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace maxutil::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ensure(lo <= hi, "uniform: lo must not exceed hi");
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  const double unit =
+      static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ensure(lo <= hi, "uniform_int: lo must not exceed hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = Rng::max() - Rng::max() % span;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Rng::chance(double p) { return uniform(0.0, 1.0) < p; }
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is kept away from 0 so log(u1) is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform(0.0, 1.0);
+  } while (u1 <= 0.0);
+  const double u2 = uniform(0.0, 1.0);
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+Rng Rng::split() { return Rng((*this)()); }
+
+std::size_t Rng::index(std::size_t n) {
+  ensure(n > 0, "index: empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+}  // namespace maxutil::util

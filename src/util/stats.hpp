@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace maxutil::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long benchmark runs; O(1) memory.
+class RunningStats {
+ public:
+  /// Folds one observation into the accumulator.
+  void add(double x);
+
+  /// Number of observations folded in so far.
+  std::size_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-reduction friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the p-th percentile (p in [0, 100]) of `values` using linear
+/// interpolation between closest ranks. The input is copied and sorted.
+double percentile(std::span<const double> values, double p);
+
+/// Arithmetic mean of `values`; 0 for an empty span.
+double mean_of(std::span<const double> values);
+
+/// Maximum absolute difference between paired elements; spans must be the
+/// same length.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+}  // namespace maxutil::util

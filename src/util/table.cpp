@@ -1,0 +1,49 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace maxutil::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ensure(!headers_.empty(), "Table: at least one column required");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  ensure(row.size() == headers_.size(), "Table::add_row: width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "  " : "") << std::setw(static_cast<int>(widths[c]))
+          << std::left << row[c];
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w;
+  out << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::cell(long long v) { return std::to_string(v); }
+
+}  // namespace maxutil::util

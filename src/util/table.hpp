@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace maxutil::util {
+
+/// Fixed-width console table used by the bench harness to print the rows the
+/// paper's figures/tables report.
+///
+/// Cells are strings; `cell(...)` helpers format doubles with a fixed
+/// precision. Columns auto-size to their widest entry.
+class Table {
+ public:
+  /// Defines the header row.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one data row; width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column separators and a header underline.
+  void print(std::ostream& out) const;
+
+  /// Formats `v` with `precision` digits after the decimal point.
+  static std::string cell(double v, int precision = 3);
+
+  /// Formats an integer cell.
+  static std::string cell(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace maxutil::util

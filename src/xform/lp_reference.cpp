@@ -1,0 +1,188 @@
+#include "xform/lp_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "lp/frank_wolfe.hpp"
+#include "lp/pwl.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::xform {
+
+using maxutil::lp::LpProblem;
+using maxutil::lp::LpStatus;
+using maxutil::lp::Relation;
+using maxutil::lp::Sense;
+using maxutil::lp::VarId;
+using maxutil::util::ensure;
+
+FlowPolytope build_flow_polytope(const ExtendedGraph& xg) {
+  const auto& g = xg.graph();
+  const std::size_t ncommodities = xg.commodity_count();
+
+  FlowPolytope out;
+  out.flow_var.resize(ncommodities);
+  out.admitted_var.resize(ncommodities);
+
+  // Flow variable y_{j,e} >= 0 per usable (commodity, extended edge):
+  // the rate of commodity-j flow routed over e, measured in tail-node units
+  // (y = t_i(j) * phi_e(j)).
+  std::vector<std::map<EdgeId, VarId>> flow_var(ncommodities);
+  for (CommodityId j = 0; j < ncommodities; ++j) {
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (!xg.usable(j, e)) continue;
+      const VarId var = out.problem.add_variable(
+          "y[j" + std::to_string(j) + ",e" + std::to_string(e) + "]");
+      flow_var[j][e] = var;
+      out.flow_var[j].emplace_back(e, var);
+    }
+    out.admitted_var[j] = flow_var[j].at(xg.dummy_input_link(j));
+  }
+
+  // Flow balance with shrinkage (eq. 7) at every non-sink commodity node:
+  //   sum_out y  -  sum_in beta * y  =  r_v(j)
+  // where r is lambda_j at the dummy source, 0 elsewhere.
+  for (CommodityId j = 0; j < ncommodities; ++j) {
+    for (const NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j)) continue;
+      std::vector<std::pair<VarId, double>> terms;
+      for (const EdgeId e : g.out_edges(v)) {
+        if (xg.usable(j, e)) terms.emplace_back(flow_var[j].at(e), 1.0);
+      }
+      for (const EdgeId e : g.in_edges(v)) {
+        if (xg.usable(j, e)) {
+          terms.emplace_back(flow_var[j].at(e), -xg.beta(j, e));
+        }
+      }
+      const double r = (v == xg.dummy_source(j)) ? xg.lambda(j) : 0.0;
+      out.problem.add_constraint(std::move(terms), Relation::kEq, r);
+    }
+  }
+
+  // Node capacity (eq. 6): resource is spent by the tail on outgoing edges.
+  out.capacity_row.assign(xg.node_count(), FlowPolytope::kNoCapacityRow);
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    if (!xg.has_finite_capacity(v)) continue;
+    std::vector<std::pair<VarId, double>> terms;
+    for (const EdgeId e : g.out_edges(v)) {
+      for (CommodityId j = 0; j < ncommodities; ++j) {
+        if (xg.usable(j, e)) {
+          terms.emplace_back(flow_var[j].at(e), xg.cost_rate(j, e));
+        }
+      }
+    }
+    if (!terms.empty()) {
+      out.capacity_row[v] = out.problem.constraint_count();
+      out.problem.add_constraint(std::move(terms), Relation::kLessEq,
+                                 xg.capacity(v));
+    }
+  }
+  return out;
+}
+
+ReferenceSolution solve_reference(const ExtendedGraph& xg,
+                                  const ReferenceOptions& options) {
+  const auto& g = xg.graph();
+  const std::size_t ncommodities = xg.commodity_count();
+
+  FlowPolytope polytope = build_flow_polytope(xg);
+  LpProblem& problem = polytope.problem;
+  problem.set_sense(Sense::kMaximize);
+
+  // Objective: U_j of the admitted rate (the dummy input link's flow).
+  for (CommodityId j = 0; j < ncommodities; ++j) {
+    const VarId admitted = polytope.admitted_var[j];
+    const auto& utility = xg.network().utility(j);
+    if (utility.is_linear()) {
+      problem.set_objective_coefficient(admitted, utility.weight());
+    } else {
+      const double lambda = xg.lambda(j);
+      const auto pwl = maxutil::lp::PwlConcave::from_function(
+          [&utility](double a) { return utility.value(a); }, lambda,
+          options.pwl_segments);
+      const VarId a = maxutil::lp::add_pwl_admission_variable(
+          problem, lambda, pwl, "a" + std::to_string(j));
+      problem.add_constraint({{a, 1.0}, {admitted, -1.0}}, Relation::kEq, 0.0);
+    }
+  }
+
+  const auto lp_solution = maxutil::lp::solve(problem, options.simplex);
+
+  ReferenceSolution out;
+  out.status = lp_solution.status;
+  out.iterations = lp_solution.iterations;
+  if (lp_solution.status != LpStatus::kOptimal) return out;
+
+  out.admitted.resize(ncommodities, 0.0);
+  out.flows.resize(ncommodities);
+  out.node_usage.assign(xg.node_count(), 0.0);
+  double utility_total = 0.0;
+  for (CommodityId j = 0; j < ncommodities; ++j) {
+    out.admitted[j] = lp_solution.x[polytope.admitted_var[j]];
+    utility_total += xg.network().utility(j).value(
+        std::clamp(out.admitted[j], 0.0, xg.lambda(j)));
+    for (const auto& [e, var] : polytope.flow_var[j]) {
+      const double y = lp_solution.x[var];
+      if (y > 1e-9) out.flows[j].emplace_back(e, y);
+      out.node_usage[g.tail(e)] += xg.cost_rate(j, e) * std::max(y, 0.0);
+    }
+  }
+  // Report the true utility of the admitted rates (not the PWL surrogate).
+  out.optimal_utility = utility_total;
+  // Shadow prices: the capacity rows' duals.
+  out.node_shadow_price.assign(xg.node_count(), 0.0);
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    const std::size_t row = polytope.capacity_row[v];
+    if (row != FlowPolytope::kNoCapacityRow) {
+      out.node_shadow_price[v] = lp_solution.duals[row];
+    }
+  }
+  return out;
+}
+
+FrankWolfeReference solve_reference_frank_wolfe(const ExtendedGraph& xg,
+                                                std::size_t max_iterations) {
+  const std::size_t ncommodities = xg.commodity_count();
+  const FlowPolytope polytope = build_flow_polytope(xg);
+  const std::size_t n = polytope.problem.variable_count();
+
+  const auto clamp_rate = [&](double a, CommodityId j) {
+    return std::clamp(a, 0.0, xg.lambda(j));
+  };
+  const auto value = [&](const std::vector<double>& x) {
+    double total = 0.0;
+    for (CommodityId j = 0; j < ncommodities; ++j) {
+      total += xg.network().utility(j).value(
+          clamp_rate(x[polytope.admitted_var[j]], j));
+    }
+    return total;
+  };
+  const auto gradient = [&](const std::vector<double>& x) {
+    std::vector<double> grad(n, 0.0);
+    for (CommodityId j = 0; j < ncommodities; ++j) {
+      grad[polytope.admitted_var[j]] = xg.network().utility(j).derivative(
+          clamp_rate(x[polytope.admitted_var[j]], j));
+    }
+    return grad;
+  };
+
+  maxutil::lp::FrankWolfeOptions options;
+  options.max_iterations = max_iterations;
+  const auto solution = maxutil::lp::maximize_concave(polytope.problem, value,
+                                                      gradient, options);
+  FrankWolfeReference out;
+  out.status = solution.status;
+  out.iterations = solution.iterations;
+  out.duality_gap = solution.gap;
+  if (solution.status != LpStatus::kOptimal) return out;
+  out.utility = solution.objective;
+  out.admitted.resize(ncommodities);
+  for (CommodityId j = 0; j < ncommodities; ++j) {
+    out.admitted[j] = solution.x[polytope.admitted_var[j]];
+  }
+  return out;
+}
+
+}  // namespace maxutil::xform

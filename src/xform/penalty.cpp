@@ -1,0 +1,56 @@
+#include "xform/penalty.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace maxutil::xform {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double penalty_value(const PenaltyConfig& config, double capacity, double z) {
+  maxutil::util::ensure(z >= 0.0, "penalty_value: negative usage");
+  if (std::isinf(capacity)) return 0.0;
+  if (z >= capacity) return kInf;
+  switch (config.barrier) {
+    case BarrierKind::kReciprocal:
+      return config.epsilon / (capacity - z);
+    case BarrierKind::kLog:
+      return -config.epsilon * std::log((capacity - z) / capacity);
+  }
+  return 0.0;
+}
+
+double penalty_derivative(const PenaltyConfig& config, double capacity,
+                          double z) {
+  maxutil::util::ensure(z >= 0.0, "penalty_derivative: negative usage");
+  if (std::isinf(capacity)) return 0.0;
+  if (z >= capacity) return kInf;
+  const double slack = capacity - z;
+  switch (config.barrier) {
+    case BarrierKind::kReciprocal:
+      return config.epsilon / (slack * slack);
+    case BarrierKind::kLog:
+      return config.epsilon / slack;
+  }
+  return 0.0;
+}
+
+double penalty_second_derivative(const PenaltyConfig& config, double capacity,
+                                 double z) {
+  maxutil::util::ensure(z >= 0.0, "penalty_second_derivative: negative usage");
+  if (std::isinf(capacity)) return 0.0;
+  if (z >= capacity) return kInf;
+  const double slack = capacity - z;
+  switch (config.barrier) {
+    case BarrierKind::kReciprocal:
+      return 2.0 * config.epsilon / (slack * slack * slack);
+    case BarrierKind::kLog:
+      return config.epsilon / (slack * slack);
+  }
+  return 0.0;
+}
+
+}  // namespace maxutil::xform

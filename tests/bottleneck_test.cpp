@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bottleneck.hpp"
+#include "core/optimizer.hpp"
+#include "gen/random_instance.hpp"
+#include "stream/model.hpp"
+#include "util/rng.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+namespace {
+
+using maxutil::core::GradientOptimizer;
+using maxutil::core::GradientOptions;
+using maxutil::stream::CommodityId;
+using maxutil::stream::NodeId;
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+using maxutil::util::Rng;
+using maxutil::xform::ExtendedGraph;
+
+StreamNetwork chain(double lambda) {
+  StreamNetwork net;
+  const NodeId a = net.add_server("a", 10.0);
+  const NodeId b = net.add_server("b", 20.0);
+  const NodeId t = net.add_sink("t");
+  const auto ab = net.add_link(a, b, 5.0);
+  const auto bt = net.add_link(b, t, 6.0);
+  const CommodityId j = net.add_commodity("c", a, t, lambda, Utility::linear());
+  net.enable_link(j, ab, 2.0);
+  net.enable_link(j, bt, 1.0);
+  return net;
+}
+
+TEST(Bottleneck, RanksTightResourcesFirst) {
+  const StreamNetwork net = chain(100.0);
+  maxutil::xform::PenaltyConfig penalty;
+  penalty.epsilon = 0.05;  // small eps: the binding node runs close to C
+  const ExtendedGraph xg(net, penalty);
+  GradientOptions options;
+  options.eta = 0.2;
+  options.record_history = false;
+  options.max_iterations = 4000;
+  GradientOptimizer opt(xg, options);
+  opt.run();
+  const auto report = maxutil::core::bottleneck_report(xg, opt.flows());
+  ASSERT_GE(report.size(), 3u);
+  // Prices sorted descending.
+  for (std::size_t i = 1; i < report.size(); ++i) {
+    EXPECT_GE(report[i - 1].price, report[i].price);
+  }
+  // The binding resources (node a at c=2 and the 5-bandwidth a->b link, both
+  // limiting at 5 units) outrank node b (20 capacity, load ~5).
+  const NodeId top = report.front().node;
+  EXPECT_TRUE(top == 0 || top == xg.bandwidth_node(0))
+      << "unexpected top bottleneck " << xg.node_label(top);
+  EXPECT_GT(report.front().utilization, 0.9);
+}
+
+TEST(Bottleneck, TopKTruncates) {
+  const StreamNetwork net = chain(100.0);
+  const ExtendedGraph xg(net);
+  const auto flows =
+      maxutil::core::compute_flows(xg, maxutil::core::RoutingState::initial(xg));
+  EXPECT_EQ(maxutil::core::bottleneck_report(xg, flows, 2).size(), 2u);
+  // 2 servers + 2 bandwidth nodes have finite capacity.
+  EXPECT_EQ(maxutil::core::bottleneck_report(xg, flows).size(), 4u);
+}
+
+TEST(Bottleneck, BarrierPricesConvergeToLpShadowPrices) {
+  // At small eps, the distributed barrier price eps*D'(f) at the converged
+  // solution approximates the LP capacity duals — the economics the
+  // capacity-planning example is built on.
+  Rng rng(2007);
+  maxutil::gen::RandomInstanceParams p;
+  p.servers = 20;
+  p.commodities = 3;
+  p.stages = 3;
+  const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+  maxutil::xform::PenaltyConfig penalty;
+  penalty.epsilon = 0.02;
+  const ExtendedGraph xg(net, penalty);
+  const auto reference = maxutil::xform::solve_reference(xg);
+  ASSERT_EQ(reference.status, maxutil::lp::LpStatus::kOptimal);
+
+  GradientOptions options;
+  options.eta = 0.05;
+  options.record_history = false;
+  options.max_iterations = 20000;
+  GradientOptimizer opt(xg, options);
+  opt.run();
+
+  const auto report = maxutil::core::bottleneck_report(xg, opt.flows(), 3);
+  ASSERT_GE(report.size(), 3u);
+  for (const auto& entry : report) {
+    const double lp_price = reference.node_shadow_price[entry.node];
+    EXPECT_NEAR(entry.price, lp_price, 0.05 * (1.0 + std::abs(lp_price)))
+        << xg.node_label(entry.node);
+  }
+  // The top distributed bottleneck carries a strictly positive LP dual.
+  EXPECT_GT(reference.node_shadow_price[report.front().node], 0.01);
+}
+
+TEST(Bottleneck, ShadowPricesAreNonNegativeAndBoundedByUtilityWeight) {
+  // For linear utility with weight w, one unit of any capacity can add at
+  // most ... well, w / min(c) admitted units; just check non-negativity and
+  // that slack nodes price at (near) zero.
+  Rng rng(7);
+  maxutil::gen::RandomInstanceParams p;
+  p.servers = 14;
+  p.commodities = 2;
+  p.stages = 3;
+  const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+  const ExtendedGraph xg(net);
+  const auto reference = maxutil::xform::solve_reference(xg);
+  ASSERT_EQ(reference.status, maxutil::lp::LpStatus::kOptimal);
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    EXPECT_GE(reference.node_shadow_price[v], -1e-7);
+    if (xg.has_finite_capacity(v) &&
+        reference.node_usage[v] < 0.5 * xg.capacity(v)) {
+      EXPECT_NEAR(reference.node_shadow_price[v], 0.0, 1e-6)
+          << xg.node_label(v);
+    }
+  }
+}
+
+}  // namespace

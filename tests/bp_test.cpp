@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bp/backpressure.hpp"
+#include "core/optimizer.hpp"
+#include "gen/random_instance.hpp"
+#include "stream/model.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+namespace {
+
+using maxutil::bp::BackPressureOptimizer;
+using maxutil::bp::BackPressureOptions;
+using maxutil::stream::CommodityId;
+using maxutil::stream::NodeId;
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+using maxutil::util::CheckError;
+using maxutil::util::Rng;
+using maxutil::xform::ExtendedGraph;
+
+StreamNetwork chain_network(double lambda) {
+  StreamNetwork net;
+  const NodeId a = net.add_server("a", 10.0);
+  const NodeId b = net.add_server("b", 20.0);
+  const NodeId t = net.add_sink("t");
+  const auto ab = net.add_link(a, b, 5.0);
+  const auto bt = net.add_link(b, t, 6.0);
+  const CommodityId j = net.add_commodity("c0", a, t, lambda, Utility::linear());
+  net.enable_link(j, ab, 2.0);
+  net.enable_link(j, bt, 1.0);
+  return net;
+}
+
+TEST(BackPressure, RejectsBadOptions) {
+  const StreamNetwork net = chain_network(3.0);
+  const ExtendedGraph xg(net);
+  BackPressureOptions bad;
+  bad.buffer_cap_multiplier = 0.0;
+  EXPECT_THROW(BackPressureOptimizer(xg, bad), CheckError);
+  bad = {};
+  bad.step_scale = 1.5;
+  EXPECT_THROW(BackPressureOptimizer(xg, bad), CheckError);
+}
+
+TEST(BackPressure, FirstStepInjectsAndBuffers) {
+  const StreamNetwork net = chain_network(3.0);
+  const ExtendedGraph xg(net);
+  BackPressureOptimizer opt(xg);
+  opt.step();
+  // Some of the injected lambda moved toward the source; the rest sits in
+  // the (uncapped-at-3*8=24) dummy buffer. Nothing was delivered yet.
+  const double q_dummy = opt.buffer(0, xg.dummy_source(0));
+  const double q_source = opt.buffer(0, 0);
+  EXPECT_GT(q_source, 0.0);
+  EXPECT_NEAR(q_dummy + q_source, 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(opt.admitted_rates()[0], 0.0);
+}
+
+TEST(BackPressure, UncongestedChainAdmitsEverything) {
+  const StreamNetwork net = chain_network(3.0);
+  const ExtendedGraph xg(net);
+  BackPressureOptions options;
+  options.record_history = false;
+  // Steady flow x needs a buffer gradient of about (1 + beta^2) * x per hop
+  // (quadratic potential), so the dummy buffer must hold roughly
+  // depth * 2 * lambda: the Awerbuch-Leighton buffer/accuracy trade-off.
+  options.buffer_cap_multiplier = 20.0;
+  BackPressureOptimizer opt(xg, options);
+  opt.run(30000);
+  EXPECT_NEAR(opt.admitted_rates()[0], 3.0, 0.12);
+  EXPECT_NEAR(opt.utility(), 3.0, 0.12);
+}
+
+TEST(BackPressure, LargerBuffersAdmitMore) {
+  // The cap multiplier trades accuracy for convergence speed: on the
+  // uncongested chain, deeper buffers support a larger steady admission.
+  const StreamNetwork net = chain_network(3.0);
+  const ExtendedGraph xg(net);
+  double previous = 0.0;
+  for (const double mult : {2.0, 8.0, 32.0}) {
+    BackPressureOptions options;
+    options.record_history = false;
+    options.buffer_cap_multiplier = mult;
+    BackPressureOptimizer opt(xg, options);
+    opt.run(30000);
+    EXPECT_GT(opt.admitted_rates()[0], previous);
+    previous = opt.admitted_rates()[0];
+  }
+  EXPECT_GT(previous, 2.9);
+}
+
+TEST(BackPressure, CongestedChainFindsBottleneck) {
+  // lambda = 100 against a bottleneck of 5 (node a: 10/2, bandwidth 5).
+  const StreamNetwork net = chain_network(100.0);
+  const ExtendedGraph xg(net);
+  BackPressureOptions options;
+  options.record_history = false;
+  BackPressureOptimizer opt(xg, options);
+  opt.run(30000);
+  EXPECT_GT(opt.admitted_rates()[0], 4.5);
+  EXPECT_LE(opt.admitted_rates()[0], 5.0 + 1e-6);
+}
+
+TEST(BackPressure, BudgetsNeverViolated) {
+  const StreamNetwork net = chain_network(100.0);
+  const ExtendedGraph xg(net);
+  BackPressureOptions options;
+  options.record_history = false;
+  BackPressureOptimizer opt(xg, options);
+  opt.run(5000);
+  EXPECT_LT(opt.max_budget_violation(), 1e-9);
+}
+
+TEST(BackPressure, AdmittedNeverExceedsLambda) {
+  Rng rng(42);
+  maxutil::gen::RandomInstanceParams p;
+  p.servers = 16;
+  p.commodities = 2;
+  p.stages = 3;
+  p.lambda = 20.0;
+  const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+  const ExtendedGraph xg(net);
+  BackPressureOptions options;
+  options.record_history = false;
+  BackPressureOptimizer opt(xg, options);
+  opt.run(20000);
+  for (const double a : opt.admitted_rates()) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 20.0 + 1e-9);
+  }
+}
+
+TEST(BackPressure, HistoryStrideRecordsSparsely) {
+  const StreamNetwork net = chain_network(3.0);
+  const ExtendedGraph xg(net);
+  BackPressureOptions options;
+  options.history_stride = 100;
+  BackPressureOptimizer opt(xg, options);
+  opt.run(1000);
+  // Row for iteration 1 plus one per 100 iterations.
+  EXPECT_LE(opt.history().rows(), 12u);
+  EXPECT_GE(opt.history().rows(), 10u);
+}
+
+TEST(BackPressure, UtilityRisesMonotonicallyInTheLongRun) {
+  const StreamNetwork net = chain_network(100.0);
+  const ExtendedGraph xg(net);
+  BackPressureOptions options;
+  options.history_stride = 200;
+  BackPressureOptimizer opt(xg, options);
+  opt.run(20000);
+  const auto& u = opt.history().column("utility");
+  // After warm-up, the cumulative-average utility is nondecreasing up to
+  // tiny numerical wiggle.
+  for (std::size_t i = 20; i + 1 < u.size(); ++i) {
+    EXPECT_LE(u[i] - u[i + 1], 0.02) << "row " << i;
+  }
+}
+
+TEST(BackPressure, PaperInstanceConvergesNearOptimal) {
+  Rng rng(2007);
+  const StreamNetwork net = maxutil::gen::random_instance({}, rng);
+  const ExtendedGraph xg(net);
+  const auto ref = maxutil::xform::solve_reference(xg);
+  ASSERT_EQ(ref.status, maxutil::lp::LpStatus::kOptimal);
+
+  BackPressureOptions options;
+  options.record_history = false;
+  BackPressureOptimizer opt(xg, options);
+  opt.run(30000);
+  EXPECT_GT(opt.utility(), 0.95 * ref.optimal_utility)
+      << "bp " << opt.utility() << " vs LP " << ref.optimal_utility;
+  EXPECT_LE(opt.utility(), ref.optimal_utility + 1e-6);
+}
+
+// The paper's headline comparison (Figure 4): both algorithms reach the
+// optimum, but the gradient algorithm is orders of magnitude more
+// iteration-efficient than back-pressure.
+TEST(BackPressure, GradientIsAtLeastTenTimesMoreIterationEfficient) {
+  Rng rng(2007);
+  const StreamNetwork net = maxutil::gen::random_instance({}, rng);
+  maxutil::xform::PenaltyConfig penalty;
+  penalty.epsilon = 0.1;
+  const ExtendedGraph xg(net, penalty);
+  const auto ref = maxutil::xform::solve_reference(xg);
+  ASSERT_EQ(ref.status, maxutil::lp::LpStatus::kOptimal);
+  const double target = 0.95 * ref.optimal_utility;
+
+  maxutil::core::GradientOptions gopt;
+  gopt.eta = 0.04;
+  gopt.record_history = false;
+  maxutil::core::GradientOptimizer gradient(xg, gopt);
+  std::size_t gradient_iters = 0;
+  while (gradient.utility() < target && gradient_iters < 20000) {
+    gradient.step();
+    ++gradient_iters;
+  }
+  ASSERT_LT(gradient_iters, 20000u);
+
+  BackPressureOptions bopt;
+  bopt.record_history = false;
+  BackPressureOptimizer bp(xg, bopt);
+  std::size_t bp_iters = 0;
+  while (bp.utility() < target && bp_iters < 200000) {
+    bp.step();
+    ++bp_iters;
+  }
+  ASSERT_LT(bp_iters, 200000u);
+
+  EXPECT_GE(bp_iters, 10 * gradient_iters)
+      << "gradient " << gradient_iters << " vs back-pressure " << bp_iters;
+}
+
+}  // namespace

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.hpp"
+#include "des/event_queue.hpp"
+#include "des/packet_sim.hpp"
+#include "gen/random_instance.hpp"
+#include "stream/model.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace {
+
+using maxutil::core::GradientOptimizer;
+using maxutil::core::GradientOptions;
+using maxutil::des::EventQueue;
+using maxutil::des::PacketSimOptions;
+using maxutil::des::PacketSimulator;
+using maxutil::stream::CommodityId;
+using maxutil::stream::NodeId;
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+using maxutil::util::CheckError;
+using maxutil::util::Rng;
+using maxutil::xform::ExtendedGraph;
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_until(10.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);  // advanced to the horizon once drained
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, HandlersScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) q.schedule_in(1.0, tick);
+  };
+  q.schedule(0.0, tick);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, HorizonStopsEarly) {
+  EventQueue q;
+  int count = 0;
+  q.schedule(1.0, [&] { ++count; });
+  q.schedule(5.0, [&] { ++count; });
+  EXPECT_EQ(q.run_until(2.0), 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule(1.0, [] {}), CheckError);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), CheckError);
+}
+
+// --- Packet-level simulation ---
+
+/// Single server of capacity C with c = 1 and a direct sink: an M/M-ish/1
+/// queue with deterministic service 1/C per unit-size packet (M/D/1).
+StreamNetwork single_server(double capacity, double lambda) {
+  StreamNetwork net;
+  const NodeId a = net.add_server("s", capacity);
+  const NodeId t = net.add_sink("t");
+  const auto l = net.add_link(a, t, 1e9);  // bandwidth not binding
+  const CommodityId j = net.add_commodity("c", a, t, lambda, Utility::linear());
+  net.enable_link(j, l, 1.0);
+  return net;
+}
+
+maxutil::core::RoutingState admit_all(const ExtendedGraph& xg) {
+  auto routing = maxutil::core::RoutingState::initial(xg);
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    routing.set_phi(j, xg.dummy_difference_link(j), 0.0);
+    routing.set_phi(j, xg.dummy_input_link(j), 1.0);
+  }
+  return routing;
+}
+
+TEST(PacketSim, DeliversAdmittedLoadWhenUnderloaded) {
+  // rho = 5/10 = 0.5: everything admitted must be delivered.
+  const StreamNetwork net = single_server(10.0, 5.0);
+  const ExtendedGraph xg(net);
+  PacketSimulator sim(xg, admit_all(xg), {.horizon = 4000.0, .warmup = 400.0});
+  sim.run();
+  const auto stats = sim.commodity_stats(0);
+  EXPECT_NEAR(stats.offered_rate, 5.0, 0.25);
+  EXPECT_NEAR(stats.admitted_rate, stats.offered_rate, 1e-9);
+  EXPECT_NEAR(stats.delivered_rate, stats.offered_rate, 0.05);
+  EXPECT_EQ(stats.rejected_rate, 0.0);
+  EXPECT_GT(stats.delivered_packets, 10000u);
+}
+
+TEST(PacketSim, UtilizationMatchesFluidPrediction) {
+  const StreamNetwork net = single_server(10.0, 5.0);
+  const ExtendedGraph xg(net);
+  PacketSimulator sim(xg, admit_all(xg), {.horizon = 4000.0, .warmup = 400.0});
+  sim.run();
+  // Server usage: 5 units/s x c=1 / C=10 -> rho = 0.5.
+  EXPECT_NEAR(sim.node_stats(0).utilization, 0.5, 0.03);
+}
+
+TEST(PacketSim, MD1LatencyMatchesTheory) {
+  // M/D/1: W_q = lambda s^2 / (2(1-rho)); s = 1/10, rho = 0.5 ->
+  // W_q = 5 * 0.01 / 1 = 0.05, sojourn = s + W_q = 0.15 (the bandwidth hop
+  // is effectively zero-delay at 1e9 capacity).
+  const StreamNetwork net = single_server(10.0, 5.0);
+  const ExtendedGraph xg(net);
+  PacketSimulator sim(xg, admit_all(xg),
+                      {.horizon = 8000.0, .warmup = 800.0, .seed = 3});
+  sim.run();
+  const auto stats = sim.commodity_stats(0);
+  EXPECT_NEAR(stats.mean_latency, 0.15, 0.01);
+}
+
+TEST(PacketSim, BernoulliAdmissionMatchesPhi) {
+  const StreamNetwork net = single_server(100.0, 10.0);
+  const ExtendedGraph xg(net);
+  auto routing = maxutil::core::RoutingState::initial(xg);
+  routing.set_phi(0, xg.dummy_difference_link(0), 0.7);
+  routing.set_phi(0, xg.dummy_input_link(0), 0.3);
+  PacketSimulator sim(xg, routing, {.horizon = 4000.0, .warmup = 400.0});
+  sim.run();
+  const auto stats = sim.commodity_stats(0);
+  EXPECT_NEAR(stats.admitted_rate, 3.0, 0.2);
+  EXPECT_NEAR(stats.rejected_rate, 7.0, 0.3);
+}
+
+TEST(PacketSim, ShrinkageReducesDownstreamWork) {
+  // Two-hop chain with beta = 0.5 after the first stage: the second server
+  // sees half the fluid load.
+  StreamNetwork net;
+  const NodeId a = net.add_server("a", 10.0);
+  const NodeId b = net.add_server("b", 10.0);
+  const NodeId t = net.add_sink("t");
+  const auto ab = net.add_link(a, b, 1e9);
+  const auto bt = net.add_link(b, t, 1e9);
+  const CommodityId j = net.add_commodity("c", a, t, 5.0, Utility::linear());
+  net.enable_link(j, ab, 1.0);
+  net.enable_link(j, bt, 1.0);
+  net.set_potential(j, b, 0.5);
+  net.set_potential(j, t, 0.5);
+  const ExtendedGraph xg(net);
+  PacketSimulator sim(xg, admit_all(xg), {.horizon = 4000.0, .warmup = 400.0});
+  sim.run();
+  EXPECT_NEAR(sim.node_stats(a).utilization, 0.5, 0.03);   // 5 * 1 / 10
+  EXPECT_NEAR(sim.node_stats(b).utilization, 0.25, 0.03);  // 2.5 * 1 / 10
+}
+
+TEST(PacketSim, DeterministicForSeed) {
+  const StreamNetwork net = single_server(10.0, 5.0);
+  const ExtendedGraph xg(net);
+  PacketSimulator a(xg, admit_all(xg), {.horizon = 500.0, .seed = 9});
+  PacketSimulator b(xg, admit_all(xg), {.horizon = 500.0, .seed = 9});
+  a.run();
+  b.run();
+  EXPECT_EQ(a.commodity_stats(0).delivered_packets,
+            b.commodity_stats(0).delivered_packets);
+  EXPECT_DOUBLE_EQ(a.commodity_stats(0).mean_latency,
+                   b.commodity_stats(0).mean_latency);
+}
+
+TEST(PacketSim, RejectsBadOptions) {
+  const StreamNetwork net = single_server(10.0, 5.0);
+  const ExtendedGraph xg(net);
+  PacketSimOptions bad;
+  bad.horizon = 10.0;
+  bad.warmup = 20.0;
+  EXPECT_THROW(PacketSimulator(xg, admit_all(xg), bad), CheckError);
+  PacketSimulator sim(xg, admit_all(xg));
+  EXPECT_THROW(sim.commodity_stats(0), CheckError);  // run() first
+}
+
+// End-to-end: the fluid optimum of a contended random instance, executed at
+// packet level, delivers (approximately) the promised rates with bounded
+// queues — the fluid model's promises survive the queueing reality.
+TEST(PacketSim, FluidOptimumDeliversPromisedRates) {
+  Rng rng(2024);
+  maxutil::gen::RandomInstanceParams p;
+  p.servers = 12;
+  p.commodities = 2;
+  p.stages = 3;
+  p.lambda = 50.0;
+  const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+  maxutil::xform::PenaltyConfig penalty;
+  penalty.epsilon = 0.1;
+  const ExtendedGraph xg(net, penalty);
+  GradientOptions options;
+  options.eta = 0.05;
+  options.record_history = false;
+  options.max_iterations = 6000;
+  GradientOptimizer opt(xg, options);
+  opt.run();
+  const auto fluid = opt.admitted();
+
+  PacketSimulator sim(xg, opt.routing(),
+                      {.horizon = 3000.0, .warmup = 300.0, .packet_size = 0.25});
+  sim.run();
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    const auto stats = sim.commodity_stats(j);
+    EXPECT_NEAR(stats.admitted_rate, fluid[j], 0.12 * fluid[j] + 0.3) << j;
+    EXPECT_NEAR(stats.delivered_rate, stats.admitted_rate,
+                0.05 * stats.admitted_rate + 0.3)
+        << j;
+    EXPECT_GT(stats.mean_latency, 0.0);
+    EXPECT_TRUE(std::isfinite(stats.p95_latency));
+  }
+  // Stability: utilization stays below 1 everywhere (barrier headroom).
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    if (!xg.has_finite_capacity(v)) continue;
+    EXPECT_LT(sim.node_stats(v).utilization, 1.0);
+  }
+  EXPECT_LT(sim.in_flight(), 500u);
+}
+
+
+TEST(PacketSim, MeasuredNodeUsageMatchesFluid) {
+  // Telemetry check: utilization * C at the server equals the fluid f.
+  const StreamNetwork net = single_server(10.0, 5.0);
+  const ExtendedGraph xg(net);
+  PacketSimulator sim(xg, admit_all(xg), {.horizon = 4000.0, .warmup = 400.0});
+  sim.run();
+  const auto usage = sim.measured_node_usage();
+  EXPECT_NEAR(usage[0], 5.0, 0.3);  // f = 5 units/s * c=1
+  const auto edges = sim.measured_edge_usage();
+  // The server's single processing edge carries all of its work.
+  EXPECT_NEAR(edges[xg.processing_edge(0)], 5.0, 0.3);
+}
+
+TEST(PacketSim, MeasuredTrafficMatchesRates) {
+  const StreamNetwork net = single_server(10.0, 5.0);
+  const ExtendedGraph xg(net);
+  auto routing = maxutil::core::RoutingState::initial(xg);
+  routing.set_phi(0, xg.dummy_difference_link(0), 0.4);
+  routing.set_phi(0, xg.dummy_input_link(0), 0.6);
+  PacketSimulator sim(xg, routing, {.horizon = 4000.0, .warmup = 400.0});
+  sim.run();
+  const auto traffic = sim.measured_traffic(0);
+  EXPECT_NEAR(traffic[xg.dummy_source(0)], 5.0, 0.3);  // offered rate
+  EXPECT_NEAR(traffic[0], 3.0, 0.3);                   // admitted 60%
+  // The difference link's measured usage equals the rejected rate — the
+  // signal Y' needs in the closed loop.
+  const auto edges = sim.measured_edge_usage();
+  EXPECT_NEAR(edges[xg.dummy_difference_link(0)], 2.0, 0.3);
+}
+
+TEST(PacketSim, MeanQueueMatchesMD1) {
+  // M/D/1 at rho = 0.5: mean number *waiting* Lq = rho^2 / (2(1-rho)) = 0.25.
+  const StreamNetwork net = single_server(10.0, 5.0);
+  const ExtendedGraph xg(net);
+  PacketSimulator sim(xg, admit_all(xg),
+                      {.horizon = 8000.0, .warmup = 800.0, .seed = 5});
+  sim.run();
+  EXPECT_NEAR(sim.node_stats(0).mean_queue, 0.25, 0.05);
+}
+
+TEST(PacketSim, QueuedPacketsProbe) {
+  const StreamNetwork net = single_server(10.0, 5.0);
+  const ExtendedGraph xg(net);
+  PacketSimulator sim(xg, admit_all(xg), {.horizon = 500.0, .warmup = 50.0});
+  sim.run();
+  std::size_t total = 0;
+  for (NodeId v = 0; v < xg.node_count(); ++v) total += sim.queued_packets(v);
+  EXPECT_EQ(total, sim.in_flight());
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gen/random_instance.hpp"
+#include "lp/frank_wolfe.hpp"
+#include "lp/model.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+namespace {
+
+using maxutil::lp::FrankWolfeOptions;
+using maxutil::lp::kInfinity;
+using maxutil::lp::LpProblem;
+using maxutil::lp::LpStatus;
+using maxutil::lp::Relation;
+using maxutil::lp::VarId;
+using maxutil::util::Rng;
+
+TEST(FrankWolfe, QuadraticOverBox) {
+  // max -(x-3)^2 - (y-1)^2 over [0,2] x [0,2]: optimum at (2, 1).
+  LpProblem box;
+  const VarId x = box.add_variable("x", 0.0, 2.0);
+  const VarId y = box.add_variable("y", 0.0, 2.0);
+  const auto value = [&](const std::vector<double>& p) {
+    return -(p[x] - 3.0) * (p[x] - 3.0) - (p[y] - 1.0) * (p[y] - 1.0);
+  };
+  const auto grad = [&](const std::vector<double>& p) {
+    return std::vector<double>{-2.0 * (p[x] - 3.0), -2.0 * (p[y] - 1.0)};
+  };
+  const auto solution = maxutil::lp::maximize_concave(box, value, grad);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.x[x], 2.0, 1e-4);
+  EXPECT_NEAR(solution.x[y], 1.0, 1e-4);
+  EXPECT_NEAR(solution.objective, -1.0, 1e-6);
+  EXPECT_LT(solution.gap, 1e-5);
+}
+
+TEST(FrankWolfe, LogOverSimplex) {
+  // max log(1+x) + log(1+y) s.t. x + y <= 4: symmetric optimum x = y = 2.
+  LpProblem region;
+  const VarId x = region.add_variable("x", 0.0, kInfinity);
+  const VarId y = region.add_variable("y", 0.0, kInfinity);
+  region.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEq, 4.0);
+  const auto value = [&](const std::vector<double>& p) {
+    return std::log1p(p[x]) + std::log1p(p[y]);
+  };
+  const auto grad = [&](const std::vector<double>& p) {
+    return std::vector<double>{1.0 / (1.0 + p[x]), 1.0 / (1.0 + p[y])};
+  };
+  FrankWolfeOptions options;
+  options.max_iterations = 2000;
+  options.gap_tolerance = 1e-8;
+  const auto solution =
+      maxutil::lp::maximize_concave(region, value, grad, options);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.x[x], 2.0, 1e-2);
+  EXPECT_NEAR(solution.x[y], 2.0, 1e-2);
+  EXPECT_NEAR(solution.objective, 2.0 * std::log(3.0), 1e-5);
+}
+
+TEST(FrankWolfe, LinearObjectiveSolvesInOneIteration) {
+  LpProblem region;
+  const VarId x = region.add_variable("x", 0.0, 5.0);
+  const auto value = [&](const std::vector<double>& p) { return 2.0 * p[x]; };
+  const auto grad = [&](const std::vector<double>&) {
+    return std::vector<double>{2.0};
+  };
+  const auto solution = maxutil::lp::maximize_concave(region, value, grad);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 10.0, 1e-9);
+  EXPECT_LE(solution.iterations, 3u);
+}
+
+TEST(FrankWolfe, ReportsInfeasibleRegion) {
+  LpProblem region;
+  const VarId x = region.add_variable("x", 0.0, kInfinity);
+  region.add_constraint({{x, 1.0}}, Relation::kLessEq, 1.0);
+  region.add_constraint({{x, 1.0}}, Relation::kGreaterEq, 2.0);
+  const auto solution = maxutil::lp::maximize_concave(
+      region, [](const std::vector<double>&) { return 0.0; },
+      [](const std::vector<double>& p) {
+        return std::vector<double>(p.size(), 0.0);
+      });
+  EXPECT_EQ(solution.status, LpStatus::kInfeasible);
+}
+
+// The duality gap bound: value(optimum) - value(x) <= gap. Cross-check on a
+// problem with a known optimum.
+TEST(FrankWolfe, GapBoundsSuboptimality) {
+  LpProblem region;
+  const VarId x = region.add_variable("x", 0.0, 10.0);
+  const auto value = [&](const std::vector<double>& p) {
+    return std::sqrt(1.0 + p[x]);
+  };
+  const auto grad = [&](const std::vector<double>& p) {
+    return std::vector<double>{0.5 / std::sqrt(1.0 + p[x])};
+  };
+  FrankWolfeOptions options;
+  options.max_iterations = 5;  // deliberately under-converged
+  options.gap_tolerance = 0.0;
+  const auto solution =
+      maxutil::lp::maximize_concave(region, value, grad, options);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  const double true_optimum = std::sqrt(11.0);
+  EXPECT_LE(true_optimum - solution.objective, solution.gap + 1e-9);
+}
+
+// The headline cross-check: on stream instances with concave utilities, the
+// Frank-Wolfe optimum over the exact polytope must agree with the PWL-LP
+// reference (two completely different discretizations/algorithms).
+class FwCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(FwCrossCheck, AgreesWithPwlReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 991 + 7);
+  maxutil::gen::RandomInstanceParams p;
+  p.servers = 14;
+  p.commodities = 2;
+  p.stages = 3;
+  p.utility_for = [](maxutil::stream::CommodityId j) {
+    return j % 2 == 0 ? maxutil::stream::Utility::logarithmic()
+                      : maxutil::stream::Utility::square_root();
+  };
+  const auto net = maxutil::gen::random_instance(p, rng);
+  const maxutil::xform::ExtendedGraph xg(net);
+
+  maxutil::xform::ReferenceOptions ropts;
+  ropts.pwl_segments = 400;
+  const auto pwl = maxutil::xform::solve_reference(xg, ropts);
+  ASSERT_EQ(pwl.status, LpStatus::kOptimal);
+
+  const auto fw = maxutil::xform::solve_reference_frank_wolfe(xg, 600);
+  ASSERT_EQ(fw.status, LpStatus::kOptimal);
+
+  EXPECT_NEAR(fw.utility, pwl.optimal_utility,
+              1e-2 * (1.0 + std::abs(pwl.optimal_utility)));
+  // FW never exceeds PWL by more than its own certified gap (PWL slightly
+  // *over*-approximates concave functions between breakpoints).
+  EXPECT_LE(fw.utility, pwl.optimal_utility + fw.duality_gap + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FwCrossCheck, ::testing::Range(0, 6));
+
+}  // namespace

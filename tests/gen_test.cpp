@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/figure1.hpp"
+#include "gen/random_instance.hpp"
+#include "graph/algorithms.hpp"
+#include "stream/validate.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using maxutil::gen::Figure1Ids;
+using maxutil::gen::Figure1Params;
+using maxutil::gen::RandomInstanceParams;
+using maxutil::stream::CommodityId;
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+using maxutil::util::CheckError;
+using maxutil::util::Rng;
+
+TEST(Figure1, MatchesPaperTopology) {
+  Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  EXPECT_EQ(net.node_count(), 10u);  // 8 servers + 2 sinks
+  EXPECT_EQ(net.link_count(), 12u);
+  EXPECT_EQ(net.commodity_count(), 2u);
+
+  // S1 subgraph: 1 -> {2,3} -> {4,5} -> 6 -> Sink1 (9 usable links).
+  std::size_t s1_links = 0;
+  std::size_t s2_links = 0;
+  for (std::size_t l = 0; l < net.link_count(); ++l) {
+    s1_links += net.uses_link(ids.s1, l);
+    s2_links += net.uses_link(ids.s2, l);
+  }
+  EXPECT_EQ(s1_links, 9u);
+  EXPECT_EQ(s2_links, 4u);
+
+  // The shared link 3 -> 5 carries both streams.
+  const auto l35 = net.graph().find_edge(ids.server[2], ids.server[4]);
+  ASSERT_LT(l35, net.link_count());
+  EXPECT_TRUE(net.uses_link(ids.s1, l35));
+  EXPECT_TRUE(net.uses_link(ids.s2, l35));
+}
+
+TEST(Figure1, PerStreamSubgraphsAreDags) {
+  Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  EXPECT_TRUE(maxutil::graph::is_dag(net.graph(), net.commodity_filter(ids.s1)));
+  EXPECT_TRUE(maxutil::graph::is_dag(net.graph(), net.commodity_filter(ids.s2)));
+}
+
+TEST(Figure1, Property1HoldsWithShrinkage) {
+  Figure1Params params;
+  params.stage_shrinkage = 0.7;
+  Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example(params, &ids);
+  EXPECT_TRUE(maxutil::stream::verify_path_independence(net, ids.s1));
+  EXPECT_TRUE(maxutil::stream::verify_path_independence(net, ids.s2));
+  // Four processing stages of shrinkage 0.7 from source to sink.
+  EXPECT_NEAR(net.delivery_gain(ids.s1), 0.7 * 0.7 * 0.7 * 0.7, 1e-12);
+}
+
+TEST(Figure1, ValidatesCleanly) {
+  const StreamNetwork net = maxutil::gen::figure1_example();
+  EXPECT_TRUE(maxutil::stream::validate(net).ok());
+}
+
+TEST(RandomInstance, PaperDefaultsValidate) {
+  Rng rng(2007);
+  const StreamNetwork net = maxutil::gen::random_instance({}, rng);
+  EXPECT_EQ(net.commodity_count(), 3u);
+  // 40 servers + 3 sinks.
+  EXPECT_EQ(net.node_count(), 43u);
+  EXPECT_TRUE(maxutil::stream::validate(net).ok());
+}
+
+TEST(RandomInstance, ParameterDistributionsRespected) {
+  Rng rng(99);
+  RandomInstanceParams p;
+  const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+  for (maxutil::stream::NodeId n = 0; n < net.node_count(); ++n) {
+    if (net.is_sink(n)) continue;
+    EXPECT_GE(net.capacity(n), p.min_capacity);
+    EXPECT_LE(net.capacity(n), p.max_capacity);
+  }
+  for (std::size_t l = 0; l < net.link_count(); ++l) {
+    EXPECT_GE(net.bandwidth(l), p.min_bandwidth);
+    EXPECT_LE(net.bandwidth(l), p.max_bandwidth);
+    for (CommodityId j = 0; j < net.commodity_count(); ++j) {
+      if (!net.uses_link(j, l)) continue;
+      EXPECT_GE(net.consumption(j, l), p.min_consumption);
+      EXPECT_LE(net.consumption(j, l), p.max_consumption);
+      // beta = g_head / g_tail with g in [1, 10]: ratio within [0.1, 10].
+      EXPECT_GE(net.shrinkage(j, l), 0.1 - 1e-12);
+      EXPECT_LE(net.shrinkage(j, l), 10.0 + 1e-12);
+    }
+  }
+}
+
+TEST(RandomInstance, SourcesAreDistinct) {
+  Rng rng(7);
+  RandomInstanceParams p;
+  p.commodities = 5;
+  const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+  std::set<maxutil::stream::NodeId> sources;
+  for (CommodityId j = 0; j < net.commodity_count(); ++j) {
+    sources.insert(net.source(j));
+  }
+  EXPECT_EQ(sources.size(), 5u);
+}
+
+TEST(RandomInstance, CommoditySubgraphsAreDagsAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const StreamNetwork net = maxutil::gen::random_instance({}, rng);
+    for (CommodityId j = 0; j < net.commodity_count(); ++j) {
+      EXPECT_TRUE(
+          maxutil::graph::is_dag(net.graph(), net.commodity_filter(j)))
+          << "seed " << seed << " commodity " << j;
+    }
+  }
+}
+
+TEST(RandomInstance, DeterministicForSeed) {
+  Rng rng1(5), rng2(5);
+  const StreamNetwork a = maxutil::gen::random_instance({}, rng1);
+  const StreamNetwork b = maxutil::gen::random_instance({}, rng2);
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t l = 0; l < a.link_count(); ++l) {
+    EXPECT_DOUBLE_EQ(a.bandwidth(l), b.bandwidth(l));
+  }
+  for (maxutil::stream::NodeId n = 0; n < a.node_count(); ++n) {
+    EXPECT_DOUBLE_EQ(a.capacity(n), b.capacity(n));
+  }
+}
+
+TEST(RandomInstance, DepthControlsLongestPath) {
+  Rng rng(3);
+  RandomInstanceParams p;
+  p.stages = 8;
+  p.min_width = 2;
+  p.max_width = 2;
+  const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+  for (CommodityId j = 0; j < net.commodity_count(); ++j) {
+    // Exactly `stages` processing hops: stages-1 between server layers plus
+    // the delivery hop into the sink.
+    EXPECT_EQ(maxutil::graph::longest_path_length(net.graph(),
+                                                  net.commodity_filter(j)),
+              p.stages);
+  }
+}
+
+TEST(RandomInstance, CustomUtilityApplied) {
+  Rng rng(21);
+  RandomInstanceParams p;
+  p.utility_for = [](CommodityId) { return Utility::logarithmic(2.0); };
+  const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+  EXPECT_FALSE(net.utility(0).is_linear());
+  EXPECT_DOUBLE_EQ(net.utility(0).weight(), 2.0);
+}
+
+TEST(RandomInstance, RejectsImpossibleParameters) {
+  Rng rng(1);
+  RandomInstanceParams p;
+  p.servers = 5;
+  p.stages = 10;
+  p.min_width = 2;
+  p.max_width = 2;
+  EXPECT_THROW(maxutil::gen::random_instance(p, rng), CheckError);
+  RandomInstanceParams q;
+  q.commodities = 0;
+  EXPECT_THROW(maxutil::gen::random_instance(q, rng), CheckError);
+}
+
+TEST(RandomInstance, Property1HoldsOnSmallInstance) {
+  Rng rng(17);
+  RandomInstanceParams p;
+  p.servers = 12;
+  p.commodities = 2;
+  p.stages = 3;
+  const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+  for (CommodityId j = 0; j < net.commodity_count(); ++j) {
+    EXPECT_TRUE(maxutil::stream::verify_path_independence(net, j));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using maxutil::graph::Digraph;
+using maxutil::graph::EdgeId;
+using maxutil::graph::NodeId;
+using maxutil::util::CheckError;
+
+Digraph diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Digraph, NodesAndEdges) {
+  Digraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  const EdgeId e = g.add_edge(a, b);
+  EXPECT_EQ(g.tail(e), a);
+  EXPECT_EQ(g.head(e), b);
+  EXPECT_EQ(g.out_degree(a), 1u);
+  EXPECT_EQ(g.in_degree(b), 1u);
+  EXPECT_EQ(g.in_degree(a), 0u);
+}
+
+TEST(Digraph, RejectsBadEdges) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), CheckError);
+  EXPECT_THROW(g.add_edge(0, 0), CheckError);
+  EXPECT_THROW(g.tail(0), CheckError);
+}
+
+TEST(Digraph, ParallelEdgesAllowed) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(Digraph, FindEdge) {
+  const Digraph g = diamond();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.find_edge(3, 0), g.edge_count());
+}
+
+TEST(Digraph, DotContainsAllEdges) {
+  const Digraph g = diamond();
+  const std::string dot = g.to_dot({"s", "a", "b", "t"});
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"s\""), std::string::npos);
+}
+
+TEST(Topo, SortsDiamond) {
+  const Digraph g = diamond();
+  const auto order = maxutil::graph::topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Topo, DetectsCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(maxutil::graph::topological_sort(g).has_value());
+  EXPECT_FALSE(maxutil::graph::is_dag(g));
+}
+
+TEST(Topo, FilterBreaksCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const EdgeId back = g.add_edge(2, 0);
+  const auto filter = [back](EdgeId e) { return e != back; };
+  EXPECT_TRUE(maxutil::graph::is_dag(g, filter));
+}
+
+TEST(Reachability, ForwardAndBackward) {
+  const Digraph g = diamond();
+  const auto fwd = maxutil::graph::reachable_from(g, 1);
+  EXPECT_TRUE(fwd[1]);
+  EXPECT_TRUE(fwd[3]);
+  EXPECT_FALSE(fwd[0]);
+  EXPECT_FALSE(fwd[2]);
+  const auto bwd = maxutil::graph::reaches(g, 1);
+  EXPECT_TRUE(bwd[0]);
+  EXPECT_TRUE(bwd[1]);
+  EXPECT_FALSE(bwd[2]);
+  EXPECT_FALSE(bwd[3]);
+}
+
+TEST(LongestPath, DiamondAndChain) {
+  EXPECT_EQ(maxutil::graph::longest_path_length(diamond()), 2u);
+  Digraph chain(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) chain.add_edge(i, i + 1);
+  EXPECT_EQ(maxutil::graph::longest_path_length(chain), 4u);
+}
+
+TEST(LongestPath, CyclicThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(maxutil::graph::longest_path_length(g), CheckError);
+}
+
+TEST(EnumeratePaths, Diamond) {
+  const Digraph g = diamond();
+  const auto paths = maxutil::graph::enumerate_paths(g, 0, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 3u);
+    EXPECT_EQ(p.size(), 3u);
+  }
+}
+
+TEST(EnumeratePaths, RespectsLimit) {
+  // A ladder with many paths; max_paths caps output.
+  Digraph g(8);
+  for (NodeId i = 0; i + 2 < 8; i += 2) {
+    g.add_edge(i, i + 1);
+    g.add_edge(i, i + 2);
+    g.add_edge(i + 1, i + 2);
+    g.add_edge(i + 1, i + 3);
+  }
+  const auto paths = maxutil::graph::enumerate_paths(g, 0, 6, {}, 3);
+  EXPECT_LE(paths.size(), 3u);
+  EXPECT_GE(paths.size(), 1u);
+}
+
+TEST(Connectivity, WeaklyConnected) {
+  EXPECT_TRUE(maxutil::graph::is_weakly_connected(diamond()));
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(maxutil::graph::is_weakly_connected(g));
+  EXPECT_TRUE(maxutil::graph::is_weakly_connected(Digraph(1)));
+  EXPECT_TRUE(maxutil::graph::is_weakly_connected(Digraph(0)));
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+#include "la/sparse.hpp"
+#include "la/vector_ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using maxutil::la::CsrMatrix;
+using maxutil::la::LuFactorization;
+using maxutil::la::Matrix;
+using maxutil::la::Triplet;
+using maxutil::util::CheckError;
+using maxutil::util::Rng;
+
+TEST(VectorOps, DotAxpyNorms) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(maxutil::la::dot(a, b), 32.0);
+  std::vector<double> y = b;
+  maxutil::la::axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  EXPECT_DOUBLE_EQ(maxutil::la::norm_inf(a), 3.0);
+  EXPECT_DOUBLE_EQ(maxutil::la::norm2(std::vector<double>{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(maxutil::la::sum(a), 6.0);
+  const auto d = maxutil::la::subtract(b, a);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(maxutil::la::dot(a, b), CheckError);
+  std::vector<double> y{1.0};
+  EXPECT_THROW(maxutil::la::axpy(1.0, b, y), CheckError);
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_THROW(m(2, 0), CheckError);
+  EXPECT_THROW(m(0, 3), CheckError);
+}
+
+TEST(Matrix, InitializerListAndRaggedRejected) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(Matrix({{1.0, 2.0}, {3.0}}), CheckError);
+}
+
+TEST(Matrix, IdentityMultiply) {
+  const Matrix eye = Matrix::identity(3);
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_EQ(eye.multiply(x), x);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const auto y = m.multiply(std::vector<double>{1.0, 1.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 11.0);
+  const auto xt = m.multiply_transposed(std::vector<double>{1.0, 0.0, 1.0});
+  ASSERT_EQ(xt.size(), 2u);
+  EXPECT_DOUBLE_EQ(xt[0], 6.0);
+  EXPECT_DOUBLE_EQ(xt[1], 8.0);
+}
+
+TEST(Matrix, MatrixProductAndTranspose) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+  const Matrix at = a.transposed();
+  EXPECT_DOUBLE_EQ(at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(at(1, 0), 2.0);
+}
+
+TEST(Matrix, SwapRows) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  m.swap_rows(0, 1);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 2.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  // x + 2y = 5; 3x + 4y = 11  ->  x = 1, y = 2.
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const auto x = maxutil::la::solve_dense(a, std::vector<double>{5.0, 11.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero top-left pivot forces a row swap.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = maxutil::la::solve_dense(a, std::vector<double>{3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuFactorization{a}, CheckError);
+}
+
+TEST(Lu, NonSquareThrows) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(LuFactorization{a}, CheckError);
+}
+
+TEST(Lu, Determinant) {
+  const Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(LuFactorization(a).determinant(), 6.0, 1e-12);
+  const Matrix swapped{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(LuFactorization(swapped).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(1, 12));
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+      a(r, r) += 4.0;  // diagonally dominant, hence invertible
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-10.0, 10.0);
+    const auto b = a.multiply(x_true);
+    const auto x = maxutil::la::solve_dense(a, b);
+    EXPECT_LT(maxutil::util::max_abs_diff(x, x_true), 1e-8);
+  }
+}
+
+TEST(Lu, TransposedSolveRoundTrip) {
+  Rng rng(103);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += 3.0;
+  }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-5.0, 5.0);
+  const auto b = a.multiply_transposed(x_true);  // b = A^T x
+  const LuFactorization lu(a);
+  const auto x = lu.solve_transposed(b);
+  EXPECT_LT(maxutil::util::max_abs_diff(x, x_true), 1e-9);
+}
+
+TEST(Csr, AssemblyAccumulatesDuplicates) {
+  CsrMatrix m(2, 2,
+              {{0, 1, 2.0}, {0, 1, 3.0}, {1, 0, 1.0}});
+  EXPECT_EQ(m.nonzeros(), 2u);
+  const auto row0 = m.row_entries(0);
+  ASSERT_EQ(row0.size(), 1u);
+  EXPECT_EQ(row0[0].first, 1u);
+  EXPECT_DOUBLE_EQ(row0[0].second, 5.0);
+}
+
+TEST(Csr, OutOfRangeEntryThrows) {
+  EXPECT_THROW(CsrMatrix(2, 2, {{2, 0, 1.0}}), CheckError);
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  Rng rng(107);
+  const std::size_t n = 20;
+  Matrix dense(n, n);
+  std::vector<Triplet> entries;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (rng.chance(0.2)) {
+        const double v = rng.uniform(-1.0, 1.0);
+        dense(r, c) = v;
+        entries.push_back({r, c, v});
+      }
+    }
+  }
+  const CsrMatrix sparse(n, n, entries);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-3.0, 3.0);
+  EXPECT_LT(maxutil::util::max_abs_diff(sparse.multiply(x), dense.multiply(x)),
+            1e-12);
+  EXPECT_LT(maxutil::util::max_abs_diff(sparse.multiply_transposed(x),
+                                        dense.multiply_transposed(x)),
+            1e-12);
+}
+
+TEST(Csr, FixedPointSolvesTriangularSystem) {
+  // x = b + A x with A strictly lower-triangular (loop-free routing shape).
+  const CsrMatrix a(3, 3, {{1, 0, 0.5}, {2, 0, 0.25}, {2, 1, 0.5}});
+  const std::vector<double> b{1.0, 0.0, 0.0};
+  const auto x = a.solve_fixed_point(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 0.5, 1e-10);
+  EXPECT_NEAR(x[2], 0.5, 1e-10);
+}
+
+TEST(Csr, FixedPointContractiveCycleConverges) {
+  // A has a cycle but spectral radius 0.25 < 1.
+  const CsrMatrix a(2, 2, {{0, 1, 0.5}, {1, 0, 0.5}});
+  const std::vector<double> b{1.0, 0.0};
+  const auto x = a.solve_fixed_point(b);
+  // x0 = 1 + 0.5 x1, x1 = 0.5 x0  ->  x0 = 4/3, x1 = 2/3.
+  EXPECT_NEAR(x[0], 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(Csr, FixedPointDivergesOnExpandingCycle) {
+  const CsrMatrix a(2, 2, {{0, 1, 2.0}, {1, 0, 2.0}});
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_THROW(a.solve_fixed_point(b, 1e-12, 200), CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Remaining edge-path coverage: accessor error paths, growth-order
+// invariants in the model, extended-graph kind guards, and runtime
+// payload accounting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gen/figure1.hpp"
+#include "graph/digraph.hpp"
+#include "sim/distributed_gradient.hpp"
+#include "sim/runtime.hpp"
+#include "stream/model.hpp"
+#include "util/check.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace {
+
+using maxutil::stream::CommodityId;
+using maxutil::stream::NodeId;
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+using maxutil::util::CheckError;
+using maxutil::xform::ExtendedGraph;
+
+TEST(Misc, DigraphDotWithoutLabels) {
+  maxutil::graph::Digraph g(2);
+  g.add_edge(0, 1);
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_EQ(dot.find("label"), std::string::npos);
+}
+
+TEST(Misc, ModelGrowsPotentialVectorsForLateNodes) {
+  // Nodes added *after* a commodity exists must still carry the default
+  // potential 1 for it.
+  StreamNetwork net;
+  const NodeId a = net.add_server("a", 5.0);
+  const NodeId t = net.add_sink("t");
+  const auto at = net.add_link(a, t, 5.0);
+  const CommodityId j = net.add_commodity("c", a, t, 1.0, Utility::linear());
+  net.enable_link(j, at, 1.0);
+  const NodeId late = net.add_server("late", 5.0);
+  EXPECT_DOUBLE_EQ(net.potential(j, late), 1.0);
+  // And late links default to unusable for existing commodities.
+  const auto al = net.add_link(a, late, 5.0);
+  EXPECT_FALSE(net.uses_link(j, al));
+}
+
+TEST(Misc, ExtendedGraphKindGuards) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  const ExtendedGraph xg(net);
+  // physical_link only exists for processing/transfer edges.
+  EXPECT_THROW(xg.physical_link(xg.dummy_input_link(0)), CheckError);
+  // dummy_commodity only exists for dummy edges.
+  EXPECT_THROW(xg.dummy_commodity(xg.processing_edge(0)), CheckError);
+  // physical_node is only valid for server/sink nodes.
+  EXPECT_THROW(xg.physical_node(xg.bandwidth_node(0)), CheckError);
+  EXPECT_THROW(xg.physical_link_of_bandwidth_node(0), CheckError);
+  // beta/cost_rate reject unusable (commodity, edge) pairs.
+  EXPECT_THROW(xg.beta(ids.s2, xg.dummy_input_link(ids.s1)), CheckError);
+  EXPECT_THROW(xg.cost_rate(ids.s2, xg.dummy_input_link(ids.s1)), CheckError);
+}
+
+TEST(Misc, ExtendedGraphEdgeHelpers) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  const ExtendedGraph xg(net);
+  for (std::size_t l = 0; l < net.link_count(); ++l) {
+    const auto pe = xg.processing_edge(l);
+    const auto te = xg.transfer_edge(l);
+    EXPECT_EQ(xg.link_kind(pe), maxutil::xform::LinkKind::kProcessing);
+    EXPECT_EQ(xg.link_kind(te), maxutil::xform::LinkKind::kTransfer);
+    EXPECT_EQ(xg.physical_link(pe), l);
+    EXPECT_EQ(xg.physical_link(te), l);
+    EXPECT_EQ(xg.graph().head(pe), xg.bandwidth_node(l));
+    EXPECT_EQ(xg.graph().tail(te), xg.bandwidth_node(l));
+  }
+}
+
+TEST(Misc, MarginalMessagesCarryCurvaturePayload) {
+  // The marginal wave's payload is [edge, dr, tag, K]: 4 doubles per
+  // message; forecast messages carry 2. The payload counter must reflect
+  // the mix (strictly more than 2 doubles per message on average).
+  const StreamNetwork net = maxutil::gen::figure1_example();
+  const ExtendedGraph xg(net);
+  maxutil::sim::DistributedGradientSystem system(xg);
+  system.iterate();
+  const auto& rt = system.runtime();
+  EXPECT_GT(rt.delivered_payload_doubles(), 2 * rt.delivered_messages());
+  EXPECT_LT(rt.delivered_payload_doubles(), 4 * rt.delivered_messages());
+}
+
+TEST(Misc, UtilityAccessorsForScenarioTokens) {
+  EXPECT_DOUBLE_EQ(Utility::linear(3.0).alpha(), 0.0);
+  EXPECT_DOUBLE_EQ(Utility::logarithmic().alpha(), 1.0);
+  EXPECT_DOUBLE_EQ(Utility::square_root().alpha(), 0.5);
+  EXPECT_EQ(Utility::linear().family(), Utility::Family::kLinear);
+}
+
+TEST(Misc, SecondDerivativesAreConcave) {
+  for (const Utility u : {Utility::linear(), Utility::logarithmic(2.0),
+                          Utility::square_root(), Utility::alpha_fair(2.0)}) {
+    for (const double a : {0.1, 1.0, 10.0}) {
+      EXPECT_LE(u.second_derivative(a), 1e-12) << u.describe();
+    }
+  }
+  // Finite-difference spot check for the log family.
+  const Utility u = Utility::logarithmic(2.0);
+  const double h = 1e-5, a = 3.0;
+  const double fd =
+      (u.derivative(a + h) - u.derivative(a - h)) / (2.0 * h);
+  EXPECT_NEAR(u.second_derivative(a), fd, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "placement/greedy_placer.hpp"
+#include "stream/validate.hpp"
+#include "util/check.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace {
+
+using maxutil::placement::GreedyPlacer;
+using maxutil::placement::PlacementRequest;
+using maxutil::stream::NodeId;
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+using maxutil::util::CheckError;
+
+StreamNetwork cluster(std::size_t n, std::vector<NodeId>* servers) {
+  StreamNetwork net;
+  for (std::size_t i = 0; i < n; ++i) {
+    servers->push_back(net.add_server("s" + std::to_string(i), 100.0));
+  }
+  return net;
+}
+
+TEST(Placement, ProducesValidNetwork) {
+  std::vector<NodeId> servers;
+  StreamNetwork net = cluster(10, &servers);
+  GreedyPlacer placer(net, servers, 50.0);
+  PlacementRequest request;
+  request.name = "q1";
+  request.source = servers[0];
+  request.stages = 3;
+  request.replicas_per_stage = 2;
+  const auto j = placer.place(request);
+  EXPECT_EQ(j, 0u);
+  EXPECT_TRUE(maxutil::stream::validate(net).ok())
+      << maxutil::stream::validate(net).to_string();
+  EXPECT_TRUE(maxutil::stream::verify_path_independence(net, j));
+}
+
+TEST(Placement, StageGainSetsDeliveryGain) {
+  std::vector<NodeId> servers;
+  StreamNetwork net = cluster(10, &servers);
+  GreedyPlacer placer(net, servers, 50.0);
+  PlacementRequest request;
+  request.name = "q1";
+  request.source = servers[0];
+  request.stages = 2;
+  request.replicas_per_stage = 1;
+  request.stage_gain = 0.5;
+  const auto j = placer.place(request);
+  // stages + delivery hop: gain = 0.5^3.
+  EXPECT_NEAR(net.delivery_gain(j), 0.125, 1e-12);
+}
+
+TEST(Placement, BalancesLoadAcrossChains) {
+  std::vector<NodeId> servers;
+  StreamNetwork net = cluster(9, &servers);
+  GreedyPlacer placer(net, servers, 50.0);
+  PlacementRequest request;
+  request.source = servers[0];
+  request.stages = 2;
+  request.replicas_per_stage = 2;
+  request.lambda = 8.0;
+  for (int q = 0; q < 2; ++q) {
+    request.name = "q" + std::to_string(q);
+    placer.place(request);
+  }
+  // The two chains must not pile onto the same interior servers: no server
+  // (except the shared source) should carry more than one stage's bump plus
+  // the source charge.
+  int heavily_loaded = 0;
+  for (const NodeId s : servers) {
+    if (placer.projected_load(s) > 8.0 + 1e-9) ++heavily_loaded;
+  }
+  EXPECT_LE(heavily_loaded, 1);  // only the shared source
+}
+
+TEST(Placement, PlacedChainIsOptimizable) {
+  std::vector<NodeId> servers;
+  StreamNetwork net = cluster(8, &servers);
+  GreedyPlacer placer(net, servers, 50.0);
+  PlacementRequest request;
+  request.name = "q";
+  request.source = servers[0];
+  request.stages = 2;
+  request.replicas_per_stage = 2;
+  request.lambda = 5.0;
+  placer.place(request);
+  const maxutil::xform::ExtendedGraph xg(net);
+  maxutil::core::GradientOptions options;
+  options.eta = 0.2;
+  options.max_iterations = 2000;
+  options.record_history = false;
+  maxutil::core::GradientOptimizer opt(xg, options);
+  opt.run();
+  EXPECT_GT(opt.utility(), 4.5);  // ample capacity: admits nearly all
+}
+
+TEST(Placement, RejectsBadRequests) {
+  std::vector<NodeId> servers;
+  StreamNetwork net = cluster(4, &servers);
+  EXPECT_THROW(GreedyPlacer(net, {}, 50.0), CheckError);
+  EXPECT_THROW(GreedyPlacer(net, {servers[0], servers[0]}, 50.0), CheckError);
+  GreedyPlacer placer(net, servers, 50.0);
+  PlacementRequest request;
+  request.name = "too-big";
+  request.source = servers[0];
+  request.stages = 4;
+  request.replicas_per_stage = 2;
+  EXPECT_THROW(placer.place(request), CheckError);
+}
+
+}  // namespace

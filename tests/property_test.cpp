@@ -1,0 +1,240 @@
+// Cross-cutting property tests: classic adversarial inputs (Beale's cycling
+// LP), independent-algorithm cross-checks for the graph substrate, and
+// randomized invariants for routing/flows/Gamma.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/gamma.hpp"
+#include "core/marginals.hpp"
+#include "core/routing.hpp"
+#include "gen/random_instance.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "la/matrix.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "stream/utility.hpp"
+#include "util/rng.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace {
+
+using maxutil::graph::Digraph;
+using maxutil::graph::EdgeId;
+using maxutil::graph::NodeId;
+using maxutil::lp::LpProblem;
+using maxutil::lp::LpStatus;
+using maxutil::lp::Relation;
+using maxutil::lp::VarId;
+using maxutil::stream::Utility;
+using maxutil::util::Rng;
+using maxutil::xform::ExtendedGraph;
+
+// --- Simplex: Beale's classic cycling example must terminate optimally. ---
+TEST(Property, SimplexSurvivesBealeCycling) {
+  // min -3/4 x1 + 150 x2 - 1/50 x3 + 6 x4
+  // s.t. 1/4 x1 - 60 x2 - 1/25 x3 + 9 x4 <= 0
+  //      1/2 x1 - 90 x2 - 1/50 x3 + 3 x4 <= 0
+  //      x3 <= 1, x >= 0.      Optimum -1/20 at x1 = 1/25... famously cycles
+  // under naive Dantzig pivoting without anti-cycling protection.
+  LpProblem p;
+  const VarId x1 = p.add_variable("x1", 0.0, maxutil::lp::kInfinity, -0.75);
+  const VarId x2 = p.add_variable("x2", 0.0, maxutil::lp::kInfinity, 150.0);
+  const VarId x3 = p.add_variable("x3", 0.0, maxutil::lp::kInfinity, -0.02);
+  const VarId x4 = p.add_variable("x4", 0.0, maxutil::lp::kInfinity, 6.0);
+  p.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   Relation::kLessEq, 0.0);
+  p.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   Relation::kLessEq, 0.0);
+  p.add_constraint({{x3, 1.0}}, Relation::kLessEq, 1.0);
+  const auto s = maxutil::lp::solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+  EXPECT_LT(p.max_violation(s.x), 1e-9);
+  EXPECT_NEAR(s.x[x3], 1.0, 1e-9);
+}
+
+// --- Graph: reachability cross-checked against boolean matrix closure. ---
+class GraphClosureProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphClosureProperty, ReachabilityMatchesMatrixClosure) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  const std::size_t n = 3 + rng.index(6);
+  Digraph g(n);
+  maxutil::la::Matrix adj(n, n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b && rng.chance(0.3)) {
+        g.add_edge(a, b);
+        adj(a, b) = 1.0;
+      }
+    }
+  }
+  // Transitive closure by repeated boolean squaring (independent algorithm).
+  maxutil::la::Matrix closure = adj;
+  for (std::size_t round = 0; round < n; ++round) {
+    maxutil::la::Matrix next = closure;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        if (closure(i, k) == 0.0) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (closure(k, j) != 0.0 || adj(k, j) != 0.0) next(i, j) = 1.0;
+        }
+      }
+    }
+    closure = next;
+  }
+  for (NodeId start = 0; start < n; ++start) {
+    const auto reach = maxutil::graph::reachable_from(g, start);
+    for (NodeId target = 0; target < n; ++target) {
+      if (target == start) {
+        EXPECT_TRUE(reach[target]);
+        continue;
+      }
+      EXPECT_EQ(reach[target], closure(start, target) != 0.0)
+          << start << " -> " << target;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphClosureProperty, ::testing::Range(0, 15));
+
+// --- Graph: longest path agrees with explicit path enumeration on DAGs. ---
+class LongestPathProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LongestPathProperty, MatchesEnumeration) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 3);
+  const std::size_t n = 4 + rng.index(4);
+  Digraph g(n);
+  // Random DAG: edges only forward in id order.
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (rng.chance(0.4)) g.add_edge(a, b);
+    }
+  }
+  std::size_t longest = 0;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      for (const auto& path : maxutil::graph::enumerate_paths(g, a, b)) {
+        longest = std::max(longest, path.size() - 1);
+      }
+    }
+  }
+  EXPECT_EQ(maxutil::graph::longest_path_length(g), longest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LongestPathProperty, ::testing::Range(0, 15));
+
+// --- Utilities: all families are increasing and midpoint-concave. ---
+TEST(Property, UtilityFamiliesIncreasingAndConcave) {
+  const std::vector<Utility> families{
+      Utility::linear(2.0), Utility::logarithmic(), Utility::square_root(3.0),
+      Utility::alpha_fair(0.5), Utility::alpha_fair(1.0),
+      Utility::alpha_fair(2.0), Utility::alpha_fair(3.0, 0.5)};
+  Rng rng(404);
+  for (const Utility& u : families) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const double a = rng.uniform(0.0, 50.0);
+      const double b = rng.uniform(0.0, 50.0);
+      if (std::abs(a - b) < 1e-9) continue;
+      const double lo = std::min(a, b), hi = std::max(a, b);
+      EXPECT_LE(u.value(lo), u.value(hi) + 1e-12) << u.describe();
+      const double mid = u.value((a + b) / 2.0);
+      EXPECT_GE(mid, (u.value(a) + u.value(b)) / 2.0 - 1e-9) << u.describe();
+    }
+  }
+}
+
+// --- Flows: conservation holds for *any* valid routing, not just optimizer
+// iterates. ---
+class FlowConservationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowConservationProperty, RandomRoutingsBalance) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 389 + 11);
+  maxutil::gen::RandomInstanceParams p;
+  p.servers = 12;
+  p.commodities = 2;
+  p.stages = 3;
+  const auto net = maxutil::gen::random_instance(p, rng);
+  const ExtendedGraph xg(net);
+  // Random valid routing: uniform Dirichlet-ish fractions per node.
+  maxutil::core::RoutingState routing(xg);
+  for (maxutil::stream::CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    for (const NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j)) continue;
+      std::vector<EdgeId> usable;
+      for (const EdgeId e : xg.graph().out_edges(v)) {
+        if (xg.usable(j, e)) usable.push_back(e);
+      }
+      std::vector<double> weights(usable.size());
+      double total = 0.0;
+      for (double& w : weights) {
+        w = rng.uniform(0.01, 1.0);
+        total += w;
+      }
+      for (std::size_t i = 0; i < usable.size(); ++i) {
+        routing.set_phi(j, usable[i], weights[i] / total);
+      }
+    }
+  }
+  ASSERT_TRUE(routing.is_valid(xg, 1e-9));
+  const auto flows = maxutil::core::compute_flows(xg, routing);
+  EXPECT_NEAR(maxutil::core::max_balance_residual(xg, flows), 0.0, 1e-9);
+  // f_node is exactly the sum of its outgoing f_edge.
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    double total = 0.0;
+    for (const EdgeId e : xg.graph().out_edges(v)) total += flows.f_edge[e];
+    EXPECT_NEAR(flows.f_node[v], total, 1e-9);
+  }
+  // Everything admitted is eventually delivered (scaled by the gain):
+  // t at the sink equals admitted * delivery_gain.
+  for (maxutil::stream::CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    const double admitted = maxutil::core::admitted_rate(xg, flows, j);
+    const double expected_at_sink =
+        admitted * net.delivery_gain(j) + (xg.lambda(j) - admitted);
+    EXPECT_NEAR(flows.t[j][xg.sink(j)], expected_at_sink, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowConservationProperty,
+                         ::testing::Range(0, 10));
+
+// --- Gamma: invariants survive arbitrary update sequences. ---
+class GammaInvariantProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GammaInvariantProperty, RandomEtaSequencesKeepInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 29);
+  maxutil::gen::RandomInstanceParams p;
+  p.servers = 12;
+  p.commodities = 2;
+  p.stages = 3;
+  const auto net = maxutil::gen::random_instance(p, rng);
+  const ExtendedGraph xg(net);
+  auto routing = maxutil::core::RoutingState::initial(xg);
+  for (int it = 0; it < 60; ++it) {
+    const auto flows = maxutil::core::compute_flows(xg, routing);
+    if (!std::isfinite(flows.cost())) break;  // random eta may overshoot
+    const auto marginals =
+        maxutil::core::compute_marginals(xg, routing, flows);
+    maxutil::core::GammaOptions options;
+    options.eta = rng.uniform(0.001, 0.5);
+    maxutil::core::apply_gamma(xg, flows, marginals, options, routing);
+    ASSERT_TRUE(routing.is_valid(xg, 1e-7)) << "iteration " << it;
+    // Support stays within the usable DAG: loop freedom is structural.
+    for (maxutil::stream::CommodityId j = 0; j < xg.commodity_count(); ++j) {
+      EXPECT_TRUE(maxutil::graph::is_dag(
+          xg.graph(), [&](EdgeId e) { return routing.phi(j, e) > 0.0; }));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GammaInvariantProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "gen/figure1.hpp"
+#include "gen/random_instance.hpp"
+#include "scenario/scenario.hpp"
+#include "stream/validate.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+using maxutil::util::CheckError;
+
+const char* kTiny = R"(
+# a tiny pipeline
+server a 10
+server b 20      # the filter
+sink t
+link a b 5
+link b t 6
+commodity feed a t 8 linear
+use feed a b 2
+use feed b t 1
+potential feed b 0.5
+potential feed t 0.5
+)";
+
+TEST(Scenario, ParsesTinyPipeline) {
+  const StreamNetwork net = maxutil::scenario::parse_string(kTiny);
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_EQ(net.link_count(), 2u);
+  ASSERT_EQ(net.commodity_count(), 1u);
+  EXPECT_EQ(net.node_name(0), "a");
+  EXPECT_DOUBLE_EQ(net.capacity(1), 20.0);
+  EXPECT_TRUE(net.is_sink(2));
+  EXPECT_DOUBLE_EQ(net.bandwidth(0), 5.0);
+  EXPECT_DOUBLE_EQ(net.lambda(0), 8.0);
+  EXPECT_TRUE(net.utility(0).is_linear());
+  EXPECT_DOUBLE_EQ(net.consumption(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(net.shrinkage(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(net.shrinkage(0, 1), 1.0);
+  EXPECT_TRUE(maxutil::stream::validate(net).ok());
+}
+
+TEST(Scenario, UtilityTokens) {
+  EXPECT_TRUE(maxutil::scenario::parse_utility("linear").is_linear());
+  EXPECT_DOUBLE_EQ(maxutil::scenario::parse_utility("linear*2.5").weight(), 2.5);
+  EXPECT_EQ(maxutil::scenario::parse_utility("log").family(),
+            Utility::Family::kLog);
+  EXPECT_EQ(maxutil::scenario::parse_utility("sqrt*3").family(),
+            Utility::Family::kSqrt);
+  const Utility alpha = maxutil::scenario::parse_utility("alpha2*0.5");
+  EXPECT_EQ(alpha.family(), Utility::Family::kAlphaFair);
+  EXPECT_DOUBLE_EQ(alpha.alpha(), 2.0);
+  EXPECT_DOUBLE_EQ(alpha.weight(), 0.5);
+  EXPECT_THROW(maxutil::scenario::parse_utility("cubic"), CheckError);
+  EXPECT_THROW(maxutil::scenario::parse_utility("linear*x"), CheckError);
+  EXPECT_THROW(maxutil::scenario::parse_utility("alphaX"), CheckError);
+}
+
+TEST(Scenario, UtilityTokenRoundTrip) {
+  for (const Utility u :
+       {Utility::linear(), Utility::linear(2.0), Utility::logarithmic(3.0),
+        Utility::square_root(), Utility::alpha_fair(2.0, 0.5)}) {
+    const Utility parsed =
+        maxutil::scenario::parse_utility(maxutil::scenario::utility_token(u));
+    EXPECT_EQ(parsed.family(), u.family());
+    EXPECT_DOUBLE_EQ(parsed.weight(), u.weight());
+    EXPECT_NEAR(parsed.value(3.7), u.value(3.7), 1e-12);
+  }
+}
+
+TEST(Scenario, ParseErrorsCarryLineNumbers) {
+  const auto expect_error = [](const char* text, const char* fragment) {
+    try {
+      maxutil::scenario::parse_string(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos) << text;
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("server a\n", "expects 2 arguments");
+  expect_error("frobnicate x\n", "unknown keyword");
+  expect_error("server a ten\n", "expected a number");
+  expect_error("server a 1\nserver a 2\n", "duplicate node");
+  expect_error("link a b 1\n", "unknown node");
+  expect_error("server a 1\nsink t\nuse c a t 1\n", "unknown commodity");
+  expect_error("server a 1\nsink t\nlink a t 1\n"
+               "commodity c a t 5 linear\nuse c t a 1\n",
+               "no link");
+  expect_error("server a 1\nsink t\nlink a t 1\n"
+               "commodity c a t 5 cubic\n",
+               "unknown utility");
+  // Model-layer rule violations are also tagged with the line.
+  expect_error("server a 0\n", "line 1");
+}
+
+TEST(Scenario, RoundTripPreservesNetwork) {
+  maxutil::util::Rng rng(33);
+  maxutil::gen::RandomInstanceParams p;
+  p.servers = 12;
+  p.commodities = 2;
+  p.stages = 3;
+  const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+  const std::string text = maxutil::scenario::write_string(net);
+  const StreamNetwork back = maxutil::scenario::parse_string(text);
+
+  ASSERT_EQ(back.node_count(), net.node_count());
+  ASSERT_EQ(back.link_count(), net.link_count());
+  ASSERT_EQ(back.commodity_count(), net.commodity_count());
+  for (maxutil::stream::NodeId n = 0; n < net.node_count(); ++n) {
+    EXPECT_EQ(back.node_name(n), net.node_name(n));
+    EXPECT_EQ(back.is_sink(n), net.is_sink(n));
+    if (!net.is_sink(n)) {
+      EXPECT_DOUBLE_EQ(back.capacity(n), net.capacity(n));
+    }
+  }
+  for (std::size_t l = 0; l < net.link_count(); ++l) {
+    EXPECT_DOUBLE_EQ(back.bandwidth(l), net.bandwidth(l));
+    for (std::size_t j = 0; j < net.commodity_count(); ++j) {
+      ASSERT_EQ(back.uses_link(j, l), net.uses_link(j, l));
+      if (net.uses_link(j, l)) {
+        EXPECT_DOUBLE_EQ(back.consumption(j, l), net.consumption(j, l));
+        EXPECT_DOUBLE_EQ(back.shrinkage(j, l), net.shrinkage(j, l));
+      }
+    }
+  }
+  for (std::size_t j = 0; j < net.commodity_count(); ++j) {
+    EXPECT_DOUBLE_EQ(back.lambda(j), net.lambda(j));
+    EXPECT_EQ(back.source(j), net.source(j));
+    EXPECT_EQ(back.sink(j), net.sink(j));
+    EXPECT_NEAR(back.delivery_gain(j), net.delivery_gain(j), 1e-12);
+  }
+}
+
+TEST(Scenario, WriteRejectsUnrepresentableNames) {
+  // Figure-1 node names contain spaces ("Server 1"), which the
+  // whitespace-delimited format cannot express: writing fails loudly
+  // instead of producing a file that parses into a different network.
+  const StreamNetwork net = maxutil::gen::figure1_example();
+  EXPECT_THROW(maxutil::scenario::write_string(net), CheckError);
+}
+
+TEST(Scenario, LoadFileMissing) {
+  EXPECT_THROW(maxutil::scenario::load_file("/no/such/file.maxutil"),
+               CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/optimizer.hpp"
+#include "gen/figure1.hpp"
+#include "gen/random_instance.hpp"
+#include "graph/algorithms.hpp"
+#include "sim/distributed_gradient.hpp"
+#include "sim/runtime.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace {
+
+using maxutil::sim::Actor;
+using maxutil::sim::ActorId;
+using maxutil::sim::DistributedGradientSystem;
+using maxutil::sim::Message;
+using maxutil::sim::Outbox;
+using maxutil::sim::Runtime;
+using maxutil::stream::StreamNetwork;
+using maxutil::util::CheckError;
+using maxutil::util::Rng;
+using maxutil::xform::ExtendedGraph;
+
+/// Test actor: forwards a counter to a fixed peer until it reaches a limit.
+class PingPong : public Actor {
+ public:
+  PingPong(ActorId peer, double limit, bool starts)
+      : peer_(peer), limit_(limit), starts_(starts) {}
+
+  void on_round(Outbox& out, std::span<const Message> inbox) override {
+    if (starts_) {
+      starts_ = false;
+      out.send(peer_, 0, 0, {1.0});
+      return;
+    }
+    for (const Message& m : inbox) {
+      received_ = m.payload[0];
+      if (received_ < limit_) out.send(peer_, 0, 0, {received_ + 1.0});
+    }
+  }
+
+  double received() const { return received_; }
+
+ private:
+  ActorId peer_;
+  double limit_;
+  bool starts_;
+  double received_ = 0.0;
+};
+
+TEST(Runtime, PingPongTerminatesAndCounts) {
+  Runtime rt;
+  const ActorId a = rt.add_actor(std::make_unique<PingPong>(1, 10.0, true));
+  const ActorId b = rt.add_actor(std::make_unique<PingPong>(0, 10.0, false));
+  ASSERT_EQ(a, 0u);
+  ASSERT_EQ(b, 1u);
+  rt.run_round();  // lets the starter emit
+  rt.run_until_quiet();
+  EXPECT_EQ(rt.delivered_messages(), 10u);
+  EXPECT_EQ(rt.delivered_payload_doubles(), 10u);
+  EXPECT_TRUE(rt.quiet());
+  const auto& last = dynamic_cast<const PingPong&>(rt.actor(1));
+  EXPECT_DOUBLE_EQ(last.received(), 9.0);
+}
+
+TEST(Runtime, UnitDelayIsOneRoundPerHop) {
+  Runtime rt;
+  rt.add_actor(std::make_unique<PingPong>(1, 4.0, true));
+  rt.add_actor(std::make_unique<PingPong>(0, 4.0, false));
+  rt.run_round();  // emit 1
+  // messages: 1, 2, 3, 4 -> four more rounds to drain.
+  const std::size_t used = rt.run_until_quiet();
+  EXPECT_EQ(used, 4u);
+}
+
+TEST(Runtime, FailedNodeDropsTraffic) {
+  Runtime rt;
+  rt.add_actor(std::make_unique<PingPong>(1, 100.0, true));
+  rt.add_actor(std::make_unique<PingPong>(0, 100.0, false));
+  rt.run_round();
+  rt.run_round();
+  rt.fail(1);
+  rt.run_until_quiet(100);
+  EXPECT_TRUE(rt.quiet());
+  EXPECT_GT(rt.dropped_messages(), 0u);
+  EXPECT_TRUE(rt.is_failed(1));
+  EXPECT_FALSE(rt.is_failed(0));
+}
+
+TEST(Runtime, RejectsBadInput) {
+  Runtime rt;
+  EXPECT_THROW(rt.add_actor(nullptr), CheckError);
+  EXPECT_THROW(rt.fail(3), CheckError);
+  EXPECT_THROW(rt.actor(0), CheckError);
+}
+
+// --- Distributed gradient ---
+
+TEST(DistributedGradient, MatchesCentralizedOptimizerExactly) {
+  // The actor implementation and the centralized sweeps must produce the
+  // same iterates when the safeguard never engages — this pins the
+  // message protocol to the reference mathematics.
+  const StreamNetwork net = maxutil::gen::figure1_example();
+  const ExtendedGraph xg(net);
+
+  maxutil::core::GradientOptions copts;
+  copts.eta = 0.05;
+  copts.max_iterations = 40;
+  maxutil::core::GradientOptimizer centralized(xg, copts);
+  centralized.run();
+  // Safeguard must not have engaged, otherwise the comparison is unfair.
+  for (const double d : centralized.history().column("damping_rounds")) {
+    ASSERT_EQ(d, 0.0);
+  }
+
+  maxutil::core::GammaOptions gopts;
+  gopts.eta = 0.05;
+  DistributedGradientSystem distributed(xg, gopts);
+  distributed.run(40);
+
+  const auto snapshot = distributed.routing_snapshot();
+  EXPECT_LT(snapshot.max_difference(centralized.routing()), 1e-10);
+  EXPECT_NEAR(distributed.utility(), centralized.utility(), 1e-10);
+}
+
+TEST(DistributedGradient, ConvergesOnPaperInstance) {
+  Rng rng(2007);
+  const StreamNetwork net = maxutil::gen::random_instance({}, rng);
+  maxutil::xform::PenaltyConfig penalty;
+  penalty.epsilon = 0.1;
+  const ExtendedGraph xg(net, penalty);
+
+  maxutil::core::GammaOptions gopts;
+  gopts.eta = 0.04;
+  DistributedGradientSystem distributed(xg, gopts);
+  distributed.run(400);
+  // Matches the centralized result at the same iteration count.
+  maxutil::core::GradientOptions copts;
+  copts.eta = 0.04;
+  copts.max_iterations = 400;
+  copts.record_history = false;
+  maxutil::core::GradientOptimizer centralized(xg, copts);
+  centralized.run();
+  EXPECT_NEAR(distributed.utility(), centralized.utility(),
+              1e-6 * (1.0 + centralized.utility()));
+}
+
+TEST(DistributedGradient, RoundsPerIterationScaleWithDepth) {
+  // The marginal wave takes (longest path) rounds and the forecast wave the
+  // same, so rounds per iteration grow linearly with commodity depth — the
+  // O(L) message-latency cost of Section 6.
+  Rng rng(5);
+  std::vector<std::size_t> rounds_by_depth;
+  for (const std::size_t stages : {3u, 6u, 9u}) {
+    maxutil::gen::RandomInstanceParams p;
+    p.servers = 40;
+    p.commodities = 1;
+    p.stages = stages;
+    p.min_width = 2;
+    p.max_width = 2;
+    const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+    const ExtendedGraph xg(net);
+    DistributedGradientSystem system(xg);
+    system.iterate();
+    rounds_by_depth.push_back(system.last_iteration_rounds());
+  }
+  EXPECT_GT(rounds_by_depth[1], rounds_by_depth[0]);
+  EXPECT_GT(rounds_by_depth[2], rounds_by_depth[1]);
+  // Depth in the extended graph doubles physical hops (bandwidth nodes), so
+  // the growth must be at least 2 extra rounds per extra stage, twice per
+  // iteration (two waves).
+  EXPECT_GE(rounds_by_depth[2] - rounds_by_depth[0], 4u * 2u);
+}
+
+TEST(DistributedGradient, MessageCountStableAcrossIterations) {
+  const StreamNetwork net = maxutil::gen::figure1_example();
+  const ExtendedGraph xg(net);
+  DistributedGradientSystem system(xg);
+  system.iterate();
+  const std::size_t first = system.last_iteration_messages();
+  system.iterate();
+  EXPECT_EQ(system.last_iteration_messages(), first);
+  EXPECT_GT(first, 0u);
+}
+
+TEST(Runtime, DelayModelPostponesDelivery) {
+  Runtime rt;
+  rt.add_actor(std::make_unique<PingPong>(1, 3.0, true));
+  rt.add_actor(std::make_unique<PingPong>(0, 3.0, false));
+  rt.set_delay_model([](ActorId, ActorId) { return 5; });
+  rt.run_round();  // starter emits; due in 5 rounds
+  // 3 messages x 5 rounds each.
+  const std::size_t used = rt.run_until_quiet();
+  EXPECT_EQ(used, 15u);
+  EXPECT_EQ(rt.delivered_messages(), 3u);
+}
+
+TEST(DistributedGradient, DelayInsensitiveResults) {
+  // Heterogeneous link delays change only the round count, never the
+  // computed iterates: the wave protocols wait for all inputs.
+  const StreamNetwork net = maxutil::gen::figure1_example();
+  const ExtendedGraph xg(net);
+
+  maxutil::core::GammaOptions gopts;
+  gopts.eta = 0.05;
+  DistributedGradientSystem uniform(xg, gopts);
+  uniform.run(15);
+
+  DistributedGradientSystem delayed(xg, gopts);
+  delayed.set_delay_model([](ActorId a, ActorId b) {
+    return 1 + (a * 7 + b * 13) % 4;  // deterministic 1..4 round delays
+  });
+  delayed.run(15);
+
+  EXPECT_LT(delayed.routing_snapshot().max_difference(
+                uniform.routing_snapshot()),
+            1e-14);
+  EXPECT_GT(delayed.last_iteration_rounds(),
+            uniform.last_iteration_rounds());
+  EXPECT_EQ(delayed.last_iteration_messages(),
+            uniform.last_iteration_messages());
+}
+
+TEST(DistributedGradient, SnapshotIsValidRouting) {
+  const StreamNetwork net = maxutil::gen::figure1_example();
+  const ExtendedGraph xg(net);
+  DistributedGradientSystem system(xg);
+  system.run(10);
+  EXPECT_TRUE(system.routing_snapshot().is_valid(xg, 1e-9));
+}
+
+
+TEST(DistributedGradient, CurvatureModeMatchesCentralized) {
+  // The second-derivative step variant must also be bit-identical between
+  // the actor protocol (K rides in the marginal messages) and the
+  // centralized sweeps.
+  const StreamNetwork net = maxutil::gen::figure1_example();
+  const ExtendedGraph xg(net);
+
+  maxutil::core::GradientOptions copts;
+  copts.eta = 0.5;
+  copts.curvature_scaled = true;
+  copts.max_iterations = 40;
+  maxutil::core::GradientOptimizer centralized(xg, copts);
+  centralized.run();
+  for (const double d : centralized.history().column("damping_rounds")) {
+    ASSERT_EQ(d, 0.0);  // safeguard must not engage for a fair comparison
+  }
+
+  maxutil::core::GammaOptions gopts;
+  gopts.eta = 0.5;
+  gopts.step_mode = maxutil::core::StepMode::kCurvatureScaled;
+  DistributedGradientSystem distributed(xg, gopts);
+  distributed.run(40);
+
+  EXPECT_LT(distributed.routing_snapshot().max_difference(
+                centralized.routing()),
+            1e-10);
+}
+
+}  // namespace

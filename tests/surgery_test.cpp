@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "gen/figure1.hpp"
+#include "gen/random_instance.hpp"
+#include "stream/surgery.hpp"
+#include "stream/validate.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+namespace {
+
+using maxutil::stream::kRemovedEntity;
+using maxutil::stream::NodeId;
+using maxutil::stream::StreamNetwork;
+using maxutil::stream::Utility;
+using maxutil::util::CheckError;
+using maxutil::util::Rng;
+
+TEST(Surgery, RemovesReplicaAndKeepsBothStreams) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  const auto result = maxutil::stream::without_server(net, ids.server[1]);
+  EXPECT_EQ(result.network.node_count(), net.node_count() - 1);
+  EXPECT_EQ(result.network.commodity_count(), 2u);  // both streams survive
+  EXPECT_TRUE(maxutil::stream::validate(result.network).ok());
+  EXPECT_EQ(result.node_map[ids.server[1]], kRemovedEntity);
+  // Links incident to server 2 died: 1->2, 2->4, 2->5.
+  std::size_t dead_links = 0;
+  for (const auto l : result.link_map) dead_links += (l == kRemovedEntity);
+  EXPECT_EQ(dead_links, 3u);
+}
+
+TEST(Surgery, DropsCommodityWhenPathSevered) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  // Server 6 hosts S1's only task D: removing it severs S1 but not S2.
+  const auto result = maxutil::stream::without_server(net, ids.server[5]);
+  EXPECT_EQ(result.network.commodity_count(), 1u);
+  EXPECT_EQ(result.commodity_map[ids.s1], kRemovedEntity);
+  EXPECT_EQ(result.commodity_map[ids.s2], 0u);
+  EXPECT_TRUE(maxutil::stream::validate(result.network).ok());
+}
+
+TEST(Surgery, DropsCommodityWhoseSourceDied) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  const auto result = maxutil::stream::without_server(net, ids.server[6]);  // 7 = S2 source
+  EXPECT_EQ(result.commodity_map[ids.s2], kRemovedEntity);
+  EXPECT_EQ(result.network.commodity_count(), 1u);
+}
+
+TEST(Surgery, RejectsSinkRemoval) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  EXPECT_THROW(maxutil::stream::without_server(net, ids.sink1), CheckError);
+  EXPECT_THROW(maxutil::stream::without_server(net, 999), CheckError);
+}
+
+TEST(Surgery, PreservesParametersOfSurvivors) {
+  maxutil::gen::Figure1Ids ids;
+  maxutil::gen::Figure1Params params;
+  params.stage_shrinkage = 0.7;
+  const StreamNetwork net = maxutil::gen::figure1_example(params, &ids);
+  const auto result = maxutil::stream::without_server(net, ids.server[1]);
+  const auto& out = result.network;
+  // Capacity, lambda, and delivery gain carry over.
+  EXPECT_DOUBLE_EQ(out.capacity(result.node_map[ids.server[0]]),
+                   net.capacity(ids.server[0]));
+  const auto s1 = result.commodity_map[ids.s1];
+  ASSERT_NE(s1, kRemovedEntity);
+  EXPECT_DOUBLE_EQ(out.lambda(s1), net.lambda(ids.s1));
+  EXPECT_NEAR(out.delivery_gain(s1), net.delivery_gain(ids.s1), 1e-12);
+}
+
+TEST(Surgery, RandomInstancesStayValidAndSolvable) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed + 100);
+    maxutil::gen::RandomInstanceParams p;
+    p.servers = 14;
+    p.commodities = 2;
+    p.stages = 3;
+    const StreamNetwork net = maxutil::gen::random_instance(p, rng);
+    // Fail an interior server used by some commodity (never a source).
+    NodeId victim = kRemovedEntity;
+    for (NodeId n = 0; n < net.node_count() && victim == kRemovedEntity; ++n) {
+      if (net.is_sink(n)) continue;
+      bool is_source = false;
+      for (std::size_t j = 0; j < net.commodity_count(); ++j) {
+        is_source = is_source || net.source(j) == n;
+      }
+      if (is_source) continue;
+      for (std::size_t l = 0; l < net.link_count(); ++l) {
+        if (net.graph().tail(l) == n &&
+            (net.uses_link(0, l) || net.uses_link(1, l))) {
+          victim = n;
+          break;
+        }
+      }
+    }
+    ASSERT_NE(victim, kRemovedEntity);
+    const auto result = maxutil::stream::without_server(net, victim);
+    EXPECT_TRUE(maxutil::stream::validate(result.network).ok());
+    if (result.network.commodity_count() > 0) {
+      const maxutil::xform::ExtendedGraph xg(result.network);
+      const auto ref = maxutil::xform::solve_reference(xg);
+      EXPECT_EQ(ref.status, maxutil::lp::LpStatus::kOptimal);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/artifacts.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timeseries.hpp"
+
+namespace {
+
+using maxutil::util::CheckError;
+using maxutil::util::ensure;
+using maxutil::util::max_abs_diff;
+using maxutil::util::mean_of;
+using maxutil::util::percentile;
+using maxutil::util::Rng;
+using maxutil::util::RunningStats;
+using maxutil::util::Table;
+using maxutil::util::TimeSeries;
+
+TEST(Check, EnsurePassesOnTrue) { EXPECT_NO_THROW(ensure(true, "ok")); }
+
+TEST(Check, EnsureThrowsWithLocationAndMessage) {
+  try {
+    ensure(false, "the reason");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the reason"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(1.0, 100.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 100.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform(0.0, 1.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(0, 4);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 4);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (const int count : seen) EXPECT_GT(count, 800);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), CheckError);
+  EXPECT_THROW(rng.uniform_int(2, 1), CheckError);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(9), 9u);
+  EXPECT_THROW(rng.index(0), CheckError);
+}
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(37);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 5.0);
+    whole.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Percentile, SingleValue) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 30.0), 42.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), CheckError);
+  EXPECT_THROW(percentile(v, -1.0), CheckError);
+  EXPECT_THROW(percentile(v, 101.0), CheckError);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of(std::vector<double>{2.0, 4.0}), 3.0);
+}
+
+TEST(MaxAbsDiff, Basics) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.5, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+  EXPECT_THROW(max_abs_diff(a, std::vector<double>{1.0}), CheckError);
+}
+
+TEST(TimeSeries, AppendAndAccess) {
+  TimeSeries ts({"iter", "utility"});
+  ts.append({0.0, 1.5});
+  ts.append({1.0, 2.5});
+  EXPECT_EQ(ts.rows(), 2u);
+  EXPECT_EQ(ts.cols(), 2u);
+  EXPECT_DOUBLE_EQ(ts.at(1, 1), 2.5);
+  EXPECT_EQ(ts.column("utility").back(), 2.5);
+}
+
+TEST(TimeSeries, RejectsBadShape) {
+  EXPECT_THROW(TimeSeries(std::vector<std::string>{}), CheckError);
+  EXPECT_THROW(TimeSeries({"a", "a"}), CheckError);
+  TimeSeries ts({"a", "b"});
+  EXPECT_THROW(ts.append({1.0}), CheckError);
+  EXPECT_THROW(ts.column("missing"), CheckError);
+}
+
+TEST(TimeSeries, CsvRoundTripShape) {
+  TimeSeries ts({"x", "y"});
+  ts.append({1.0, 2.0});
+  std::ostringstream os;
+  ts.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TimeSeries, LogDownsampleKeepsEndpoints) {
+  TimeSeries ts({"i"});
+  for (int i = 0; i < 1000; ++i) ts.append({static_cast<double>(i)});
+  const TimeSeries small = ts.log_downsample(20);
+  EXPECT_LE(small.rows(), 25u);
+  EXPECT_GE(small.rows(), 2u);
+  EXPECT_DOUBLE_EQ(small.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(small.at(small.rows() - 1, 0), 999.0);
+}
+
+TEST(TimeSeries, LogDownsampleEmptyAndTiny) {
+  TimeSeries ts({"i"});
+  EXPECT_EQ(ts.log_downsample(10).rows(), 0u);
+  ts.append({5.0});
+  EXPECT_EQ(ts.log_downsample(10).rows(), 1u);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::cell(1.25, 2)});
+  t.add_row({"b", Table::cell(100LL)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+
+TEST(Artifacts, DisabledWithoutEnvVar) {
+  unsetenv("MAXUTIL_RESULTS_DIR");
+  EXPECT_FALSE(maxutil::util::results_dir().has_value());
+  TimeSeries ts({"x"});
+  ts.append({1.0});
+  EXPECT_FALSE(maxutil::util::save_series(ts, "nope").has_value());
+}
+
+TEST(Artifacts, WritesCsvWhenEnabled) {
+  setenv("MAXUTIL_RESULTS_DIR", "/tmp", 1);
+  TimeSeries ts({"x", "y"});
+  ts.append({1.0, 2.0});
+  const auto path = maxutil::util::save_series(ts, "maxutil_artifact_test");
+  ASSERT_TRUE(path.has_value());
+  std::ifstream in(*path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  unsetenv("MAXUTIL_RESULTS_DIR");
+  std::remove(path->c_str());
+}
+
+TEST(Artifacts, RejectsPathTraversalAndBadDir) {
+  setenv("MAXUTIL_RESULTS_DIR", "/tmp", 1);
+  TimeSeries ts({"x"});
+  ts.append({1.0});
+  EXPECT_THROW(maxutil::util::save_series(ts, "a/b"), CheckError);
+  setenv("MAXUTIL_RESULTS_DIR", "/no/such/dir/exists", 1);
+  EXPECT_THROW(maxutil::util::save_series(ts, "x"), CheckError);
+  unsetenv("MAXUTIL_RESULTS_DIR");
+}
+
+}  // namespace

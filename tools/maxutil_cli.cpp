@@ -1,0 +1,226 @@
+// maxutil command-line interface: validate, solve, visualize, and generate
+// stream-processing scenarios in the text format of src/scenario.
+//
+//   maxutil_cli validate <file>
+//   maxutil_cli solve <file> [--algo gradient|backpressure|lp|fw]
+//                            [--eta X] [--eps X] [--iters N]
+//   maxutil_cli dot <file> [--extended]
+//   maxutil_cli generate [--servers N] [--commodities J] [--stages K]
+//                        [--lambda X] [--seed S]
+//
+// Exit code 0 on success; 1 on a usage error, parse failure, or (for
+// `validate`) validation errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bp/backpressure.hpp"
+#include "core/bottleneck.hpp"
+#include "core/optimizer.hpp"
+#include "gen/random_instance.hpp"
+#include "scenario/scenario.hpp"
+#include "stream/validate.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+namespace {
+
+using namespace maxutil;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: maxutil_cli validate <file>\n"
+               "       maxutil_cli solve <file> [--algo gradient|backpressure|"
+               "lp|fw] [--eta X] [--eps X] [--iters N] [--newton] [--report]\n"
+               "       maxutil_cli dot <file> [--extended]\n"
+               "       maxutil_cli generate [--servers N] [--commodities J]"
+               " [--stages K] [--lambda X] [--seed S]\n");
+  return 1;
+}
+
+/// Parses "--key value" pairs after the subcommand/file arguments.
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw util::CheckError("unexpected argument '" + key + "'");
+    }
+    key = key.substr(2);
+    if (key == "extended" || key == "report" || key == "newton") {
+      flags[key] = "1";
+    } else {
+      if (i + 1 >= argc) {
+        throw util::CheckError("flag --" + key + " needs a value");
+      }
+      flags[key] = argv[++i];
+    }
+  }
+  return flags;
+}
+
+double flag_number(const std::map<std::string, std::string>& flags,
+                   const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+int cmd_validate(const std::string& path) {
+  const auto net = scenario::load_file(path);
+  const auto report = stream::validate(net);
+  std::fputs(report.to_string().c_str(), stdout);
+  std::printf("%zu nodes, %zu links, %zu commodities: %s\n", net.node_count(),
+              net.link_count(), net.commodity_count(),
+              report.ok() ? "OK" : "INVALID");
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_solve(const std::string& path,
+              const std::map<std::string, std::string>& flags) {
+  const auto net = scenario::load_file(path);
+  stream::validate_or_throw(net);
+  xform::PenaltyConfig penalty;
+  penalty.epsilon = flag_number(flags, "eps", 0.1);
+  const xform::ExtendedGraph xg(net, penalty);
+  const std::string algo =
+      flags.count("algo") != 0 ? flags.at("algo") : "gradient";
+  const auto iters =
+      static_cast<std::size_t>(flag_number(flags, "iters", 5000));
+
+  std::vector<double> admitted(net.commodity_count(), 0.0);
+  double utility = 0.0;
+  if (algo == "gradient") {
+    core::GradientOptions options;
+    options.eta = flag_number(flags, "eta", 0.05);
+    options.max_iterations = iters;
+    options.record_history = false;
+    options.curvature_scaled = flags.count("newton") != 0;
+    if (options.curvature_scaled) options.eta = flag_number(flags, "eta", 1.0);
+    core::GradientOptimizer opt(xg, options);
+    opt.run();
+    admitted = opt.admitted();
+    utility = opt.utility();
+    if (flags.count("report") != 0) {
+      std::printf("top bottlenecks (barrier prices):\n");
+      util::Table bt({"resource", "utilization", "price"});
+      for (const auto& entry :
+           core::bottleneck_report(xg, opt.flows(), 5)) {
+        bt.add_row({xg.node_label(entry.node),
+                    util::Table::cell(100.0 * entry.utilization, 1) + "%",
+                    util::Table::cell(entry.price, 4)});
+      }
+      bt.print(std::cout);
+      const auto report = opt.optimality();
+      std::printf("Theorem-2 residuals: sufficient %.2e, stationarity %.2e\n\n",
+                  report.sufficient_violation, report.stationarity_gap);
+    }
+  } else if (algo == "backpressure") {
+    bp::BackPressureOptions options;
+    options.record_history = false;
+    bp::BackPressureOptimizer opt(xg, options);
+    opt.run(iters);
+    admitted = opt.admitted_rates();
+    utility = opt.utility();
+  } else if (algo == "lp") {
+    const auto reference = xform::solve_reference(xg);
+    if (reference.status != lp::LpStatus::kOptimal) {
+      std::fprintf(stderr, "LP solve failed: %s\n",
+                   lp::to_string(reference.status));
+      return 1;
+    }
+    admitted = reference.admitted;
+    utility = reference.optimal_utility;
+  } else if (algo == "fw") {
+    const auto reference = xform::solve_reference_frank_wolfe(xg, iters);
+    if (reference.status != lp::LpStatus::kOptimal) {
+      std::fprintf(stderr, "Frank-Wolfe solve failed: %s\n",
+                   lp::to_string(reference.status));
+      return 1;
+    }
+    admitted = reference.admitted;
+    utility = reference.utility;
+    std::printf("duality gap: %.3g\n", reference.duality_gap);
+  } else {
+    std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
+    return 1;
+  }
+
+  util::Table table({"commodity", "offered", "admitted", "share"});
+  for (stream::CommodityId j = 0; j < net.commodity_count(); ++j) {
+    table.add_row({net.commodity_name(j), util::Table::cell(net.lambda(j)),
+                   util::Table::cell(admitted[j]),
+                   util::Table::cell(100.0 * admitted[j] / net.lambda(j), 1) +
+                       "%"});
+  }
+  table.print(std::cout);
+  std::printf("total utility (%s): %.6f\n", algo.c_str(), utility);
+  return 0;
+}
+
+int cmd_dot(const std::string& path,
+            const std::map<std::string, std::string>& flags) {
+  const auto net = scenario::load_file(path);
+  if (flags.count("extended") != 0) {
+    const xform::ExtendedGraph xg(net);
+    std::vector<std::string> labels;
+    labels.reserve(xg.node_count());
+    for (stream::NodeId v = 0; v < xg.node_count(); ++v) {
+      labels.push_back(xg.node_label(v));
+    }
+    std::fputs(xg.graph().to_dot(labels).c_str(), stdout);
+  } else {
+    std::vector<std::string> labels;
+    labels.reserve(net.node_count());
+    for (stream::NodeId n = 0; n < net.node_count(); ++n) {
+      labels.push_back(net.node_name(n));
+    }
+    std::fputs(net.graph().to_dot(labels).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+  gen::RandomInstanceParams p;
+  p.servers = static_cast<std::size_t>(flag_number(flags, "servers", 40));
+  p.commodities =
+      static_cast<std::size_t>(flag_number(flags, "commodities", 3));
+  p.stages = static_cast<std::size_t>(flag_number(flags, "stages", 5));
+  p.lambda = flag_number(flags, "lambda", 100.0);
+  util::Rng rng(static_cast<std::uint64_t>(flag_number(flags, "seed", 2007)));
+  const auto net = gen::random_instance(p, rng);
+  scenario::write(net, std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "validate" && argc >= 3) {
+      return cmd_validate(argv[2]);
+    }
+    if (command == "solve" && argc >= 3) {
+      return cmd_solve(argv[2], parse_flags(argc, argv, 3));
+    }
+    if (command == "dot" && argc >= 3) {
+      return cmd_dot(argv[2], parse_flags(argc, argv, 3));
+    }
+    if (command == "generate") {
+      return cmd_generate(parse_flags(argc, argv, 2));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
