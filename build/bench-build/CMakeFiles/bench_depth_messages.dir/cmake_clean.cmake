@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_depth_messages"
+  "../bench/bench_depth_messages.pdb"
+  "CMakeFiles/bench_depth_messages.dir/bench_depth_messages.cpp.o"
+  "CMakeFiles/bench_depth_messages.dir/bench_depth_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depth_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

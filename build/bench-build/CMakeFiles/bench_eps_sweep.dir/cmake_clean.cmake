@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_eps_sweep"
+  "../bench/bench_eps_sweep.pdb"
+  "CMakeFiles/bench_eps_sweep.dir/bench_eps_sweep.cpp.o"
+  "CMakeFiles/bench_eps_sweep.dir/bench_eps_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eps_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

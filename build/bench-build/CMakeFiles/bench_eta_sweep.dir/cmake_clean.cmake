@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_eta_sweep"
+  "../bench/bench_eta_sweep.pdb"
+  "CMakeFiles/bench_eta_sweep.dir/bench_eta_sweep.cpp.o"
+  "CMakeFiles/bench_eta_sweep.dir/bench_eta_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_packet_level"
+  "../bench/bench_packet_level.pdb"
+  "CMakeFiles/bench_packet_level.dir/bench_packet_level.cpp.o"
+  "CMakeFiles/bench_packet_level.dir/bench_packet_level.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packet_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_safeguard"
+  "../bench/bench_safeguard.pdb"
+  "CMakeFiles/bench_safeguard.dir/bench_safeguard.cpp.o"
+  "CMakeFiles/bench_safeguard.dir/bench_safeguard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_safeguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

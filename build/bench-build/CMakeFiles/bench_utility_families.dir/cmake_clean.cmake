@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_utility_families"
+  "../bench/bench_utility_families.pdb"
+  "CMakeFiles/bench_utility_families.dir/bench_utility_families.cpp.o"
+  "CMakeFiles/bench_utility_families.dir/bench_utility_families.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_utility_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_demand.dir/dynamic_demand.cpp.o"
+  "CMakeFiles/dynamic_demand.dir/dynamic_demand.cpp.o.d"
+  "dynamic_demand"
+  "dynamic_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_analytics.dir/market_analytics.cpp.o"
+  "CMakeFiles/market_analytics.dir/market_analytics.cpp.o.d"
+  "market_analytics"
+  "market_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

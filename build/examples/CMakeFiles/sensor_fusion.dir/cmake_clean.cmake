@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_fusion.dir/sensor_fusion.cpp.o"
+  "CMakeFiles/sensor_fusion.dir/sensor_fusion.cpp.o.d"
+  "sensor_fusion"
+  "sensor_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

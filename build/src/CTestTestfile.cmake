@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("la")
+subdirs("graph")
+subdirs("lp")
+subdirs("stream")
+subdirs("gen")
+subdirs("xform")
+subdirs("core")
+subdirs("bp")
+subdirs("sim")
+subdirs("placement")
+subdirs("scenario")
+subdirs("des")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_bp.dir/backpressure.cpp.o"
+  "CMakeFiles/maxutil_bp.dir/backpressure.cpp.o.d"
+  "libmaxutil_bp.a"
+  "libmaxutil_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

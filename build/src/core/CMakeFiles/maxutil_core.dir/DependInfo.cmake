@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cpp" "src/core/CMakeFiles/maxutil_core.dir/allocation.cpp.o" "gcc" "src/core/CMakeFiles/maxutil_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/core/bottleneck.cpp" "src/core/CMakeFiles/maxutil_core.dir/bottleneck.cpp.o" "gcc" "src/core/CMakeFiles/maxutil_core.dir/bottleneck.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/maxutil_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/maxutil_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/gamma.cpp" "src/core/CMakeFiles/maxutil_core.dir/gamma.cpp.o" "gcc" "src/core/CMakeFiles/maxutil_core.dir/gamma.cpp.o.d"
+  "/root/repo/src/core/marginals.cpp" "src/core/CMakeFiles/maxutil_core.dir/marginals.cpp.o" "gcc" "src/core/CMakeFiles/maxutil_core.dir/marginals.cpp.o.d"
+  "/root/repo/src/core/optimality.cpp" "src/core/CMakeFiles/maxutil_core.dir/optimality.cpp.o" "gcc" "src/core/CMakeFiles/maxutil_core.dir/optimality.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/maxutil_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/maxutil_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/core/CMakeFiles/maxutil_core.dir/routing.cpp.o" "gcc" "src/core/CMakeFiles/maxutil_core.dir/routing.cpp.o.d"
+  "/root/repo/src/core/warm_start.cpp" "src/core/CMakeFiles/maxutil_core.dir/warm_start.cpp.o" "gcc" "src/core/CMakeFiles/maxutil_core.dir/warm_start.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xform/CMakeFiles/maxutil_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/maxutil_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/maxutil_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxutil_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/maxutil_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/maxutil_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

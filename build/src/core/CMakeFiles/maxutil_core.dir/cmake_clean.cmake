@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_core.dir/allocation.cpp.o"
+  "CMakeFiles/maxutil_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/maxutil_core.dir/bottleneck.cpp.o"
+  "CMakeFiles/maxutil_core.dir/bottleneck.cpp.o.d"
+  "CMakeFiles/maxutil_core.dir/flow.cpp.o"
+  "CMakeFiles/maxutil_core.dir/flow.cpp.o.d"
+  "CMakeFiles/maxutil_core.dir/gamma.cpp.o"
+  "CMakeFiles/maxutil_core.dir/gamma.cpp.o.d"
+  "CMakeFiles/maxutil_core.dir/marginals.cpp.o"
+  "CMakeFiles/maxutil_core.dir/marginals.cpp.o.d"
+  "CMakeFiles/maxutil_core.dir/optimality.cpp.o"
+  "CMakeFiles/maxutil_core.dir/optimality.cpp.o.d"
+  "CMakeFiles/maxutil_core.dir/optimizer.cpp.o"
+  "CMakeFiles/maxutil_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/maxutil_core.dir/routing.cpp.o"
+  "CMakeFiles/maxutil_core.dir/routing.cpp.o.d"
+  "CMakeFiles/maxutil_core.dir/warm_start.cpp.o"
+  "CMakeFiles/maxutil_core.dir/warm_start.cpp.o.d"
+  "libmaxutil_core.a"
+  "libmaxutil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

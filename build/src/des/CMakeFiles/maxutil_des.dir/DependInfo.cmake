@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/closed_loop.cpp" "src/des/CMakeFiles/maxutil_des.dir/closed_loop.cpp.o" "gcc" "src/des/CMakeFiles/maxutil_des.dir/closed_loop.cpp.o.d"
+  "/root/repo/src/des/event_queue.cpp" "src/des/CMakeFiles/maxutil_des.dir/event_queue.cpp.o" "gcc" "src/des/CMakeFiles/maxutil_des.dir/event_queue.cpp.o.d"
+  "/root/repo/src/des/packet_sim.cpp" "src/des/CMakeFiles/maxutil_des.dir/packet_sim.cpp.o" "gcc" "src/des/CMakeFiles/maxutil_des.dir/packet_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maxutil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/maxutil_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxutil_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/maxutil_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/maxutil_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/maxutil_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/maxutil_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_des.dir/closed_loop.cpp.o"
+  "CMakeFiles/maxutil_des.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/maxutil_des.dir/event_queue.cpp.o"
+  "CMakeFiles/maxutil_des.dir/event_queue.cpp.o.d"
+  "CMakeFiles/maxutil_des.dir/packet_sim.cpp.o"
+  "CMakeFiles/maxutil_des.dir/packet_sim.cpp.o.d"
+  "libmaxutil_des.a"
+  "libmaxutil_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

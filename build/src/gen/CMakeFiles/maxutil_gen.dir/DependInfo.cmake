@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/figure1.cpp" "src/gen/CMakeFiles/maxutil_gen.dir/figure1.cpp.o" "gcc" "src/gen/CMakeFiles/maxutil_gen.dir/figure1.cpp.o.d"
+  "/root/repo/src/gen/random_instance.cpp" "src/gen/CMakeFiles/maxutil_gen.dir/random_instance.cpp.o" "gcc" "src/gen/CMakeFiles/maxutil_gen.dir/random_instance.cpp.o.d"
+  "/root/repo/src/gen/trace.cpp" "src/gen/CMakeFiles/maxutil_gen.dir/trace.cpp.o" "gcc" "src/gen/CMakeFiles/maxutil_gen.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/maxutil_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxutil_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/maxutil_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

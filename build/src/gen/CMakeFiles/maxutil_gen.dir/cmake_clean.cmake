@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_gen.dir/figure1.cpp.o"
+  "CMakeFiles/maxutil_gen.dir/figure1.cpp.o.d"
+  "CMakeFiles/maxutil_gen.dir/random_instance.cpp.o"
+  "CMakeFiles/maxutil_gen.dir/random_instance.cpp.o.d"
+  "CMakeFiles/maxutil_gen.dir/trace.cpp.o"
+  "CMakeFiles/maxutil_gen.dir/trace.cpp.o.d"
+  "libmaxutil_gen.a"
+  "libmaxutil_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

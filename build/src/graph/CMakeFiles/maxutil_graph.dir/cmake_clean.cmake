@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/maxutil_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/maxutil_graph.dir/digraph.cpp.o"
+  "CMakeFiles/maxutil_graph.dir/digraph.cpp.o.d"
+  "libmaxutil_graph.a"
+  "libmaxutil_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

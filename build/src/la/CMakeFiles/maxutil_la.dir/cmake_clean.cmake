@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_la.dir/lu.cpp.o"
+  "CMakeFiles/maxutil_la.dir/lu.cpp.o.d"
+  "CMakeFiles/maxutil_la.dir/matrix.cpp.o"
+  "CMakeFiles/maxutil_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/maxutil_la.dir/sparse.cpp.o"
+  "CMakeFiles/maxutil_la.dir/sparse.cpp.o.d"
+  "CMakeFiles/maxutil_la.dir/vector_ops.cpp.o"
+  "CMakeFiles/maxutil_la.dir/vector_ops.cpp.o.d"
+  "libmaxutil_la.a"
+  "libmaxutil_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

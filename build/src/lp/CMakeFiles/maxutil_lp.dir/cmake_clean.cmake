@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_lp.dir/frank_wolfe.cpp.o"
+  "CMakeFiles/maxutil_lp.dir/frank_wolfe.cpp.o.d"
+  "CMakeFiles/maxutil_lp.dir/model.cpp.o"
+  "CMakeFiles/maxutil_lp.dir/model.cpp.o.d"
+  "CMakeFiles/maxutil_lp.dir/pwl.cpp.o"
+  "CMakeFiles/maxutil_lp.dir/pwl.cpp.o.d"
+  "CMakeFiles/maxutil_lp.dir/simplex.cpp.o"
+  "CMakeFiles/maxutil_lp.dir/simplex.cpp.o.d"
+  "libmaxutil_lp.a"
+  "libmaxutil_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

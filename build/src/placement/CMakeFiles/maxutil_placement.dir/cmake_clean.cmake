@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_placement.dir/greedy_placer.cpp.o"
+  "CMakeFiles/maxutil_placement.dir/greedy_placer.cpp.o.d"
+  "libmaxutil_placement.a"
+  "libmaxutil_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaxutil_placement.a"
+)

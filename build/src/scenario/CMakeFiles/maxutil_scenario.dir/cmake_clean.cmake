@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/maxutil_scenario.dir/scenario.cpp.o.d"
+  "libmaxutil_scenario.a"
+  "libmaxutil_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

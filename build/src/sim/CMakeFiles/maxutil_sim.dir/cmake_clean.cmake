@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_sim.dir/distributed_gradient.cpp.o"
+  "CMakeFiles/maxutil_sim.dir/distributed_gradient.cpp.o.d"
+  "CMakeFiles/maxutil_sim.dir/runtime.cpp.o"
+  "CMakeFiles/maxutil_sim.dir/runtime.cpp.o.d"
+  "libmaxutil_sim.a"
+  "libmaxutil_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

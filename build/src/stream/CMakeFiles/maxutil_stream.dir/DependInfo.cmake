@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/model.cpp" "src/stream/CMakeFiles/maxutil_stream.dir/model.cpp.o" "gcc" "src/stream/CMakeFiles/maxutil_stream.dir/model.cpp.o.d"
+  "/root/repo/src/stream/surgery.cpp" "src/stream/CMakeFiles/maxutil_stream.dir/surgery.cpp.o" "gcc" "src/stream/CMakeFiles/maxutil_stream.dir/surgery.cpp.o.d"
+  "/root/repo/src/stream/utility.cpp" "src/stream/CMakeFiles/maxutil_stream.dir/utility.cpp.o" "gcc" "src/stream/CMakeFiles/maxutil_stream.dir/utility.cpp.o.d"
+  "/root/repo/src/stream/validate.cpp" "src/stream/CMakeFiles/maxutil_stream.dir/validate.cpp.o" "gcc" "src/stream/CMakeFiles/maxutil_stream.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/maxutil_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/maxutil_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

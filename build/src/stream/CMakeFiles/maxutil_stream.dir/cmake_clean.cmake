@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_stream.dir/model.cpp.o"
+  "CMakeFiles/maxutil_stream.dir/model.cpp.o.d"
+  "CMakeFiles/maxutil_stream.dir/surgery.cpp.o"
+  "CMakeFiles/maxutil_stream.dir/surgery.cpp.o.d"
+  "CMakeFiles/maxutil_stream.dir/utility.cpp.o"
+  "CMakeFiles/maxutil_stream.dir/utility.cpp.o.d"
+  "CMakeFiles/maxutil_stream.dir/validate.cpp.o"
+  "CMakeFiles/maxutil_stream.dir/validate.cpp.o.d"
+  "libmaxutil_stream.a"
+  "libmaxutil_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_util.dir/artifacts.cpp.o"
+  "CMakeFiles/maxutil_util.dir/artifacts.cpp.o.d"
+  "CMakeFiles/maxutil_util.dir/rng.cpp.o"
+  "CMakeFiles/maxutil_util.dir/rng.cpp.o.d"
+  "CMakeFiles/maxutil_util.dir/stats.cpp.o"
+  "CMakeFiles/maxutil_util.dir/stats.cpp.o.d"
+  "CMakeFiles/maxutil_util.dir/table.cpp.o"
+  "CMakeFiles/maxutil_util.dir/table.cpp.o.d"
+  "CMakeFiles/maxutil_util.dir/timeseries.cpp.o"
+  "CMakeFiles/maxutil_util.dir/timeseries.cpp.o.d"
+  "libmaxutil_util.a"
+  "libmaxutil_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xform/extended_graph.cpp" "src/xform/CMakeFiles/maxutil_xform.dir/extended_graph.cpp.o" "gcc" "src/xform/CMakeFiles/maxutil_xform.dir/extended_graph.cpp.o.d"
+  "/root/repo/src/xform/lp_reference.cpp" "src/xform/CMakeFiles/maxutil_xform.dir/lp_reference.cpp.o" "gcc" "src/xform/CMakeFiles/maxutil_xform.dir/lp_reference.cpp.o.d"
+  "/root/repo/src/xform/penalty.cpp" "src/xform/CMakeFiles/maxutil_xform.dir/penalty.cpp.o" "gcc" "src/xform/CMakeFiles/maxutil_xform.dir/penalty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/maxutil_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/maxutil_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/maxutil_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/maxutil_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxutil_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

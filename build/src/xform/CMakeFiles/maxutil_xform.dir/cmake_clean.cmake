@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_xform.dir/extended_graph.cpp.o"
+  "CMakeFiles/maxutil_xform.dir/extended_graph.cpp.o.d"
+  "CMakeFiles/maxutil_xform.dir/lp_reference.cpp.o"
+  "CMakeFiles/maxutil_xform.dir/lp_reference.cpp.o.d"
+  "CMakeFiles/maxutil_xform.dir/penalty.cpp.o"
+  "CMakeFiles/maxutil_xform.dir/penalty.cpp.o.d"
+  "libmaxutil_xform.a"
+  "libmaxutil_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

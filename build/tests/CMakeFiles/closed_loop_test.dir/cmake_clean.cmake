@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_loop_test.dir/closed_loop_test.cpp.o"
+  "CMakeFiles/closed_loop_test.dir/closed_loop_test.cpp.o.d"
+  "closed_loop_test"
+  "closed_loop_test.pdb"
+  "closed_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

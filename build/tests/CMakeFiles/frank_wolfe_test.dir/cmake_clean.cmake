@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frank_wolfe_test.dir/frank_wolfe_test.cpp.o"
+  "CMakeFiles/frank_wolfe_test.dir/frank_wolfe_test.cpp.o.d"
+  "frank_wolfe_test"
+  "frank_wolfe_test.pdb"
+  "frank_wolfe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frank_wolfe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

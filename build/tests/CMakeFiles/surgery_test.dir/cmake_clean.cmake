@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgery_test.dir/surgery_test.cpp.o"
+  "CMakeFiles/surgery_test.dir/surgery_test.cpp.o.d"
+  "surgery_test"
+  "surgery_test.pdb"
+  "surgery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/util_test.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/maxutil_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/maxutil_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/maxutil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/maxutil_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/maxutil_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/maxutil_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/maxutil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/maxutil_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/maxutil_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/maxutil_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/maxutil_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/maxutil_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxutil_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

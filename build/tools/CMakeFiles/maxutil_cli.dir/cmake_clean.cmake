@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxutil_cli.dir/maxutil_cli.cpp.o"
+  "CMakeFiles/maxutil_cli.dir/maxutil_cli.cpp.o.d"
+  "maxutil_cli"
+  "maxutil_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxutil_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
