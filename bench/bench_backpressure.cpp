@@ -41,7 +41,7 @@ int main() {
     to95.push_back(h95);
     finals.push_back(opt.utility());
     const auto cell = [](std::size_t v) {
-      return v == static_cast<std::size_t>(-1)
+      return v == bench::kNeverReached
                  ? std::string("never")
                  : util::Table::cell(static_cast<long long>(v));
     };
@@ -58,9 +58,9 @@ int main() {
       *std::max_element(finals.begin(), finals.end()) >= 0.95 * optimal);
   ok &= bench::shape_check(
       "convergence takes 10^3..10^5 iterations (vs gradient's 10^2..10^3)",
-      to95[2] != static_cast<std::size_t>(-1) && to95[2] >= 1000);
+      to95[2] != bench::kNeverReached && to95[2] >= 1000);
   ok &= bench::shape_check(
       "larger buffers converge more slowly (AL trade-off)",
-      to95.back() == static_cast<std::size_t>(-1) || to95.back() >= to95[1]);
+      to95.back() == bench::kNeverReached || to95.back() >= to95[1]);
   return ok ? 0 : 1;
 }

@@ -71,7 +71,7 @@ int main() {
       const double target = std::min(optimal, gradient.utility() / 0.98);
       std::size_t g95 = bench::iterations_to_fraction(gradient.history(),
                                                       "utility", target, 0.95);
-      if (g95 == static_cast<std::size_t>(-1)) g95 = gopt.max_iterations;
+      if (g95 == bench::kNeverReached) g95 = gopt.max_iterations;
       g95_sum += static_cast<double>(g95);
       ground_sum +=
           static_cast<double>(g95 * system.last_iteration_rounds());
@@ -83,7 +83,7 @@ int main() {
       const double btarget = std::min(optimal, backpressure.utility() / 0.98);
       std::size_t b95 = bench::iterations_to_fraction(
           backpressure.history(), "utility", btarget, 0.95);
-      if (b95 == static_cast<std::size_t>(-1)) b95 = 300000;
+      if (b95 == bench::kNeverReached) b95 = 300000;
       b95_sum += static_cast<double>(b95);
     }
     rounds_per_iter.push_back(rounds_sum / seeds);

@@ -59,7 +59,7 @@ int main() {
     wobble.push_back(tail.stddev());
     damped_counts.push_back(damped);
     table.add_row({util::Table::cell(eta),
-                   hit == static_cast<std::size_t>(-1)
+                   hit == bench::kNeverReached
                        ? std::string("never")
                        : util::Table::cell(static_cast<long long>(hit)),
                    util::Table::cell(opt.utility()),
@@ -80,7 +80,7 @@ int main() {
     const std::size_t hit =
         bench::iterations_to_fraction(opt.history(), "utility", optimal, 0.95);
     table.add_row({"0.005+adaptive",
-                   hit == static_cast<std::size_t>(-1)
+                   hit == bench::kNeverReached
                        ? std::string("never")
                        : util::Table::cell(static_cast<long long>(hit)),
                    util::Table::cell(opt.utility()),
@@ -99,7 +99,7 @@ int main() {
     const std::size_t hit =
         bench::iterations_to_fraction(opt.history(), "utility", optimal, 0.95);
     table.add_row({"curvature-scaled (eta=1)",
-                   hit == static_cast<std::size_t>(-1)
+                   hit == bench::kNeverReached
                        ? std::string("never")
                        : util::Table::cell(static_cast<long long>(hit)),
                    util::Table::cell(opt.utility()),
@@ -114,10 +114,10 @@ int main() {
   // Small eta converges but slowly; mid eta converges in hundreds of
   // iterations; the speedup from the smallest to the paper's 0.04 is large.
   ok &= bench::shape_check("every eta below 0.1 reaches 95%",
-                           to95[0] != static_cast<std::size_t>(-1) &&
-                               to95[1] != static_cast<std::size_t>(-1) &&
-                               to95[2] != static_cast<std::size_t>(-1) &&
-                               to95[3] != static_cast<std::size_t>(-1));
+                           to95[0] != bench::kNeverReached &&
+                               to95[1] != bench::kNeverReached &&
+                               to95[2] != bench::kNeverReached &&
+                               to95[3] != bench::kNeverReached);
   ok &= bench::shape_check(
       "iterations-to-95% shrinks monotonically from eta=0.005 to eta=0.08",
       to95[0] > to95[1] && to95[1] > to95[2] && to95[2] > to95[3] &&
@@ -132,6 +132,6 @@ int main() {
       "instability at large eta (safeguard damps >= 1000 iterations, or wobble)",
       damped_counts.back() >= 1000.0 ||
           wobble.back() > 10.0 * std::max(wobble[3], 1e-12) ||
-          to95.back() == static_cast<std::size_t>(-1));
+          to95.back() == bench::kNeverReached);
   return ok ? 0 : 1;
 }

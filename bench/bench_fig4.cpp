@@ -111,7 +111,7 @@ int main() {
       g95 >= 10 && g95 <= 5000);
   ok &= bench::shape_check(
       "back-pressure needs orders of magnitude more iterations (>= 10x)",
-      b95 != static_cast<std::size_t>(-1) && b95 >= 10 * g95);
+      b95 != bench::kNeverReached && b95 >= 10 * g95);
   bool monotone = true;
   for (std::size_t i = 1; i < gu.size(); ++i) {
     monotone = monotone && gu[i] >= gu[i - 1] - 1e-6;

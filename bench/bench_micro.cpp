@@ -11,6 +11,7 @@
 #include "core/gamma.hpp"
 #include "core/marginals.hpp"
 #include "core/optimizer.hpp"
+#include "util/artifacts.hpp"
 #include "xform/extended_graph.hpp"
 #include "xform/lp_reference.hpp"
 
@@ -118,6 +119,43 @@ void BM_LpReferenceSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_LpReferenceSolve)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally captures every run for the
+/// machine-readable BENCH_micro.json perf artifact.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double iters = static_cast<double>(run.iterations);
+      records_.push_back(
+          {run.benchmark_name(),
+           {{"real_time_sec", run.real_accumulated_time / iters},
+            {"cpu_time_sec", run.cpu_accumulated_time / iters},
+            {"iterations", iters}}});
+    }
+  }
+
+  const std::vector<maxutil::util::BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<maxutil::util::BenchRecord> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path = maxutil::util::write_bench_json(
+      "micro", reporter.records(),
+      {{"unit", "seconds per iteration"},
+       {"instance", "Section-6 paper instance, seed 2007"}});
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

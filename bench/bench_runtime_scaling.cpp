@@ -1,0 +1,226 @@
+// E15 — runtime scaling: throughput of the parallel deterministic actor
+// runtime on enlarged Section-6 topologies. Sweeps node count x thread
+// count, A/B-compares the pooled flat-inbox delivery against the legacy
+// per-round-allocating path, verifies every configuration computes
+// bit-identical iterates, and writes the machine-readable
+// BENCH_runtime_scaling.json perf artifact.
+//
+// Wall-clock parallel speedup requires physical cores; when the host
+// exposes fewer than `threads` hardware threads the corresponding shape
+// check is skipped (the determinism checks still run — scheduling noise is
+// exactly what they must survive).
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/routing.hpp"
+#include "gen/random_instance.hpp"
+#include "sim/distributed_gradient.hpp"
+#include "util/artifacts.hpp"
+#include "util/table.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace {
+
+using namespace maxutil;
+
+struct RunResult {
+  double seconds = 0.0;
+  std::size_t rounds = 0;
+  std::size_t messages = 0;
+  std::size_t payload_doubles = 0;
+  std::size_t pool_reuses = 0;
+  std::size_t pool_allocations = 0;
+  std::size_t steady_allocations = 0;  // allocations after the warmup phase
+  double utility = 0.0;
+  core::RoutingState routing;
+
+  RunResult(const xform::ExtendedGraph& xg, sim::RuntimeOptions options,
+            std::size_t iterations, std::size_t warmup)
+      : routing(xg) {
+    sim::DistributedGradientSystem system(xg, {}, options);
+    const auto start = std::chrono::steady_clock::now();
+    system.run(warmup);
+    const std::size_t allocs_after_warmup =
+        system.runtime().payload_pool_allocations();
+    system.run(iterations - warmup);
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+    rounds = system.runtime().rounds();
+    messages = system.runtime().delivered_messages();
+    payload_doubles = system.runtime().delivered_payload_doubles();
+    pool_reuses = system.runtime().payload_pool_reuses();
+    pool_allocations = system.runtime().payload_pool_allocations();
+    steady_allocations = pool_allocations - allocs_after_warmup;
+    utility = system.utility();
+    routing = system.routing_snapshot();
+  }
+};
+
+gen::RandomInstanceParams scaled_params(std::size_t servers) {
+  gen::RandomInstanceParams p;
+  p.servers = servers;
+  p.commodities = 8;
+  p.stages = 6;
+  p.min_width = 3;
+  p.max_width = 6;
+  p.edge_probability = 0.6;
+  p.lambda = 200.0;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("=== E15: parallel runtime scaling ===\n");
+  std::printf("pooled flat-inbox delivery vs legacy, thread sweep;"
+              " host exposes %u hardware thread(s)\n\n", hw);
+
+  const std::vector<std::size_t> server_counts = {120, 400};
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  const std::size_t iterations = 12;
+  const std::size_t warmup = 4;
+
+  std::vector<util::BenchRecord> records;
+  util::Table table({"servers", "ext nodes", "mode", "seconds", "sec/iter",
+                     "msgs/sec", "pool reuse", "speedup"});
+
+  bool identical = true;
+  bool steady_state_clean = true;
+  double legacy_speedup_large = 0.0;
+  double four_thread_speedup_large = 0.0;
+  std::size_t large_extended_nodes = 0;
+
+  for (const std::size_t servers : server_counts) {
+    util::Rng rng(2007);
+    const auto net = gen::random_instance(scaled_params(servers), rng);
+    const xform::ExtendedGraph xg(net);
+    const bool large = servers >= 400;
+    if (large) large_extended_nodes = xg.node_count();
+
+    // Legacy reference: the original serial runtime's delivery path.
+    sim::RuntimeOptions legacy;
+    legacy.pooled_delivery = false;
+    const RunResult legacy_run(xg, legacy, iterations, warmup);
+
+    // Pooled serial is the baseline every speedup is measured against.
+    double serial_seconds = 0.0;
+    const RunResult* reference = nullptr;
+    std::vector<RunResult> runs;
+    runs.reserve(thread_counts.size());
+    for (const std::size_t threads : thread_counts) {
+      sim::RuntimeOptions options;
+      options.num_threads = threads;
+      runs.emplace_back(xg, options, iterations, warmup);
+    }
+    serial_seconds = runs.front().seconds;
+    reference = &runs.front();
+
+    const auto emit = [&](const std::string& mode, const RunResult& run,
+                          double threads) {
+      const double speedup = serial_seconds / run.seconds;
+      const double reuse_rate =
+          run.pool_reuses + run.pool_allocations == 0
+              ? 0.0
+              : static_cast<double>(run.pool_reuses) /
+                    static_cast<double>(run.pool_reuses +
+                                        run.pool_allocations);
+      table.add_row(
+          {util::Table::cell(static_cast<long long>(servers)),
+           util::Table::cell(static_cast<long long>(xg.node_count())),
+           mode, util::Table::cell(run.seconds, 3),
+           util::Table::cell(run.seconds / static_cast<double>(iterations), 4),
+           util::Table::cell(static_cast<double>(run.messages) / run.seconds,
+                             0),
+           util::Table::cell(100.0 * reuse_rate, 1) + "%",
+           util::Table::cell(speedup, 2) + "x"});
+      records.push_back(
+          {"servers=" + std::to_string(servers) + "/" + mode,
+           {{"servers", static_cast<double>(servers)},
+            {"extended_nodes", static_cast<double>(xg.node_count())},
+            {"threads", threads},
+            {"iterations", static_cast<double>(iterations)},
+            {"seconds", run.seconds},
+            {"rounds", static_cast<double>(run.rounds)},
+            {"messages", static_cast<double>(run.messages)},
+            {"messages_per_sec",
+             static_cast<double>(run.messages) / run.seconds},
+            {"payload_doubles", static_cast<double>(run.payload_doubles)},
+            {"pool_reuses", static_cast<double>(run.pool_reuses)},
+            {"pool_allocations", static_cast<double>(run.pool_allocations)},
+            {"steady_state_allocations",
+             static_cast<double>(run.steady_allocations)},
+            {"speedup_vs_serial", speedup}}});
+    };
+
+    emit("legacy", legacy_run, 0.0);
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      emit("threads=" + std::to_string(thread_counts[i]), runs[i],
+           static_cast<double>(thread_counts[i]));
+    }
+
+    // Every configuration must compute the same iterates, bit for bit.
+    identical = identical &&
+                legacy_run.routing.max_difference(reference->routing) == 0.0 &&
+                legacy_run.utility == reference->utility;
+    for (const RunResult& run : runs) {
+      identical = identical &&
+                  run.routing.max_difference(reference->routing) == 0.0 &&
+                  run.utility == reference->utility;
+    }
+    // Past warmup, the payload pool must serve every send from recycled
+    // buffers (serial run: exactly reproducible).
+    steady_state_clean =
+        steady_state_clean && reference->steady_allocations == 0;
+
+    if (large) {
+      legacy_speedup_large = legacy_run.seconds / serial_seconds;
+      four_thread_speedup_large = serial_seconds / runs[2].seconds;
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nlarge instance (>=400 servers, %zu extended nodes):\n",
+              large_extended_nodes);
+  std::printf("  pooled serial vs legacy: %.2fx\n", legacy_speedup_large);
+  std::printf("  4 threads vs pooled serial: %.2fx\n",
+              four_thread_speedup_large);
+
+  const std::string path = util::write_bench_json(
+      "runtime_scaling", records,
+      {{"hardware_concurrency", std::to_string(hw)},
+       {"instance",
+        "gen::random_instance, 8 commodities, 6 stages, width 3-6, seed "
+        "2007"},
+       {"iterations_per_run", std::to_string(iterations)}});
+  std::printf("wrote %s\n\n", path.c_str());
+
+  std::printf("shape checks:\n");
+  bool ok = true;
+  ok &= bench::shape_check(
+      "all modes and thread counts compute bit-identical iterates",
+      identical);
+  ok &= bench::shape_check(
+      "steady-state rounds allocate zero payload buffers (pool recycles)",
+      steady_state_clean);
+  ok &= bench::shape_check(
+      "pooled delivery beats the legacy allocating path on >=400 servers",
+      legacy_speedup_large >= 1.2);
+  if (hw >= 4) {
+    ok &= bench::shape_check(
+        "4 threads >= 2x over pooled serial on >=400 servers",
+        four_thread_speedup_large >= 2.0);
+  } else {
+    std::printf("  [SKIP] 4-thread >= 2x speedup check needs >= 4 hardware"
+                " threads (host has %u); measured %.2fx\n",
+                hw, four_thread_speedup_large);
+  }
+  return ok ? 0 : 1;
+}

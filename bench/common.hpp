@@ -3,6 +3,7 @@
 // Shared helpers for the bench harness (see DESIGN.md Section 5 for the
 // experiment index each binary implements).
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdio>
 #include <string>
@@ -15,6 +16,10 @@
 
 namespace maxutil::bench {
 
+/// Sentinel returned by iterations_to_fraction when the target level is
+/// never reached within the recorded history.
+inline constexpr std::size_t kNeverReached = static_cast<std::size_t>(-1);
+
 /// The Section-6 instance: 40 servers, 3 commodities, capacities ~ U[1,100],
 /// g ~ U[1,10], c ~ U[1,5]. Seed 2007 is the repository's canonical
 /// instance; benches also sweep other seeds.
@@ -24,18 +29,24 @@ inline stream::StreamNetwork paper_instance(std::uint64_t seed = 2007) {
 }
 
 /// First iteration whose `column` value reaches `fraction * target`;
-/// returns SIZE_MAX when never reached.
+/// returns kNeverReached when never reached. Histories without an
+/// "iteration" column (downsampled or custom series) fall back to the row
+/// index instead of throwing.
 inline std::size_t iterations_to_fraction(const util::TimeSeries& history,
                                           const std::string& column,
                                           double target, double fraction) {
   const auto& values = history.column(column);
-  const auto& iters = history.column("iteration");
+  const auto& names = history.names();
+  const bool has_iteration =
+      std::find(names.begin(), names.end(), "iteration") != names.end();
   for (std::size_t r = 0; r < values.size(); ++r) {
     if (values[r] >= fraction * target) {
-      return static_cast<std::size_t>(iters[r]);
+      return has_iteration
+                 ? static_cast<std::size_t>(history.column("iteration")[r])
+                 : r;
     }
   }
-  return static_cast<std::size_t>(-1);
+  return kNeverReached;
 }
 
 /// Jain fairness index of an allocation: (sum x)^2 / (n * sum x^2);

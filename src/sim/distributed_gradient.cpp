@@ -139,7 +139,10 @@ void NodeActor::apply_update() {
     if (s.out_edges.empty()) continue;
 
     // Eligible = not in the blocked set B_i(j) (phi = 0 and head tagged).
-    std::vector<std::size_t> eligible;
+    // The scratch vector is a member so steady-state iterations do not
+    // re-allocate it (the runtime's zero-allocation budget extends here).
+    std::vector<std::size_t>& eligible = eligible_scratch_;
+    eligible.clear();
     for (std::size_t i = 0; i < s.out_edges.size(); ++i) {
       if (s.phi[i] == 0.0 && s.head_tagged[i] != 0) continue;
       eligible.push_back(i);
@@ -276,8 +279,9 @@ double NodeActor::marginal(CommodityId j) const { return state(j).dr_self; }
 // --- DistributedGradientSystem ---
 
 DistributedGradientSystem::DistributedGradientSystem(
-    const xform::ExtendedGraph& xg, core::GammaOptions gamma)
-    : xg_(&xg), gamma_(gamma) {
+    const xform::ExtendedGraph& xg, core::GammaOptions gamma,
+    RuntimeOptions runtime_options)
+    : xg_(&xg), gamma_(gamma), runtime_(runtime_options) {
   actors_.reserve(xg.node_count());
   for (NodeId v = 0; v < xg.node_count(); ++v) {
     auto actor = std::make_unique<NodeActor>(xg, v, gamma);
@@ -300,26 +304,29 @@ DistributedGradientSystem::DistributedGradientSystem(
 }
 
 void DistributedGradientSystem::forecast_wave() {
-  for (NodeId v = 0; v < xg_->node_count(); ++v) {
-    Outbox out(runtime_, v);
-    actors_[v]->begin_forecast(out);
-  }
-  runtime_.run_until_quiet();
+  runtime_.for_each_live_actor([](ActorId, Actor& actor, Outbox& out) {
+    static_cast<NodeActor&>(actor).begin_forecast(out);
+  });
+  runtime_.run_until_quiet(kWaveRoundBudget, /*strict=*/false);
+  last_converged_ = last_converged_ && runtime_.quiet();
 }
 
 std::size_t DistributedGradientSystem::iterate() {
   const std::size_t rounds_before = runtime_.rounds();
   const std::size_t messages_before = runtime_.delivered_messages();
+  last_converged_ = true;
 
   // Phase 1: marginal-cost wave (upstream, O(L) rounds).
-  for (NodeId v = 0; v < xg_->node_count(); ++v) {
-    Outbox out(runtime_, v);
-    actors_[v]->begin_marginal(out);
-  }
-  runtime_.run_until_quiet();
+  runtime_.for_each_live_actor([](ActorId, Actor& actor, Outbox& out) {
+    static_cast<NodeActor&>(actor).begin_marginal(out);
+  });
+  runtime_.run_until_quiet(kWaveRoundBudget, /*strict=*/false);
+  last_converged_ = runtime_.quiet();
 
-  // Phase 2: local Gamma updates (no messages).
-  for (NodeId v = 0; v < xg_->node_count(); ++v) actors_[v]->apply_update();
+  // Phase 2: local Gamma updates (no messages, embarrassingly parallel).
+  runtime_.for_each_live_actor([](ActorId, Actor& actor, Outbox&) {
+    static_cast<NodeActor&>(actor).apply_update();
+  });
 
   // Phase 3: forecast wave (downstream, O(L) rounds).
   forecast_wave();

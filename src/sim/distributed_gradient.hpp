@@ -93,6 +93,7 @@ class NodeActor : public Actor {
   NodeId self_;
   core::GammaOptions gamma_;
   std::vector<std::optional<PerCommodity>> commodities_;
+  std::vector<std::size_t> eligible_scratch_;  // apply_update working set
   double f_node_ = 0.0;          // total usage from the last forecast
   double f_node_pending_ = 0.0;  // accumulating during the current forecast
 };
@@ -109,8 +110,12 @@ class NodeActor : public Actor {
 /// centralized GradientOptimizer pins both implementations together.
 class DistributedGradientSystem {
  public:
+  /// `runtime_options` selects the execution engine (thread count,
+  /// deterministic merge, pooled delivery); the computed iterates are
+  /// bit-identical for every setting — see tests/runtime_parallel_test.cpp.
   explicit DistributedGradientSystem(const xform::ExtendedGraph& xg,
-                                     core::GammaOptions gamma = {});
+                                     core::GammaOptions gamma = {},
+                                     RuntimeOptions runtime_options = {});
 
   /// One full algorithm iteration; returns message rounds consumed.
   std::size_t iterate();
@@ -120,6 +125,10 @@ class DistributedGradientSystem {
   std::size_t iterations() const { return iterations_; }
   std::size_t last_iteration_rounds() const { return last_rounds_; }
   std::size_t last_iteration_messages() const { return last_messages_; }
+  /// False when a wave of the last iteration exhausted its round budget
+  /// without quiescing (possible under fail-stop crashes or pathological
+  /// delay models) — observable non-convergence instead of an abort.
+  bool last_iteration_converged() const { return last_converged_; }
   const Runtime& runtime() const { return runtime_; }
 
   /// Installs heterogeneous link delays (see Runtime::set_delay_model).
@@ -138,6 +147,10 @@ class DistributedGradientSystem {
   double utility() const;
 
  private:
+  /// Round budget per wave; generous — a healthy wave needs O(longest
+  /// path) rounds, and exhaustion marks the iteration non-converged.
+  static constexpr std::size_t kWaveRoundBudget = 100000;
+
   void forecast_wave();
 
   const xform::ExtendedGraph* xg_;
@@ -147,6 +160,7 @@ class DistributedGradientSystem {
   std::size_t iterations_ = 0;
   std::size_t last_rounds_ = 0;
   std::size_t last_messages_ = 0;
+  bool last_converged_ = true;
 };
 
 }  // namespace maxutil::sim

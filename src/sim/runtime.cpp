@@ -1,6 +1,7 @@
 #include "sim/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/check.hpp"
 
@@ -8,9 +9,29 @@ namespace maxutil::sim {
 
 using maxutil::util::ensure;
 
+namespace {
+
+/// Actors per chunk during parallel stepping. Small enough to balance load
+/// across workers on skewed rounds, large enough that the per-chunk
+/// fetch_add is noise. Chunk boundaries never affect results: chunks are
+/// contiguous actor ranges and the merge walks them in ascending order.
+constexpr std::size_t kMinChunk = 16;
+
+}  // namespace
+
 void Outbox::send(ActorId to, int tag, std::size_t commodity,
-                  std::vector<double> payload) {
-  runtime_->enqueue({self_, to, tag, commodity, std::move(payload)});
+                  std::span<const double> payload) {
+  runtime_->record_send(*this, to, tag, commodity, payload);
+}
+
+Runtime::Runtime(RuntimeOptions options) : options_(options) {
+  ensure(options_.num_threads >= 1, "Runtime: num_threads must be >= 1");
+  ensure(options_.pooled_delivery || options_.num_threads == 1,
+         "Runtime: legacy delivery is serial only");
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+  }
+  payload_shards_.resize(pool_ ? pool_->thread_count() : 1);
 }
 
 ActorId Runtime::add_actor(std::unique_ptr<Actor> actor) {
@@ -35,10 +56,46 @@ void Runtime::set_delay_model(
   delay_ = std::move(delay);
 }
 
-void Runtime::enqueue(Message message) {
+std::size_t Runtime::payload_pool_reuses() const {
+  std::size_t total = 0;
+  for (const auto& shard : payload_shards_) total += shard.reuses;
+  return total;
+}
+
+std::size_t Runtime::payload_pool_allocations() const {
+  std::size_t total = 0;
+  for (const auto& shard : payload_shards_) total += shard.allocations;
+  return total;
+}
+
+std::vector<double> Runtime::acquire_payload(std::size_t worker,
+                                             std::span<const double> data) {
+  PayloadShard& shard = payload_shards_[worker];
+  std::vector<double> buffer;
+  if (!shard.free_list.empty()) {
+    buffer = std::move(shard.free_list.back());
+    shard.free_list.pop_back();
+    ++shard.reuses;
+  } else {
+    ++shard.allocations;
+  }
+  buffer.assign(data.begin(), data.end());
+  return buffer;
+}
+
+void Runtime::recycle_payload(std::vector<double>&& payload) {
+  // Round-robin across worker shards so every thread's free list is
+  // replenished regardless of which worker consumed the buffer.
+  PayloadShard& shard =
+      payload_shards_[recycle_cursor_++ % payload_shards_.size()];
+  shard.free_list.push_back(std::move(payload));
+}
+
+void Runtime::enqueue_now(Message message) {
   ensure(message.to < actors_.size(), "Runtime: message to unknown actor");
   if (failed_[message.from] || failed_[message.to]) {
     ++dropped_messages_;
+    if (options_.pooled_delivery) recycle_payload(std::move(message.payload));
     return;
   }
   const std::size_t delay =
@@ -46,11 +103,151 @@ void Runtime::enqueue(Message message) {
   pending_.push_back({rounds_ + delay, std::move(message)});
 }
 
-std::size_t Runtime::run_round() {
-  ++rounds_;
-  // Pull the messages due this round; later-due ones stay queued. Sends
-  // made by actors during this round are stamped relative to rounds_, so a
-  // one-round delay lands them in the next round.
+void Runtime::record_send(const Outbox& outbox, ActorId to, int tag,
+                          std::size_t commodity,
+                          std::span<const double> payload) {
+  if (!options_.pooled_delivery) {
+    // Legacy path: a fresh heap payload per send, queued immediately.
+    enqueue_now({outbox.self_, to, tag, commodity,
+                 std::vector<double>(payload.begin(), payload.end())});
+    return;
+  }
+  Message message;
+  message.from = outbox.self_;
+  message.to = to;
+  message.tag = tag;
+  message.commodity = commodity;
+  message.payload = acquire_payload(outbox.worker_, payload);
+  if (outbox.slot_ == kDirectSlot) {
+    enqueue_now(std::move(message));
+  } else {
+    // Parallel context: defer validation, failure filtering, and due
+    // stamping to the serial merge — shard state is all this touches.
+    outbox_shards_[outbox.slot_].sends.push_back(std::move(message));
+  }
+}
+
+std::size_t Runtime::deliver_due() {
+  const std::size_t n = actors_.size();
+  inbox_cursor_.assign(n, 0);
+
+  // Pass 1: count deliverable messages per recipient (failed_ is stable
+  // within a round, so the drop decision repeats identically in pass 2).
+  std::size_t deliverable = 0;
+  for (const Pending& p : pending_) {
+    if (p.due > rounds_) continue;
+    if (failed_[p.message.from] || failed_[p.message.to]) continue;
+    ++inbox_cursor_[p.message.to];
+    ++deliverable;
+  }
+
+  inbox_offsets_.resize(n + 1);
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inbox_offsets_[i] = acc;
+    acc += inbox_cursor_[i];
+    inbox_cursor_[i] = inbox_offsets_[i];
+  }
+  inbox_offsets_[n] = acc;
+  inbox_messages_.resize(deliverable);
+
+  // Pass 2: stable scatter into the flat buffer (walking pending_ in queue
+  // order preserves per-recipient send order) and in-place compaction of
+  // the not-yet-due remainder.
+  std::size_t write = 0;
+  for (std::size_t r = 0; r < pending_.size(); ++r) {
+    Pending& p = pending_[r];
+    if (p.due > rounds_) {
+      if (write != r) pending_[write] = std::move(p);
+      ++write;
+      continue;
+    }
+    Message& m = p.message;
+    if (failed_[m.from] || failed_[m.to]) {
+      ++dropped_messages_;
+      recycle_payload(std::move(m.payload));
+      continue;
+    }
+    delivered_payload_ += m.payload.size();
+    inbox_messages_[inbox_cursor_[m.to]++] = std::move(m);
+  }
+  pending_.resize(write);
+  delivered_messages_ += deliverable;
+  return deliverable;
+}
+
+std::span<const Message> Runtime::inbox_of(ActorId id) const {
+  const std::size_t begin = inbox_offsets_[id];
+  const std::size_t end = inbox_offsets_[id + 1];
+  return {inbox_messages_.data() + begin, end - begin};
+}
+
+void Runtime::step_live_actors(
+    const std::function<void(ActorId, Actor&, Outbox&)>& fn,
+    std::size_t work_hint) {
+  const std::size_t n = actors_.size();
+  const bool parallel = pool_ != nullptr && n > 1 &&
+                        work_hint >= options_.serial_cutoff;
+  if (!parallel) {
+    for (ActorId id = 0; id < n; ++id) {
+      if (failed_[id]) continue;
+      Outbox out(*this, id, kDirectSlot, 0);
+      fn(id, *actors_[id], out);
+    }
+    return;
+  }
+
+  const std::size_t chunk = std::max<std::size_t>(
+      kMinChunk, n / (pool_->thread_count() * 8));
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  const std::size_t slots =
+      options_.deterministic ? num_chunks : pool_->thread_count();
+  if (outbox_shards_.size() < slots) outbox_shards_.resize(slots);
+
+  pool_->run_chunks(num_chunks, [&](std::size_t worker, std::size_t c) {
+    const ActorId begin = c * chunk;
+    const ActorId end = std::min<ActorId>(n, begin + chunk);
+    const std::size_t slot = options_.deterministic ? c : worker;
+    for (ActorId id = begin; id < end; ++id) {
+      if (failed_[id]) continue;
+      Outbox out(*this, id, slot, worker);
+      fn(id, *actors_[id], out);
+    }
+  });
+
+  // Deterministic merge: walking the shards in slot order replays the
+  // serial (actor id, send order) sequence exactly — chunk slots are
+  // contiguous ascending actor ranges whatever the thread count was.
+  for (OutboxShard& shard : outbox_shards_) {
+    for (Message& message : shard.sends) enqueue_now(std::move(message));
+    shard.sends.clear();
+  }
+}
+
+void Runtime::for_each_live_actor(
+    const std::function<void(ActorId, Actor&, Outbox&)>& fn) {
+  step_live_actors(fn, actors_.size());
+}
+
+std::size_t Runtime::run_round_pooled() {
+  const std::size_t delivered = deliver_due();
+  step_live_actors(
+      [this](ActorId id, Actor& actor, Outbox& out) {
+        actor.on_round(out, inbox_of(id));
+      },
+      delivered);
+  // The round's inboxes are dead; feed their payload buffers back to the
+  // worker pools for next round's sends.
+  for (Message& message : inbox_messages_) {
+    recycle_payload(std::move(message.payload));
+  }
+  inbox_messages_.clear();
+  return delivered;
+}
+
+std::size_t Runtime::run_round_legacy() {
+  // The original serial delivery, preserved verbatim as the A/B baseline:
+  // rebuilds a vector<vector<Message>> of inboxes every round.
   std::vector<Message> batch;
   std::vector<Pending> later;
   later.reserve(pending_.size());
@@ -63,7 +260,6 @@ std::size_t Runtime::run_round() {
   }
   pending_ = std::move(later);
 
-  // Group per recipient, preserving send order.
   std::vector<std::vector<Message>> inboxes(actors_.size());
   std::size_t delivered = 0;
   for (auto& m : batch) {
@@ -79,19 +275,33 @@ std::size_t Runtime::run_round() {
 
   for (ActorId id = 0; id < actors_.size(); ++id) {
     if (failed_[id]) continue;
-    Outbox out(*this, id);
+    Outbox out(*this, id, kDirectSlot, 0);
     actors_[id]->on_round(out, inboxes[id]);
   }
   return delivered;
 }
 
-std::size_t Runtime::run_until_quiet(std::size_t max_rounds) {
+std::size_t Runtime::run_round() {
+  const auto start = std::chrono::steady_clock::now();
+  ++rounds_;
+  const std::size_t delivered =
+      options_.pooled_delivery ? run_round_pooled() : run_round_legacy();
+  last_round_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  total_round_seconds_ += last_round_seconds_;
+  return delivered;
+}
+
+std::size_t Runtime::run_until_quiet(std::size_t max_rounds, bool strict) {
   std::size_t used = 0;
   while (!quiet() && used < max_rounds) {
     run_round();
     ++used;
   }
-  ensure(quiet(), "Runtime::run_until_quiet: round budget exhausted");
+  if (strict) {
+    ensure(quiet(), "Runtime::run_until_quiet: round budget exhausted");
+  }
   return used;
 }
 

@@ -2,9 +2,12 @@
 
 #include <cstddef>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <span>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace maxutil::sim {
 
@@ -15,7 +18,10 @@ using ActorId = std::size_t;
 
 /// A message between actors. `tag` discriminates protocol phases;
 /// `commodity` scopes per-stream protocols; `payload` carries the numeric
-/// content (marginal costs, blocking flags, forecast flows, ...).
+/// content (marginal costs, blocking flags, forecast flows, ...). Payload
+/// buffers are pooled by the runtime: a delivered message's vector is
+/// recycled into the next round's sends, so steady-state rounds perform no
+/// per-message heap allocation.
 struct Message {
   ActorId from = 0;
   ActorId to = 0;
@@ -24,20 +30,62 @@ struct Message {
   std::vector<double> payload;
 };
 
+/// Execution knobs for the runtime. The default is the fully serial,
+/// pooled-delivery path; benches and large instances raise `num_threads`.
+struct RuntimeOptions {
+  /// Worker threads stepping actors within a round (the calling thread
+  /// included). 1 = serial. Results are bit-identical for every value: actor
+  /// steps are data-independent within a round and sends are merged in
+  /// (actor id, send order) sequence regardless of scheduling.
+  std::size_t num_threads = 1;
+
+  /// When true (default), parallel rounds write sends into per-chunk
+  /// outboxes merged in chunk order — reproducible across runs and thread
+  /// counts. When false, sends are sharded per worker thread and merged in
+  /// worker order, which saves a few outbox buffers but lets the dynamic
+  /// chunk schedule leak into message order. Serial runs are always
+  /// deterministic.
+  bool deterministic = true;
+
+  /// When false, uses the legacy delivery path of the original serial
+  /// runtime: per-round `vector<vector<Message>>` inbox rebuild and a fresh
+  /// heap payload per send. Kept as the A/B reference for
+  /// bench_runtime_scaling and the equivalence tests; forces num_threads=1.
+  bool pooled_delivery = true;
+
+  /// Rounds delivering fewer messages than this are stepped serially even
+  /// when a thread pool exists (identical results either way — this only
+  /// skips dispatch overhead on near-empty wave-tail rounds).
+  std::size_t serial_cutoff = 64;
+};
+
 class Runtime;
 
-/// Send-side interface handed to an actor during its turn.
+/// Send-side interface handed to an actor during its turn. Bound to the
+/// executing worker's payload pool and to the outbox shard that keeps the
+/// deterministic merge order.
 class Outbox {
  public:
-  Outbox(Runtime& runtime, ActorId self) : runtime_(&runtime), self_(self) {}
-
-  /// Queues `message` for delivery at the start of the next round.
+  /// Queues a message for delivery at the start of the next round (or later
+  /// under a delay model). The payload is copied into a pooled buffer.
   void send(ActorId to, int tag, std::size_t commodity,
-            std::vector<double> payload);
+            std::span<const double> payload);
+
+  void send(ActorId to, int tag, std::size_t commodity,
+            std::initializer_list<double> payload) {
+    send(to, tag, commodity,
+         std::span<const double>(payload.begin(), payload.size()));
+  }
 
  private:
+  friend class Runtime;
+  Outbox(Runtime& runtime, ActorId self, std::size_t slot, std::size_t worker)
+      : runtime_(&runtime), self_(self), slot_(slot), worker_(worker) {}
+
   Runtime* runtime_;
   ActorId self_;
+  std::size_t slot_;    // outbox shard index; kDirectSlot = straight to queue
+  std::size_t worker_;  // payload-pool shard of the executing thread
 };
 
 /// A node in the simulated distributed system. Actors communicate only
@@ -57,8 +105,20 @@ class Actor {
 /// neighbor message exchange) made concrete and measurable. The message
 /// counters back the Section-6 comparison of per-iteration message
 /// complexity (O(L) marginal-cost waves vs O(1) buffer-level exchanges).
+///
+/// Throughput architecture (see DESIGN.md §7): actor steps within a round
+/// are data-independent, so they are sharded across a thread pool; each
+/// chunk writes sends into its own outbox, merged afterwards in chunk (=
+/// actor id) order so runs are reproducible regardless of thread count.
+/// Delivery uses a counting-sort flat buffer — per-actor offsets into one
+/// contiguous Message array reused across rounds — and payload vectors are
+/// recycled through per-worker free lists, so steady-state rounds allocate
+/// nothing per message.
 class Runtime {
  public:
+  Runtime() : Runtime(RuntimeOptions{}) {}
+  explicit Runtime(RuntimeOptions options);
+
   /// Registers an actor; returns its id (dense, in add order).
   ActorId add_actor(std::unique_ptr<Actor> actor);
 
@@ -66,10 +126,13 @@ class Runtime {
   /// takes `delay(a, b)` rounds (values < 1 are clamped to 1). Default is a
   /// uniform one-round delay. The gradient protocol's waves wait for all
   /// inputs, so results are delay-insensitive — only round counts change
-  /// (tested in sim_test.cpp).
+  /// (tested in sim_test.cpp). Must be safe to call concurrently when
+  /// num_threads > 1 (a pure function of the endpoints always is).
   void set_delay_model(std::function<std::size_t(ActorId, ActorId)> delay);
 
   std::size_t actor_count() const { return actors_.size(); }
+
+  const RuntimeOptions& options() const { return options_; }
 
   /// Fail-stop crash: the actor stops executing; messages to or from it are
   /// silently dropped (and counted in dropped_messages()).
@@ -82,11 +145,23 @@ class Runtime {
   std::size_t run_round();
 
   /// Runs rounds until no messages are in flight (quiescence) or
-  /// `max_rounds` elapse; returns rounds executed.
-  std::size_t run_until_quiet(std::size_t max_rounds = 100000);
+  /// `max_rounds` elapse; returns rounds executed. When `strict` (the
+  /// default) an exhausted budget aborts via util::ensure; with strict =
+  /// false the caller observes non-convergence through quiet() instead —
+  /// what the failure/recovery benches need to measure stalled protocols
+  /// rather than crash.
+  std::size_t run_until_quiet(std::size_t max_rounds = 100000,
+                              bool strict = true);
 
   /// True when no messages await delivery.
   bool quiet() const { return pending_.empty(); }
+
+  /// Runs `fn` once for every live actor with a connected outbox — the hook
+  /// for protocol phase kickoffs outside the message-driven path. Uses the
+  /// thread pool (and the same deterministic send merge as run_round) when
+  /// one is configured.
+  void for_each_live_actor(
+      const std::function<void(ActorId, Actor&, Outbox&)>& fn);
 
   // --- Counters (cumulative) ---
   std::size_t rounds() const { return rounds_; }
@@ -94,6 +169,13 @@ class Runtime {
   std::size_t dropped_messages() const { return dropped_messages_; }
   /// Total doubles carried in delivered payloads (a bandwidth proxy).
   std::size_t delivered_payload_doubles() const { return delivered_payload_; }
+  /// Payload buffers served from the recycle free lists vs freshly heap
+  /// allocated — the pool's zero-steady-state-allocation evidence.
+  std::size_t payload_pool_reuses() const;
+  std::size_t payload_pool_allocations() const;
+  /// Wall-clock seconds spent inside run_round (cumulative / last round).
+  double total_round_seconds() const { return total_round_seconds_; }
+  double last_round_seconds() const { return last_round_seconds_; }
 
   /// Direct read access to an actor (observer-side instrumentation only —
   /// the protocol itself must go through messages).
@@ -102,21 +184,72 @@ class Runtime {
 
  private:
   friend class Outbox;
-  void enqueue(Message message);
 
   struct Pending {
     std::size_t due;  // first round in which the message may be delivered
     Message message;
   };
 
+  /// Per-worker recycle pool for payload vectors. Touched by exactly one
+  /// worker during parallel stepping; refilled round-robin in the serial
+  /// recycle phase at the end of each round.
+  struct PayloadShard {
+    std::vector<std::vector<double>> free_list;
+    std::size_t reuses = 0;
+    std::size_t allocations = 0;
+  };
+
+  /// Send buffer for one chunk (deterministic mode) or one worker.
+  struct OutboxShard {
+    std::vector<Message> sends;
+  };
+
+  static constexpr std::size_t kDirectSlot = static_cast<std::size_t>(-1);
+
+  void record_send(const Outbox& outbox, ActorId to, int tag,
+                   std::size_t commodity, std::span<const double> payload);
+  /// Validates, failure-filters, stamps the due round, and queues — the
+  /// serial tail of every send path (legacy enqueue semantics).
+  void enqueue_now(Message message);
+  std::vector<double> acquire_payload(std::size_t worker,
+                                      std::span<const double> data);
+  void recycle_payload(std::vector<double>&& payload);
+
+  /// Counting-sort delivery of due messages into the flat inbox buffer;
+  /// compacts pending_ in place. Returns messages delivered.
+  std::size_t deliver_due();
+  std::span<const Message> inbox_of(ActorId id) const;
+  /// Runs `fn` over live actors, serially or chunked over the pool, and
+  /// merges recorded sends in deterministic order. `work_hint` gates the
+  /// serial cutoff.
+  void step_live_actors(
+      const std::function<void(ActorId, Actor&, Outbox&)>& fn,
+      std::size_t work_hint);
+  std::size_t run_round_pooled();
+  std::size_t run_round_legacy();
+
+  RuntimeOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<bool> failed_;
   std::vector<Pending> pending_;
   std::function<std::size_t(ActorId, ActorId)> delay_;
+
+  // Flat delivery buffers, reused across rounds.
+  std::vector<Message> inbox_messages_;
+  std::vector<std::size_t> inbox_offsets_;  // size actor_count() + 1
+  std::vector<std::size_t> inbox_cursor_;
+  std::vector<OutboxShard> outbox_shards_;
+  std::vector<PayloadShard> payload_shards_;
+  std::size_t recycle_cursor_ = 0;
+
   std::size_t rounds_ = 0;
   std::size_t delivered_messages_ = 0;
   std::size_t dropped_messages_ = 0;
   std::size_t delivered_payload_ = 0;
+  double total_round_seconds_ = 0.0;
+  double last_round_seconds_ = 0.0;
 };
 
 }  // namespace maxutil::sim

@@ -1,5 +1,7 @@
 #include "util/artifacts.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
@@ -24,6 +26,73 @@ std::optional<std::string> save_series(const TimeSeries& series,
   ensure(out.good(), "save_series: cannot write '" + path + "'");
   series.write_csv(out);
   ensure(out.good(), "save_series: write failed for '" + path + "'");
+  return path;
+}
+
+namespace {
+
+/// Minimal JSON string escape (quotes, backslashes, control characters) —
+/// bench names and meta values are ASCII identifiers in practice.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Round-trippable numeric literal; JSON has no NaN/Inf, map them to null.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string write_bench_json(
+    const std::string& bench, const std::vector<BenchRecord>& records,
+    const std::vector<std::pair<std::string, std::string>>& meta) {
+  ensure(bench.find('/') == std::string::npos,
+         "write_bench_json: bench name must not contain path separators");
+  const std::string path =
+      results_dir().value_or(".") + "/BENCH_" + bench + ".json";
+  std::ofstream out(path);
+  ensure(out.good(), "write_bench_json: cannot write '" + path + "'");
+
+  out << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n";
+  out << "  \"meta\": {";
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(meta[i].first)
+        << "\": \"" << json_escape(meta[i].second) << "\"";
+  }
+  out << (meta.empty() ? "" : "\n  ") << "},\n";
+  out << "  \"records\": [";
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    out << (r == 0 ? "\n" : ",\n") << "    {\"name\": \""
+        << json_escape(records[r].name) << "\"";
+    for (const auto& [key, value] : records[r].metrics) {
+      out << ", \"" << json_escape(key) << "\": " << json_number(value);
+    }
+    out << "}";
+  }
+  out << (records.empty() ? "" : "\n  ") << "]\n}\n";
+  ensure(out.good(), "write_bench_json: write failed for '" + path + "'");
   return path;
 }
 

@@ -2,6 +2,8 @@
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/timeseries.hpp"
 
@@ -18,5 +20,23 @@ std::optional<std::string> results_dir();
 /// Throws util::CheckError when the directory is set but unwritable.
 std::optional<std::string> save_series(const TimeSeries& series,
                                        const std::string& name);
+
+/// One named measurement row of a bench run: a label plus numeric metrics
+/// (e.g. {"servers=400/threads=4", {{"seconds", 1.23}, {"speedup", 2.4}}}).
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Writes the machine-readable perf artifact "BENCH_<bench>.json" — the
+/// repository's perf trajectory files — and returns the written path.
+/// Unlike save_series this always writes: into MAXUTIL_RESULTS_DIR when set,
+/// else the current working directory (benches are run from the repo root to
+/// refresh the tracked BENCH_*.json files). `meta` holds free-form context
+/// strings (host cores, instance shape, ...). Throws util::CheckError on
+/// write failure.
+std::string write_bench_json(
+    const std::string& bench, const std::vector<BenchRecord>& records,
+    const std::vector<std::pair<std::string, std::string>>& meta = {});
 
 }  // namespace maxutil::util

@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+namespace maxutil::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(std::size_t worker_index) {
+  const ChunkFn& fn = *job_;
+  const std::size_t chunks = job_chunks_;
+  for (;;) {
+    const std::size_t chunk =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= chunks) return;
+    try {
+      fn(worker_index, chunk);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      // Cancel the chunks not yet claimed; in-flight ones finish normally.
+      next_chunk_.store(chunks, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_main(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    drain(worker_index);
+    busy_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t chunks, const ChunkFn& fn) {
+  if (chunks == 0) return;
+  if (workers_.empty() || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) fn(0, c);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_chunks_ = chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    busy_.store(workers_.size(), std::memory_order_relaxed);
+    ++epoch_;
+  }
+  wake_.notify_all();
+  drain(0);
+  // Every worker must finish (or skip) the job before the caller may reuse
+  // the job slot or the sharded buffers the chunks wrote into. Jobs are
+  // round-sized (microseconds), so a yield loop beats sleeping here — and
+  // on oversubscribed machines yield lets the workers actually run.
+  while (busy_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace maxutil::util

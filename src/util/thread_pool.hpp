@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace maxutil::util {
+
+/// A minimal fixed-size thread pool for deterministic fork-join parallelism.
+///
+/// One job runs at a time: `run_chunks(n, fn)` invokes `fn(worker, chunk)`
+/// for every chunk index in [0, n). Chunks are claimed dynamically through a
+/// single atomic counter — no work stealing, no per-task queues — so the
+/// scheduling cost per chunk is one fetch_add. The calling thread
+/// participates as worker 0; pool threads are workers 1..thread_count()-1.
+///
+/// The pool itself never orders results: callers that need reproducible
+/// output shard their writes by chunk index (chunk -> actor-range mappings
+/// are scheduling-independent) and merge in chunk order afterwards. This is
+/// how sim::Runtime keeps parallel rounds bit-identical to serial ones.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` worker threads (the caller is the remaining
+  /// worker). `threads <= 1` spawns none; run_chunks then degenerates to a
+  /// serial loop with zero synchronization.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread (always >= 1).
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  using ChunkFn = std::function<void(std::size_t worker, std::size_t chunk)>;
+
+  /// Runs `fn` over all chunk indices and blocks until every chunk is done.
+  /// An exception thrown by `fn` cancels the chunks not yet claimed and the
+  /// first exception is rethrown here, after all workers have stopped
+  /// touching the job.
+  void run_chunks(std::size_t chunks, const ChunkFn& fn);
+
+ private:
+  void worker_main(std::size_t worker_index);
+  /// Claims and executes chunks until none remain.
+  void drain(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+
+  // Job slot, guarded by mutex_ for publication; workers observe a new job
+  // through the epoch counter.
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  const ChunkFn* job_ = nullptr;
+  std::size_t job_chunks_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<std::size_t> busy_{0};
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace maxutil::util
