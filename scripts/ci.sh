@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point. Phase 1: default-preset build + the full ctest suite
+# (unit + integration + cli_smoke + docs_lint). Phase 2: ThreadSanitizer
+# pass over the two concurrency-sensitive binaries — the parallel runtime
+# tests and the fault-injection tests (faulted runs exercise the
+# deterministic merge path under threads). TSan exits non-zero on any
+# report, which set -e turns into a CI failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake --preset default
+cmake --build --preset default -j"${jobs}"
+ctest --preset default
+
+cmake --preset tsan
+cmake --build --preset tsan -j"${jobs}" \
+  --target runtime_parallel_test fault_test
+./build-tsan/tests/runtime_parallel_test
+./build-tsan/tests/fault_test
+
+echo "ci.sh: all checks passed"

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/flow.hpp"
+#include "graph/algorithms.hpp"
 #include "util/check.hpp"
 
 namespace maxutil::sim {
@@ -39,8 +40,10 @@ NodeActor::NodeActor(const xform::ExtendedGraph& xg, NodeId self,
     s.kappa_head.assign(s.out_edges.size(), 0.0);
     s.head_tagged.assign(s.out_edges.size(), 0);
     s.head_received.assign(s.out_edges.size(), 0);
+    s.head_seq.assign(s.out_edges.size(), 0);
     s.inflow.assign(s.in_edges.size(), 0.0);
     s.inflow_received.assign(s.in_edges.size(), 0);
+    s.inflow_seq.assign(s.in_edges.size(), 0);
     commodities_[j] = std::move(s);
   }
 }
@@ -79,14 +82,32 @@ double NodeActor::kappa_via(CommodityId j, const PerCommodity& s,
   return c * c * second + beta * beta * s.kappa_head[idx];
 }
 
-void NodeActor::begin_marginal(Outbox& out) {
+void NodeActor::begin_marginal(Outbox& out, std::size_t seq) {
+  cur_mseq_ = seq;
   for (CommodityId j = 0; j < commodities_.size(); ++j) {
     if (!commodities_[j].has_value()) continue;
     PerCommodity& s = *commodities_[j];
     std::fill(s.head_received.begin(), s.head_received.end(), 0);
     s.heads_received = 0;
+    s.marginal_emitted = false;
+    s.marginal_wait = 0;
     // Sinks (no usable out-edges) start the upstream wave immediately.
     if (s.out_edges.empty()) emit_marginal(out, j);
+  }
+}
+
+void NodeActor::resync_marginal(std::size_t seq) {
+  // A message from a newer wave than ours: we missed the kickoff (we were
+  // crashed, or it was lost). Fast-forward and treat the wave as freshly
+  // begun; patience re-emits whatever we would have sent at the kickoff.
+  cur_mseq_ = seq;
+  for (auto& slot : commodities_) {
+    if (!slot.has_value()) continue;
+    PerCommodity& s = *slot;
+    std::fill(s.head_received.begin(), s.head_received.end(), 0);
+    s.heads_received = 0;
+    s.marginal_emitted = false;
+    s.marginal_wait = 0;
   }
 }
 
@@ -123,12 +144,14 @@ void NodeActor::emit_marginal(Outbox& out, CommodityId j) {
       }
     }
   }
+  s.marginal_emitted = true;
   // Broadcast upstream along every usable in-edge (the curvature rides in
   // the same message, so the second-derivative step costs no extra rounds).
   for (std::size_t i = 0; i < s.in_edges.size(); ++i) {
     out.send(s.in_tails[i], kMarginalTag, j,
              {static_cast<double>(s.in_edges[i]), s.dr_self,
-              s.tagged_self ? 1.0 : 0.0, s.kappa_self});
+              s.tagged_self ? 1.0 : 0.0, s.kappa_self,
+              static_cast<double>(cur_mseq_)});
   }
 }
 
@@ -147,7 +170,24 @@ void NodeActor::apply_update() {
       if (s.phi[i] == 0.0 && s.head_tagged[i] != 0) continue;
       eligible.push_back(i);
     }
-    ensure(!eligible.empty(), "NodeActor: all out-edges blocked");
+    if (eligible.empty()) {
+      // Unreachable fault-free (the tag protocol keeps one exit open); a
+      // stale held-over tag can close every edge, so hold phi this wave.
+      ++held_updates_;
+      continue;
+    }
+
+    // Bounded-staleness guard: shifting phi toward a minimum computed from
+    // inputs older than max_staleness_ waves risks chasing a gradient that
+    // no longer exists; hold the routing until fresher values arrive.
+    std::size_t stale = cur_fseq_ - s.t_seq;
+    for (const std::size_t i : eligible) {
+      stale = std::max(stale, cur_mseq_ - s.head_seq[i]);
+    }
+    if (stale > max_staleness_) {
+      ++held_updates_;
+      continue;
+    }
 
     std::size_t best = eligible.front();
     double best_via = std::numeric_limits<double>::infinity();
@@ -191,16 +231,40 @@ void NodeActor::apply_update() {
   }
 }
 
-void NodeActor::begin_forecast(Outbox& out) {
-  f_node_pending_ = 0.0;
+void NodeActor::begin_forecast(Outbox& out, std::size_t seq) {
+  cur_fseq_ = seq;
   for (CommodityId j = 0; j < commodities_.size(); ++j) {
     if (!commodities_[j].has_value()) continue;
     PerCommodity& s = *commodities_[j];
     std::fill(s.inflow_received.begin(), s.inflow_received.end(), 0);
     s.inflows_received = 0;
+    s.forecast_emitted = false;
+    s.forecast_wait = 0;
     // Roots of the wave: nodes with no usable in-edges (the dummy sources).
     if (s.in_edges.empty()) emit_forecast(out, j);
   }
+}
+
+void NodeActor::resync_forecast(std::size_t seq) {
+  cur_fseq_ = seq;
+  for (auto& slot : commodities_) {
+    if (!slot.has_value()) continue;
+    PerCommodity& s = *slot;
+    std::fill(s.inflow_received.begin(), s.inflow_received.end(), 0);
+    s.inflows_received = 0;
+    s.forecast_emitted = false;
+    s.forecast_wait = 0;
+  }
+}
+
+void NodeActor::refresh_node_usage() {
+  // Commodity-index order keeps the sum well-defined when a faulted wave
+  // refreshes only some commodities' f_comm.
+  double total = 0.0;
+  for (const auto& slot : commodities_) {
+    if (slot.has_value()) total += slot->f_comm;
+  }
+  f_node_ = total;
 }
 
 void NodeActor::emit_forecast(Outbox& out, CommodityId j) {
@@ -208,53 +272,136 @@ void NodeActor::emit_forecast(Outbox& out, CommodityId j) {
   double inflow_total = s.input_rate;
   for (const double x : s.inflow) inflow_total += x;
   s.t = inflow_total;
+  s.t_seq = cur_fseq_;
+  double f_comm = 0.0;
   for (std::size_t i = 0; i < s.out_edges.size(); ++i) {
     const EdgeId e = s.out_edges[i];
     const double y = s.t * s.phi[i];
     s.f_edge[i] = y * xg_->cost_rate(j, e);
-    f_node_pending_ += s.f_edge[i];
+    f_comm += s.f_edge[i];
     out.send(s.out_heads[i], kForecastTag, j,
-             {static_cast<double>(e), y * xg_->beta(j, e)});
+             {static_cast<double>(e), y * xg_->beta(j, e),
+              static_cast<double>(cur_fseq_)});
   }
-  // Once every commodity has emitted, the pending usage is complete; commit
-  // incrementally (marginal reads happen only after the wave is quiet).
-  f_node_ = f_node_pending_;
+  s.f_comm = f_comm;
+  s.forecast_emitted = true;
+  refresh_node_usage();
+}
+
+void NodeActor::tick_patience(Outbox& out) {
+  if (patience_ == kNoPatience) return;
+  for (CommodityId j = 0; j < commodities_.size(); ++j) {
+    if (!commodities_[j].has_value()) continue;
+    PerCommodity& s = *commodities_[j];
+    // An open wave whose inputs are overdue: emit with the held-over
+    // values. A late arrival that changes them triggers a corrective
+    // re-emission (see on_round), so downstream self-heals.
+    if (cur_mseq_ > 0 && !s.marginal_emitted &&
+        ++s.marginal_wait >= patience_) {
+      emit_marginal(out, j);
+    }
+    if (cur_fseq_ > 0 && !s.forecast_emitted &&
+        ++s.forecast_wait >= patience_) {
+      emit_forecast(out, j);
+    }
+  }
 }
 
 void NodeActor::on_round(Outbox& out, std::span<const Message> inbox) {
   for (const Message& m : inbox) {
-    ensure(m.payload.size() >= 2, "NodeActor: malformed message");
+    ensure(m.payload.size() >= 3, "NodeActor: malformed message");
     const auto edge = static_cast<EdgeId>(m.payload[0]);
-    PerCommodity& s = state(m.commodity);
     if (m.tag == kMarginalTag) {
+      ensure(m.payload.size() >= 5, "NodeActor: malformed marginal");
+      const auto seq = static_cast<std::size_t>(m.payload[4]);
+      if (seq > cur_mseq_) resync_marginal(seq);
+      PerCommodity& s = state(m.commodity);
       const auto it =
           std::find(s.out_edges.begin(), s.out_edges.end(), edge);
       ensure(it != s.out_edges.end(), "NodeActor: marginal for unknown edge");
       const auto idx = static_cast<std::size_t>(it - s.out_edges.begin());
-      s.dr_head[idx] = m.payload[1];
-      s.head_tagged[idx] = m.payload.size() > 2 && m.payload[2] != 0.0;
-      s.kappa_head[idx] = m.payload.size() > 3 ? m.payload[3] : 0.0;
-      if (s.head_received[idx] == 0) {
-        s.head_received[idx] = 1;
-        if (++s.heads_received == s.out_edges.size()) {
+      if (seq < s.head_seq[idx]) continue;  // straggler behind held value
+      const double dr = m.payload[1];
+      const bool tagged = m.payload[2] != 0.0;
+      const double kappa = m.payload[3];
+      const bool changed = dr != s.dr_head[idx] ||
+                           tagged != (s.head_tagged[idx] != 0) ||
+                           kappa != s.kappa_head[idx];
+      s.dr_head[idx] = dr;
+      s.head_tagged[idx] = tagged ? 1 : 0;
+      s.kappa_head[idx] = kappa;
+      s.head_seq[idx] = seq;
+      if (!s.marginal_emitted) {
+        // Duplicates re-deliver the same (edge, seq): head_received
+        // dedupes them so the wave trigger fires exactly once.
+        if (seq == cur_mseq_ && s.head_received[idx] == 0) {
+          s.head_received[idx] = 1;
+          ++s.heads_received;
+        }
+        if (s.heads_received == s.out_edges.size()) {
           emit_marginal(out, m.commodity);
         }
+      } else if (changed) {
+        emit_marginal(out, m.commodity);  // corrective re-emission
       }
     } else if (m.tag == kForecastTag) {
+      const auto seq = static_cast<std::size_t>(m.payload[2]);
+      if (seq > cur_fseq_) resync_forecast(seq);
+      PerCommodity& s = state(m.commodity);
       const auto it = std::find(s.in_edges.begin(), s.in_edges.end(), edge);
       ensure(it != s.in_edges.end(), "NodeActor: forecast for unknown edge");
       const auto idx = static_cast<std::size_t>(it - s.in_edges.begin());
-      s.inflow[idx] = m.payload[1];
-      if (s.inflow_received[idx] == 0) {
-        s.inflow_received[idx] = 1;
-        if (++s.inflows_received == s.in_edges.size()) {
+      if (seq < s.inflow_seq[idx]) continue;  // straggler behind held value
+      const double flow = m.payload[1];
+      const bool changed = flow != s.inflow[idx];
+      s.inflow[idx] = flow;
+      s.inflow_seq[idx] = seq;
+      if (!s.forecast_emitted) {
+        if (seq == cur_fseq_ && s.inflow_received[idx] == 0) {
+          s.inflow_received[idx] = 1;
+          ++s.inflows_received;
+        }
+        if (s.inflows_received == s.in_edges.size()) {
           emit_forecast(out, m.commodity);
         }
+      } else if (changed) {
+        emit_forecast(out, m.commodity);  // corrective re-emission
       }
     } else {
       ensure(false, "NodeActor: unknown message tag");
     }
   }
+  tick_patience(out);
+}
+
+bool NodeActor::marginal_complete() const {
+  for (const auto& slot : commodities_) {
+    if (slot.has_value() && !slot->marginal_emitted) return false;
+  }
+  return true;
+}
+
+bool NodeActor::forecast_complete() const {
+  for (const auto& slot : commodities_) {
+    if (slot.has_value() && !slot->forecast_emitted) return false;
+  }
+  return true;
+}
+
+std::size_t NodeActor::max_input_staleness() const {
+  std::size_t stale = 0;
+  for (const auto& slot : commodities_) {
+    if (!slot.has_value()) continue;
+    const PerCommodity& s = *slot;
+    stale = std::max(stale, cur_fseq_ - s.t_seq);
+    for (const std::size_t seq : s.head_seq) {
+      stale = std::max(stale, cur_mseq_ - seq);
+    }
+    for (const std::size_t seq : s.inflow_seq) {
+      stale = std::max(stale, cur_fseq_ - seq);
+    }
+  }
+  return stale;
 }
 
 double NodeActor::phi(CommodityId j, EdgeId e) const {
@@ -280,7 +427,7 @@ double NodeActor::marginal(CommodityId j) const { return state(j).dr_self; }
 
 DistributedGradientSystem::DistributedGradientSystem(
     const xform::ExtendedGraph& xg, core::GammaOptions gamma,
-    RuntimeOptions runtime_options)
+    RuntimeOptions runtime_options, std::size_t max_staleness)
     : xg_(&xg), gamma_(gamma), runtime_(runtime_options) {
   actors_.reserve(xg.node_count());
   for (NodeId v = 0; v < xg.node_count(); ++v) {
@@ -289,6 +436,21 @@ DistributedGradientSystem::DistributedGradientSystem(
     const ActorId id = runtime_.add_actor(std::move(actor));
     ensure(id == v, "DistributedGradientSystem: actor/node id mismatch");
   }
+  if (runtime_.options().faults.enabled()) {
+    // Patience = the rounds a fault-free wave needs to traverse the deepest
+    // commodity DAG, plus the worst fault-delay there and back, plus slack.
+    // A node that has not heard all inputs by then concludes they were
+    // dropped and emits with held-over values.
+    std::size_t depth = 0;
+    for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+      depth = std::max(depth, graph::longest_path_length(
+                                  xg.graph(), xg.commodity_filter(j)));
+    }
+    const std::size_t patience =
+        depth + 2 * runtime_.options().faults.delay_max + 2;
+    for (NodeActor* actor : actors_) actor->set_patience(patience);
+  }
+  for (NodeActor* actor : actors_) actor->set_max_staleness(max_staleness);
   // Install the paper's initial routing and bootstrap t/f with one forecast
   // wave so the first marginal sweep has flows to differentiate.
   const core::RoutingState initial = core::RoutingState::initial(xg);
@@ -303,12 +465,53 @@ DistributedGradientSystem::DistributedGradientSystem(
   forecast_wave();
 }
 
-void DistributedGradientSystem::forecast_wave() {
-  runtime_.for_each_live_actor([](ActorId, Actor& actor, Outbox& out) {
-    static_cast<NodeActor&>(actor).begin_forecast(out);
+bool DistributedGradientSystem::wave_complete(bool marginal) const {
+  for (ActorId id = 0; id < actors_.size(); ++id) {
+    if (runtime_.is_failed(id)) continue;
+    const NodeActor& actor = *actors_[id];
+    if (marginal ? !actor.marginal_complete() : !actor.forecast_complete()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DistributedGradientSystem::drive_wave(bool marginal) {
+  if (!runtime_.options().faults.enabled()) {
+    // Fault-free the wave completes exactly when the network quiesces.
+    runtime_.run_until_quiet(kWaveRoundBudget, /*strict=*/false);
+    last_converged_ = last_converged_ && runtime_.quiet();
+    return;
+  }
+  // Under faults, quiet is not completion: dropped messages make the
+  // network go silent while nodes still wait out their patience timers. Run
+  // idle rounds (which advance the timers) until every live node emitted.
+  std::size_t budget = kWaveRoundBudget;
+  while (budget > 0) {
+    budget -= runtime_.run_until_quiet(budget, /*strict=*/false);
+    if (!runtime_.quiet()) break;  // budget exhausted mid-flight
+    if (wave_complete(marginal)) break;
+    runtime_.run_round();
+    --budget;
+  }
+  last_converged_ =
+      last_converged_ && runtime_.quiet() && wave_complete(marginal);
+}
+
+void DistributedGradientSystem::marginal_wave() {
+  const std::size_t seq = ++marginal_seq_;
+  runtime_.for_each_live_actor([seq](ActorId, Actor& actor, Outbox& out) {
+    static_cast<NodeActor&>(actor).begin_marginal(out, seq);
   });
-  runtime_.run_until_quiet(kWaveRoundBudget, /*strict=*/false);
-  last_converged_ = last_converged_ && runtime_.quiet();
+  drive_wave(/*marginal=*/true);
+}
+
+void DistributedGradientSystem::forecast_wave() {
+  const std::size_t seq = ++forecast_seq_;
+  runtime_.for_each_live_actor([seq](ActorId, Actor& actor, Outbox& out) {
+    static_cast<NodeActor&>(actor).begin_forecast(out, seq);
+  });
+  drive_wave(/*marginal=*/false);
 }
 
 std::size_t DistributedGradientSystem::iterate() {
@@ -317,11 +520,7 @@ std::size_t DistributedGradientSystem::iterate() {
   last_converged_ = true;
 
   // Phase 1: marginal-cost wave (upstream, O(L) rounds).
-  runtime_.for_each_live_actor([](ActorId, Actor& actor, Outbox& out) {
-    static_cast<NodeActor&>(actor).begin_marginal(out);
-  });
-  runtime_.run_until_quiet(kWaveRoundBudget, /*strict=*/false);
-  last_converged_ = runtime_.quiet();
+  marginal_wave();
 
   // Phase 2: local Gamma updates (no messages, embarrassingly parallel).
   runtime_.for_each_live_actor([](ActorId, Actor& actor, Outbox&) {
@@ -357,6 +556,20 @@ core::RoutingState DistributedGradientSystem::routing_snapshot() const {
 double DistributedGradientSystem::utility() const {
   const auto flows = core::compute_flows(*xg_, routing_snapshot());
   return core::total_utility(*xg_, flows);
+}
+
+std::size_t DistributedGradientSystem::held_updates() const {
+  std::size_t total = 0;
+  for (const NodeActor* actor : actors_) total += actor->held_updates();
+  return total;
+}
+
+std::size_t DistributedGradientSystem::max_input_staleness() const {
+  std::size_t stale = 0;
+  for (const NodeActor* actor : actors_) {
+    stale = std::max(stale, actor->max_input_staleness());
+  }
+  return stale;
 }
 
 }  // namespace maxutil::sim

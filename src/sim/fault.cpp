@@ -1,0 +1,128 @@
+#include "sim/fault.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace maxutil::sim {
+
+using maxutil::util::ensure;
+
+bool FaultPlan::link_faults() const {
+  if (drop > 0.0 || delay_max > 0 || duplicate > 0.0) return true;
+  for (const LinkDrop& link : link_drops) {
+    if (link.probability > 0.0) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::enabled() const { return link_faults() || !crashes.empty(); }
+
+double FaultPlan::drop_for(std::size_t from, std::size_t to) const {
+  for (const LinkDrop& link : link_drops) {
+    if (link.from == from && link.to == to) return link.probability;
+  }
+  return drop;
+}
+
+void FaultPlan::validate() const {
+  ensure(drop >= 0.0 && drop <= 1.0, "FaultPlan: drop must be in [0, 1]");
+  ensure(duplicate >= 0.0 && duplicate <= 1.0,
+         "FaultPlan: duplicate must be in [0, 1]");
+  ensure(delay_min <= delay_max,
+         "FaultPlan: delay_min must not exceed delay_max");
+  for (const LinkDrop& link : link_drops) {
+    ensure(link.probability >= 0.0 && link.probability <= 1.0,
+           "FaultPlan: link drop probability must be in [0, 1]");
+  }
+}
+
+namespace {
+
+double parse_probability(const std::string& text, const char* what) {
+  std::size_t used = 0;
+  double value = -1.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (...) {
+    ensure(false, std::string("fault spec: bad number for ") + what);
+  }
+  ensure(used == text.size(),
+         std::string("fault spec: trailing junk after ") + what);
+  return value;
+}
+
+std::size_t parse_count(const std::string& text, const char* what) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  ensure(ec == std::errc{} && ptr == text.data() + text.size(),
+         std::string("fault spec: bad integer for ") + what);
+  return value;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_spec(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream stream(spec);
+  std::string entry;
+  bool any = false;
+  while (std::getline(stream, entry, ',')) {
+    const std::size_t eq = entry.find('=');
+    ensure(eq != std::string::npos && eq > 0 && eq + 1 < entry.size(),
+           "fault spec: entries must look like key=value");
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    any = true;
+    if (key == "drop") {
+      plan.drop = parse_probability(value, "drop");
+    } else if (key == "dup") {
+      plan.duplicate = parse_probability(value, "dup");
+    } else if (key == "seed") {
+      plan.seed = parse_count(value, "seed");
+    } else if (key == "delay") {
+      const std::size_t dash = value.find('-');
+      if (dash == std::string::npos) {
+        plan.delay_min = 0;
+        plan.delay_max = parse_count(value, "delay");
+      } else {
+        plan.delay_min = parse_count(value.substr(0, dash), "delay");
+        plan.delay_max = parse_count(value.substr(dash + 1), "delay");
+      }
+    } else if (key == "crash") {
+      const std::size_t at = value.find('@');
+      ensure(at != std::string::npos,
+             "fault spec: crash entries look like crash=NODE@BEGIN-END");
+      const std::string window = value.substr(at + 1);
+      const std::size_t dash = window.find('-');
+      ensure(dash != std::string::npos,
+             "fault spec: crash entries look like crash=NODE@BEGIN-END");
+      CrashWindow w;
+      w.node = parse_count(value.substr(0, at), "crash node");
+      w.crash_round = parse_count(window.substr(0, dash), "crash begin");
+      w.restart_round = parse_count(window.substr(dash + 1), "crash end");
+      plan.crashes.push_back(w);
+    } else {
+      ensure(false, "fault spec: unknown key '" + key + "'");
+    }
+  }
+  ensure(any, "fault spec: empty specification");
+  plan.validate();
+  return plan;
+}
+
+std::string describe(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "drop=" << plan.drop << " delay=[" << plan.delay_min << ","
+      << plan.delay_max << "] dup=" << plan.duplicate
+      << " seed=" << plan.seed;
+  for (const CrashWindow& w : plan.crashes) {
+    out << " crash=" << w.node << "@" << w.crash_round << "-"
+        << w.restart_round;
+  }
+  return out.str();
+}
+
+}  // namespace maxutil::sim

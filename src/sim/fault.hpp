@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maxutil::sim {
+
+/// A scheduled fail-stop window: the node is failed at the start of round
+/// `crash_round` and restored at the start of round `restart_round`
+/// (half-open: the node is down for rounds [crash_round, restart_round)).
+/// `restart_round == 0` (or anything <= crash_round) means the node never
+/// comes back. Node ids refer to ActorIds of the runtime the plan is
+/// installed on; they are validated lazily when the window first triggers,
+/// so one plan can be reused across instances of different sizes as long as
+/// the crashed nodes exist.
+struct CrashWindow {
+  std::size_t node = 0;
+  std::size_t crash_round = 0;
+  std::size_t restart_round = 0;
+};
+
+/// Per-link override of the global drop probability (matched on the exact
+/// (from, to) actor pair).
+struct LinkDrop {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double probability = 0.0;
+};
+
+/// A seeded, deterministic fault model for sim::Runtime. All randomness is
+/// drawn from one xoshiro256** stream seeded with `seed` and consumed at the
+/// serial outbox-merge point in a fixed per-message draw order (drop, delay,
+/// duplicate, duplicate's delay), so a faulted run is bit-identical for a
+/// given seed across thread counts — see docs/RUNTIME.md for the argument.
+///
+/// Semantics per message (after the runtime's failure filter, before
+/// queuing):
+///   1. dropped with probability drop (or the link's override) — the message
+///      simply never arrives; senders are not notified;
+///   2. otherwise delayed by extra in [delay_min, delay_max] rounds drawn
+///      uniformly, on top of the link's base delay;
+///   3. otherwise-or-additionally duplicated with probability `duplicate`;
+///      the copy draws its own extra delay, so original and copy usually
+///      arrive in different rounds (the copy is never dropped — duplication
+///      models retransmission-style repeats, not loss).
+/// Crash windows are applied at the start of each round independently of
+/// per-message faults.
+struct FaultPlan {
+  /// Global per-message drop probability in [0, 1].
+  double drop = 0.0;
+
+  /// Extra delivery delay in rounds, drawn uniformly from
+  /// [delay_min, delay_max] per message. Both 0 = no fault delay.
+  std::size_t delay_min = 0;
+  std::size_t delay_max = 0;
+
+  /// Per-message duplication probability in [0, 1].
+  double duplicate = 0.0;
+
+  /// Seed of the fault RNG stream. Runs with equal plans and seeds are
+  /// bit-identical regardless of thread count.
+  std::uint64_t seed = 2007;
+
+  /// Per-link overrides of `drop` (first match wins).
+  std::vector<LinkDrop> link_drops;
+
+  /// Scheduled fail-stop crash/restart windows.
+  std::vector<CrashWindow> crashes;
+
+  /// True when any per-message fault can fire (drop/delay/duplicate) —
+  /// gates the RNG draws so a default plan leaves the runtime byte-for-byte
+  /// on its fault-free fast path.
+  bool link_faults() const;
+
+  /// True when the plan can perturb the run at all (link faults or crashes).
+  bool enabled() const;
+
+  /// Drop probability for a specific link, honoring overrides.
+  double drop_for(std::size_t from, std::size_t to) const;
+
+  /// Aborts via util::ensure on out-of-range probabilities or an inverted
+  /// delay interval.
+  void validate() const;
+};
+
+/// Parses the CLI fault-spec grammar into a plan:
+///
+///   spec    := entry ("," entry)*
+///   entry   := "drop=" P | "delay=" D | "dup=" P | "seed=" N
+///            | "crash=" NODE "@" A "-" B
+///   D       := B | A "-" B          (single value means [0, B])
+///
+/// e.g. "drop=0.1,delay=1-3,dup=0.05,seed=7,crash=4@200-400". `crash` may
+/// repeat. Aborts via util::ensure on malformed input.
+FaultPlan parse_fault_spec(const std::string& spec);
+
+/// One-line human-readable rendering of a plan (CLI --report output).
+std::string describe(const FaultPlan& plan);
+
+}  // namespace maxutil::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 
 #include "util/check.hpp"
 
@@ -24,14 +25,24 @@ void Outbox::send(ActorId to, int tag, std::size_t commodity,
   runtime_->record_send(*this, to, tag, commodity, payload);
 }
 
-Runtime::Runtime(RuntimeOptions options) : options_(options) {
+Runtime::Runtime(RuntimeOptions options)
+    : options_(std::move(options)), fault_rng_(options_.faults.seed) {
   ensure(options_.num_threads >= 1, "Runtime: num_threads must be >= 1");
   ensure(options_.pooled_delivery || options_.num_threads == 1,
          "Runtime: legacy delivery is serial only");
+  options_.faults.validate();
+  // Fault draws happen at the outbox merge; without the deterministic merge
+  // the worker-order shards would feed the RNG a schedule-dependent message
+  // order and the injected faults would vary run to run.
+  ensure(!options_.faults.link_faults() || options_.deterministic ||
+             options_.num_threads == 1,
+         "Runtime: fault injection with threads requires deterministic mode");
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
   }
   payload_shards_.resize(pool_ ? pool_->thread_count() : 1);
+  crash_fired_.assign(options_.faults.crashes.size(), 0);
+  restart_fired_.assign(options_.faults.crashes.size(), 0);
 }
 
 ActorId Runtime::add_actor(std::unique_ptr<Actor> actor) {
@@ -44,6 +55,11 @@ ActorId Runtime::add_actor(std::unique_ptr<Actor> actor) {
 void Runtime::fail(ActorId id) {
   ensure(id < actors_.size(), "Runtime::fail: unknown actor");
   failed_[id] = true;
+}
+
+void Runtime::restore(ActorId id) {
+  ensure(id < actors_.size(), "Runtime::restore: unknown actor");
+  failed_[id] = false;
 }
 
 bool Runtime::is_failed(ActorId id) const {
@@ -91,6 +107,15 @@ void Runtime::recycle_payload(std::vector<double>&& payload) {
   shard.free_list.push_back(std::move(payload));
 }
 
+void Runtime::schedule(Message message, std::size_t base, std::size_t extra) {
+  if (extra == 0) {
+    pending_.push_back({rounds_ + base, std::move(message)});
+  } else {
+    ++fault_delayed_;
+    fault_deferred_.push_back({rounds_ + base + extra, std::move(message)});
+  }
+}
+
 void Runtime::enqueue_now(Message message) {
   ensure(message.to < actors_.size(), "Runtime: message to unknown actor");
   if (failed_[message.from] || failed_[message.to]) {
@@ -98,9 +123,52 @@ void Runtime::enqueue_now(Message message) {
     if (options_.pooled_delivery) recycle_payload(std::move(message.payload));
     return;
   }
-  const std::size_t delay =
+  const std::size_t base =
       delay_ ? std::max<std::size_t>(1, delay_(message.from, message.to)) : 1;
-  pending_.push_back({rounds_ + delay, std::move(message)});
+  const FaultPlan& plan = options_.faults;
+  if (!plan.link_faults()) {
+    pending_.push_back({rounds_ + base, std::move(message)});
+    return;
+  }
+  // Fault injection. The per-message draw order is fixed — drop, extra
+  // delay, duplicate, duplicate's extra delay — and this function only runs
+  // on the serial merge path, so the RNG stream (and hence the fault
+  // pattern) is identical for every thread count.
+  if (fault_rng_.chance(plan.drop_for(message.from, message.to))) {
+    ++dropped_messages_;
+    ++fault_dropped_;
+    if (options_.pooled_delivery) recycle_payload(std::move(message.payload));
+    return;
+  }
+  std::size_t extra = 0;
+  if (plan.delay_max > 0) {
+    extra = static_cast<std::size_t>(
+        fault_rng_.uniform_int(static_cast<std::int64_t>(plan.delay_min),
+                               static_cast<std::int64_t>(plan.delay_max)));
+  }
+  Message copy;
+  std::size_t copy_extra = 0;
+  bool duplicated = false;
+  if (plan.duplicate > 0.0 && fault_rng_.chance(plan.duplicate)) {
+    duplicated = true;
+    copy.from = message.from;
+    copy.to = message.to;
+    copy.tag = message.tag;
+    copy.commodity = message.commodity;
+    copy.payload = options_.pooled_delivery
+                       ? acquire_payload(0, message.payload)
+                       : message.payload;
+    if (plan.delay_max > 0) {
+      copy_extra = static_cast<std::size_t>(
+          fault_rng_.uniform_int(static_cast<std::int64_t>(plan.delay_min),
+                                 static_cast<std::int64_t>(plan.delay_max)));
+    }
+  }
+  schedule(std::move(message), base, extra);
+  if (duplicated) {
+    ++fault_duplicated_;
+    schedule(std::move(copy), base, copy_extra);
+  }
 }
 
 void Runtime::record_send(const Outbox& outbox, ActorId to, int tag,
@@ -281,9 +349,47 @@ std::size_t Runtime::run_round_legacy() {
   return delivered;
 }
 
+void Runtime::release_fault_deferred() {
+  if (fault_deferred_.empty()) return;
+  std::size_t write = 0;
+  for (std::size_t r = 0; r < fault_deferred_.size(); ++r) {
+    Pending& p = fault_deferred_[r];
+    if (p.due <= rounds_) {
+      pending_.push_back(std::move(p));
+    } else {
+      if (write != r) fault_deferred_[write] = std::move(p);
+      ++write;
+    }
+  }
+  fault_deferred_.resize(write);
+}
+
+void Runtime::apply_crash_schedule() {
+  const auto& crashes = options_.faults.crashes;
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    const CrashWindow& w = crashes[i];
+    if (crash_fired_[i] == 0 && w.crash_round <= rounds_) {
+      crash_fired_[i] = 1;
+      ensure(w.node < actors_.size(),
+             "FaultPlan: crash window names an unknown actor");
+      if (!failed_[w.node]) {
+        failed_[w.node] = true;
+        ++fault_crashes_;
+      }
+    }
+    if (restart_fired_[i] == 0 && w.restart_round > w.crash_round &&
+        w.restart_round <= rounds_) {
+      restart_fired_[i] = 1;
+      restore(w.node);
+    }
+  }
+}
+
 std::size_t Runtime::run_round() {
   const auto start = std::chrono::steady_clock::now();
   ++rounds_;
+  if (!options_.faults.crashes.empty()) apply_crash_schedule();
+  release_fault_deferred();
   const std::size_t delivered =
       options_.pooled_delivery ? run_round_pooled() : run_round_legacy();
   last_round_seconds_ =

@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "sim/fault.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace maxutil::sim {
@@ -57,6 +59,14 @@ struct RuntimeOptions {
   /// when a thread pool exists (identical results either way — this only
   /// skips dispatch overhead on near-empty wave-tail rounds).
   std::size_t serial_cutoff = 64;
+
+  /// Seeded fault-injection plan (drop/delay/duplicate/crash — see
+  /// sim/fault.hpp and docs/RUNTIME.md). Default-constructed = no faults;
+  /// the runtime then takes its fault-free fast path untouched. Faults are
+  /// drawn at the serial outbox-merge point, so an active plan with
+  /// num_threads > 1 requires `deterministic` (enforced in the ctor) and
+  /// stays bit-identical across thread counts.
+  FaultPlan faults;
 };
 
 class Runtime;
@@ -137,6 +147,11 @@ class Runtime {
   /// Fail-stop crash: the actor stops executing; messages to or from it are
   /// silently dropped (and counted in dropped_messages()).
   void fail(ActorId id);
+  /// Restart after fail(): the actor resumes executing with whatever local
+  /// state it had when it crashed. Messages dropped while it was down stay
+  /// dropped — recovery is the protocol's job (see the seq-number resync in
+  /// sim/distributed_gradient.cpp). FaultPlan crash windows call this pair.
+  void restore(ActorId id);
   bool is_failed(ActorId id) const;
 
   /// Delivers all queued messages, runs every live actor once, and queues
@@ -153,8 +168,17 @@ class Runtime {
   std::size_t run_until_quiet(std::size_t max_rounds = 100000,
                               bool strict = true);
 
-  /// True when no messages await delivery.
-  bool quiet() const { return pending_.empty(); }
+  /// True when no messages are in flight — neither queued for delivery nor
+  /// parked in the fault injector's delay buffer. Counting the delayed
+  /// messages matters: without them, run_until_quiet(strict=false) could
+  /// report quiescence while a fault-delayed message was still due to
+  /// arrive, and its late delivery would silently restart the protocol.
+  bool quiet() const { return pending_.empty() && fault_deferred_.empty(); }
+
+  /// Messages currently in flight (queued + fault-delayed).
+  std::size_t in_flight_messages() const {
+    return pending_.size() + fault_deferred_.size();
+  }
 
   /// Runs `fn` once for every live actor with a connected outbox — the hook
   /// for protocol phase kickoffs outside the message-driven path. Uses the
@@ -167,6 +191,15 @@ class Runtime {
   std::size_t rounds() const { return rounds_; }
   std::size_t delivered_messages() const { return delivered_messages_; }
   std::size_t dropped_messages() const { return dropped_messages_; }
+  /// Subset of dropped_messages() lost to fault injection (vs failed
+  /// endpoints).
+  std::size_t fault_dropped_messages() const { return fault_dropped_; }
+  /// Extra copies created by fault-injected duplication.
+  std::size_t fault_duplicated_messages() const { return fault_duplicated_; }
+  /// Messages that drew a nonzero extra fault delay.
+  std::size_t fault_delayed_messages() const { return fault_delayed_; }
+  /// Crash windows that have triggered so far.
+  std::size_t fault_crashes() const { return fault_crashes_; }
   /// Total doubles carried in delivered payloads (a bandwidth proxy).
   std::size_t delivered_payload_doubles() const { return delivered_payload_; }
   /// Payload buffers served from the recycle free lists vs freshly heap
@@ -208,9 +241,20 @@ class Runtime {
 
   void record_send(const Outbox& outbox, ActorId to, int tag,
                    std::size_t commodity, std::span<const double> payload);
-  /// Validates, failure-filters, stamps the due round, and queues — the
-  /// serial tail of every send path (legacy enqueue semantics).
+  /// Validates, failure-filters, applies fault injection, stamps the due
+  /// round, and queues — the serial tail of every send path. All fault RNG
+  /// draws happen here, in the deterministic merge order, which is why a
+  /// faulted run is bit-identical across thread counts.
   void enqueue_now(Message message);
+  /// Queues `message` due in `base + extra` rounds: messages with no fault
+  /// delay (extra == 0) go straight to pending_, fault-delayed ones to the
+  /// fault_deferred_ holding buffer.
+  void schedule(Message message, std::size_t base, std::size_t extra);
+  /// Moves now-due fault-delayed messages into pending_ (start of round).
+  void release_fault_deferred();
+  /// Triggers crash/restart windows whose round has arrived (start of
+  /// round).
+  void apply_crash_schedule();
   std::vector<double> acquire_payload(std::size_t worker,
                                       std::span<const double> data);
   void recycle_payload(std::vector<double>&& payload);
@@ -234,7 +278,15 @@ class Runtime {
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<bool> failed_;
   std::vector<Pending> pending_;
+  /// Fault-delayed messages not yet due; kept out of pending_ so the
+  /// per-round delivery scan stays proportional to near-term traffic.
+  std::vector<Pending> fault_deferred_;
   std::function<std::size_t(ActorId, ActorId)> delay_;
+  util::Rng fault_rng_;
+  // Once-only latches per FaultPlan crash window (parallel to
+  // options_.faults.crashes).
+  std::vector<char> crash_fired_;
+  std::vector<char> restart_fired_;
 
   // Flat delivery buffers, reused across rounds.
   std::vector<Message> inbox_messages_;
@@ -247,6 +299,10 @@ class Runtime {
   std::size_t rounds_ = 0;
   std::size_t delivered_messages_ = 0;
   std::size_t dropped_messages_ = 0;
+  std::size_t fault_dropped_ = 0;
+  std::size_t fault_duplicated_ = 0;
+  std::size_t fault_delayed_ = 0;
+  std::size_t fault_crashes_ = 0;
   std::size_t delivered_payload_ = 0;
   double total_round_seconds_ = 0.0;
   double last_round_seconds_ = 0.0;

@@ -1,0 +1,63 @@
+# docs_lint: checks that every relative markdown link in the repo's
+# documentation points at a file that exists. Run as a ctest:
+#
+#   cmake -DREPO=<source dir> -P docs_lint.cmake
+#
+# External links (http/https/mailto) and pure in-page anchors (#...) are
+# skipped; fragments on relative links are stripped before the existence
+# check. Exits non-zero (FATAL_ERROR) listing every broken link.
+
+if(NOT DEFINED REPO)
+  message(FATAL_ERROR "docs_lint: pass -DREPO=<repository root>")
+endif()
+
+set(doc_files
+    ${REPO}/README.md
+    ${REPO}/DESIGN.md
+    ${REPO}/EXPERIMENTS.md
+    ${REPO}/ROADMAP.md)
+file(GLOB docs_dir_files ${REPO}/docs/*.md)
+list(APPEND doc_files ${docs_dir_files})
+
+set(broken "")
+set(checked 0)
+
+foreach(doc ${doc_files})
+  if(NOT EXISTS ${doc})
+    list(APPEND broken "${doc}: file listed for linting does not exist")
+    continue()
+  endif()
+  file(READ ${doc} content)
+  get_filename_component(doc_dir ${doc} DIRECTORY)
+
+  # Inline markdown links: ](target). Reference-style definitions are rare
+  # in this repo and intentionally out of scope. The "](" is rewritten to a
+  # bracket-free marker first: a "]" inside a CMake list item suppresses the
+  # ";" separators, which would collapse all matches into one item.
+  string(REGEX REPLACE "\\]\\(" "\nLINKTO(" content "${content}")
+  string(REGEX MATCHALL "LINKTO\\(([^)\n]+)\\)" links "${content}")
+  foreach(link ${links})
+    string(REGEX REPLACE "^LINKTO\\((.*)\\)$" "\\1" target "${link}")
+    # Drop an optional "title" part: ](file.md "Title")
+    string(REGEX REPLACE "[ \t]+\"[^\"]*\"$" "" target "${target}")
+    if(target MATCHES "^(https?|mailto):" OR target MATCHES "^#")
+      continue()
+    endif()
+    # Strip a #fragment from a relative link.
+    string(REGEX REPLACE "#.*$" "" target "${target}")
+    if(target STREQUAL "")
+      continue()
+    endif()
+    math(EXPR checked "${checked} + 1")
+    if(NOT EXISTS ${doc_dir}/${target})
+      file(RELATIVE_PATH rel ${REPO} ${doc})
+      list(APPEND broken "${rel}: broken link '${target}'")
+    endif()
+  endforeach()
+endforeach()
+
+if(NOT broken STREQUAL "")
+  list(JOIN broken "\n  " report)
+  message(FATAL_ERROR "docs_lint: broken relative links:\n  ${report}")
+endif()
+message(STATUS "docs_lint: ${checked} relative links OK")

@@ -42,9 +42,12 @@ int usage() {
                "usage: maxutil_cli validate <file>\n"
                "       maxutil_cli solve <file> [--algo gradient|distributed|"
                "backpressure|lp|fw] [--eta X] [--eps X] [--iters N]"
-               " [--threads T] [--newton] [--report]\n"
+               " [--threads T] [--faults SPEC] [--newton] [--report]\n"
                "         (--threads: actor-runtime workers for"
                " --algo distributed; 0 = all hardware threads)\n"
+               "         (--faults: inject message faults into --algo"
+               " distributed; SPEC is a comma list of drop=P, delay=A-B,"
+               " dup=P, seed=S, crash=NODE@BEGIN-END)\n"
                "       maxutil_cli dot <file> [--extended]\n"
                "       maxutil_cli generate [--servers N] [--commodities J]"
                " [--stages K] [--lambda X] [--seed S]\n");
@@ -140,6 +143,9 @@ int cmd_solve(const std::string& path,
         threads <= 0
             ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
             : static_cast<std::size_t>(threads);
+    if (flags.count("faults") != 0) {
+      ropts.faults = sim::parse_fault_spec(flags.at("faults"));
+    }
     const auto dist_iters =
         static_cast<std::size_t>(flag_number(flags, "iters", 500));
     sim::DistributedGradientSystem system(xg, gopts, ropts);
@@ -170,6 +176,17 @@ int cmd_solve(const std::string& path,
                                         static_cast<double>(
                                             rt.payload_pool_reuses()) /
                                         static_cast<double>(pool_total));
+      if (rt.options().faults.enabled()) {
+        std::printf("  fault plan: %s\n",
+                    sim::describe(rt.options().faults).c_str());
+        std::printf(
+            "  faults: %zu dropped, %zu duplicated, %zu delayed, "
+            "%zu crashes\n",
+            rt.fault_dropped_messages(), rt.fault_duplicated_messages(),
+            rt.fault_delayed_messages(), rt.fault_crashes());
+        std::printf("  staleness: %zu held updates, max input age %zu waves\n",
+                    system.held_updates(), system.max_input_staleness());
+      }
       std::printf("  %.3fs in rounds (%.1f rounds/s)\n\n",
                   rt.total_round_seconds(),
                   static_cast<double>(rt.rounds()) /
