@@ -20,6 +20,7 @@
 #include "common.hpp"
 #include "core/routing.hpp"
 #include "gen/figure1.hpp"
+#include "obs/observability.hpp"
 #include "sim/distributed_gradient.hpp"
 #include "util/artifacts.hpp"
 #include "util/table.hpp"
@@ -43,9 +44,20 @@ struct RunResult {
   std::size_t held_updates = 0;
   std::size_t max_staleness = 0;
   bool converged = true;
+  std::size_t resync_events = 0;
+  // Observability layer outputs (runs are instrumented: observation is
+  // read-only, so the iterates match an uninstrumented run bit for bit —
+  // the cross-thread determinism check below leans on exactly that).
+  std::size_t waves = 0;
+  double wave_rounds_mean = 0.0;
+  double wave_node_latency_mean = 0.0;
+  double deliver_seconds = 0.0;
+  double step_seconds = 0.0;
+  double merge_seconds = 0.0;
 
-  RunResult(const xform::ExtendedGraph& xg, const sim::RuntimeOptions& options)
+  RunResult(const xform::ExtendedGraph& xg, sim::RuntimeOptions options)
       : routing(xg) {
+    options.observe = true;
     sim::DistributedGradientSystem system(xg, {}, options);
     utilities.reserve(kIterations);
     for (std::size_t i = 0; i < kIterations; ++i) {
@@ -62,6 +74,21 @@ struct RunResult {
     fault_crashes = system.runtime().fault_crashes();
     held_updates = system.held_updates();
     max_staleness = system.max_input_staleness();
+    resync_events = system.resync_events();
+    deliver_seconds = system.runtime().total_deliver_seconds();
+    step_seconds = system.runtime().total_step_seconds();
+    merge_seconds = system.runtime().total_merge_seconds();
+    if (const obs::Observability* o = system.runtime().observability()) {
+      if (const auto id = o->metrics.find("waves_total")) {
+        waves = o->metrics.counter_value(*id);
+      }
+      if (const auto id = o->metrics.find("wave_rounds")) {
+        wave_rounds_mean = o->metrics.histogram_snapshot(*id).mean();
+      }
+      if (const auto id = o->metrics.find("wave_node_latency_rounds")) {
+        wave_node_latency_mean = o->metrics.histogram_snapshot(*id).mean();
+      }
+    }
   }
 };
 
@@ -148,7 +175,14 @@ int main() {
             {"fault_delayed", static_cast<double>(run.fault_delayed)},
             {"held_updates", static_cast<double>(run.held_updates)},
             {"max_input_staleness",
-             static_cast<double>(run.max_staleness)}}});
+             static_cast<double>(run.max_staleness)},
+            {"resync_events", static_cast<double>(run.resync_events)},
+            {"waves", static_cast<double>(run.waves)},
+            {"wave_rounds_mean", run.wave_rounds_mean},
+            {"wave_node_latency_mean", run.wave_node_latency_mean},
+            {"deliver_seconds", run.deliver_seconds},
+            {"step_seconds", run.step_seconds},
+            {"merge_seconds", run.merge_seconds}}});
     }
   }
   table.print(std::cout);

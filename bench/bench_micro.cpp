@@ -11,6 +11,7 @@
 #include "core/gamma.hpp"
 #include "core/marginals.hpp"
 #include "core/optimizer.hpp"
+#include "sim/distributed_gradient.hpp"
 #include "util/artifacts.hpp"
 #include "xform/extended_graph.hpp"
 #include "xform/lp_reference.hpp"
@@ -109,6 +110,36 @@ void BM_BackPressureRound(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_BackPressureRound);
+
+/// One distributed-gradient iteration (two message waves) with the
+/// observability layer compiled in but switched off — the baseline for the
+/// "<2% overhead when disabled" budget of docs/OBSERVABILITY.md.
+void BM_DistributedIterate(benchmark::State& state) {
+  const auto& xg = shared_xg();
+  sim::DistributedGradientSystem system(xg);
+  for (auto _ : state) {
+    system.iterate();
+    benchmark::DoNotOptimize(system.utility());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DistributedIterate);
+
+/// Same iteration with RuntimeOptions::observe on: full metric counters,
+/// per-round spans, and wave latency histograms. Compare against
+/// BM_DistributedIterate for the observe-on cost.
+void BM_DistributedIterateObserved(benchmark::State& state) {
+  const auto& xg = shared_xg();
+  sim::RuntimeOptions options;
+  options.observe = true;
+  sim::DistributedGradientSystem system(xg, {}, options);
+  for (auto _ : state) {
+    system.iterate();
+    benchmark::DoNotOptimize(system.utility());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DistributedIterateObserved);
 
 void BM_LpReferenceSolve(benchmark::State& state) {
   const auto& xg = shared_xg();

@@ -20,6 +20,7 @@
 #include "common.hpp"
 #include "core/routing.hpp"
 #include "gen/random_instance.hpp"
+#include "obs/observability.hpp"
 #include "sim/distributed_gradient.hpp"
 #include "util/artifacts.hpp"
 #include "util/table.hpp"
@@ -39,6 +40,13 @@ struct RunResult {
   std::size_t steady_allocations = 0;  // allocations after the warmup phase
   double utility = 0.0;
   core::RoutingState routing;
+  // Per-phase wall-clock partition; populated only on observed runs
+  // (RuntimeOptions::observe), zero otherwise.
+  double deliver_seconds = 0.0;
+  double step_seconds = 0.0;
+  double merge_seconds = 0.0;
+  std::size_t waves = 0;
+  double wave_rounds_mean = 0.0;
 
   RunResult(const xform::ExtendedGraph& xg, sim::RuntimeOptions options,
             std::size_t iterations, std::size_t warmup)
@@ -60,6 +68,17 @@ struct RunResult {
     steady_allocations = pool_allocations - allocs_after_warmup;
     utility = system.utility();
     routing = system.routing_snapshot();
+    deliver_seconds = system.runtime().total_deliver_seconds();
+    step_seconds = system.runtime().total_step_seconds();
+    merge_seconds = system.runtime().total_merge_seconds();
+    if (const obs::Observability* o = system.runtime().observability()) {
+      if (const auto id = o->metrics.find("waves_total")) {
+        waves = o->metrics.counter_value(*id);
+      }
+      if (const auto id = o->metrics.find("wave_rounds")) {
+        wave_rounds_mean = o->metrics.histogram_snapshot(*id).mean();
+      }
+    }
   }
 };
 
@@ -166,10 +185,34 @@ int main() {
            static_cast<double>(thread_counts[i]));
     }
 
+    // One extra run with the observability layer on: the timed sweep above
+    // stays instrumentation-free, and this run contributes the per-phase
+    // wall-clock partition (deliver/step/merge) plus wave statistics to the
+    // artifact. Observation must not move the iterates.
+    sim::RuntimeOptions observed_options;
+    observed_options.observe = true;
+    const RunResult observed(xg, observed_options, iterations, warmup);
+    emit("observed", observed, 1.0);
+    {
+      const double accounted = observed.deliver_seconds +
+                               observed.step_seconds + observed.merge_seconds;
+      auto& fields = records.back().metrics;
+      fields.push_back({"deliver_seconds", observed.deliver_seconds});
+      fields.push_back({"step_seconds", observed.step_seconds});
+      fields.push_back({"merge_seconds", observed.merge_seconds});
+      fields.push_back({"other_seconds", observed.seconds - accounted});
+      fields.push_back({"waves", static_cast<double>(observed.waves)});
+      fields.push_back({"wave_rounds_mean", observed.wave_rounds_mean});
+      fields.push_back(
+          {"observe_overhead_vs_serial", observed.seconds / serial_seconds});
+    }
+
     // Every configuration must compute the same iterates, bit for bit.
     identical = identical &&
                 legacy_run.routing.max_difference(reference->routing) == 0.0 &&
-                legacy_run.utility == reference->utility;
+                legacy_run.utility == reference->utility &&
+                observed.routing.max_difference(reference->routing) == 0.0 &&
+                observed.utility == reference->utility;
     for (const RunResult& run : runs) {
       identical = identical &&
                   run.routing.max_difference(reference->routing) == 0.0 &&

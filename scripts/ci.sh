@@ -3,8 +3,12 @@
 # (unit + integration + cli_smoke + docs_lint). Phase 2: ThreadSanitizer
 # pass over the two concurrency-sensitive binaries — the parallel runtime
 # tests and the fault-injection tests (faulted runs exercise the
-# deterministic merge path under threads). TSan exits non-zero on any
-# report, which set -e turns into a CI failure.
+# deterministic merge path under threads). Phase 3: AddressSanitizer pass
+# over the observability suites (metric shards + trace buffers are raw slot
+# arrays; ASan guards the indexing). Phase 4: the CLI's --trace export must
+# be valid JSON — checked with python's strict parser when available.
+# Sanitizers exit non-zero on any report, which set -e turns into a CI
+# failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,5 +23,21 @@ cmake --build --preset tsan -j"${jobs}" \
   --target runtime_parallel_test fault_test
 ./build-tsan/tests/runtime_parallel_test
 ./build-tsan/tests/fault_test
+
+cmake --preset asan
+cmake --build --preset asan -j"${jobs}" --target obs_test property_test
+./build-asan/tests/obs_test
+./build-asan/tests/property_test
+
+if command -v python3 >/dev/null 2>&1; then
+  trace_file=$(mktemp /tmp/maxutil_trace.XXXXXX.json)
+  ./build/tools/maxutil_cli solve examples/scenarios/fair_share.maxutil \
+    --algo distributed --iters 20 --trace "${trace_file}" >/dev/null
+  python3 -m json.tool "${trace_file}" >/dev/null
+  rm -f "${trace_file}"
+  echo "ci.sh: --trace export parses as strict JSON"
+else
+  echo "ci.sh: python3 not found; skipping --trace JSON check"
+fi
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,270 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace maxutil::obs {
+
+using maxutil::util::ensure;
+
+namespace {
+
+/// CSV/report rendering of a double: plain fixed notation for integers
+/// (bucket bounds like 1, 10), shortest round-trip otherwise.
+std::string render(double value) {
+  std::ostringstream out;
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    out << static_cast<long long>(value);
+  } else {
+    out.precision(17);
+    out << value;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(std::size_t shards) {
+  ensure(shards >= 1, "MetricsRegistry: shard count must be >= 1");
+  shards_.resize(shards);
+}
+
+MetricId MetricsRegistry::counter(std::string name, std::string help) {
+  ensure(!find(name).has_value(),
+         "MetricsRegistry: duplicate metric name '" + name + "'");
+  Metric metric;
+  metric.name = std::move(name);
+  metric.help = std::move(help);
+  metric.kind = MetricKind::kCounter;
+  metric.slot = shards_.front().counters.size();
+  for (Shard& shard : shards_) shard.counters.push_back(0);
+  metrics_.push_back(std::move(metric));
+  return metrics_.size() - 1;
+}
+
+MetricId MetricsRegistry::gauge(std::string name, std::string help) {
+  ensure(!find(name).has_value(),
+         "MetricsRegistry: duplicate metric name '" + name + "'");
+  Metric metric;
+  metric.name = std::move(name);
+  metric.help = std::move(help);
+  metric.kind = MetricKind::kGauge;
+  metric.slot = gauges_.size();
+  gauges_.push_back(0.0);
+  metrics_.push_back(std::move(metric));
+  return metrics_.size() - 1;
+}
+
+MetricId MetricsRegistry::histogram(std::string name,
+                                    std::vector<double> upper_bounds,
+                                    std::string help) {
+  ensure(!find(name).has_value(),
+         "MetricsRegistry: duplicate metric name '" + name + "'");
+  ensure(!upper_bounds.empty(),
+         "MetricsRegistry: histogram needs at least one bucket bound");
+  ensure(std::is_sorted(upper_bounds.begin(), upper_bounds.end()) &&
+             std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) ==
+                 upper_bounds.end(),
+         "MetricsRegistry: histogram bounds must be strictly increasing");
+  Metric metric;
+  metric.name = std::move(name);
+  metric.help = std::move(help);
+  metric.kind = MetricKind::kHistogram;
+  metric.slot = shards_.front().histograms.size();
+  metric.upper_bounds = std::move(upper_bounds);
+  for (Shard& shard : shards_) {
+    HistogramState state;
+    state.buckets.assign(metric.upper_bounds.size() + 1, 0);
+    shard.histograms.push_back(std::move(state));
+  }
+  metrics_.push_back(std::move(metric));
+  return metrics_.size() - 1;
+}
+
+const MetricsRegistry::Metric& MetricsRegistry::checked(MetricId id,
+                                                        MetricKind kind) const {
+  ensure(id < metrics_.size(), "MetricsRegistry: unknown metric id");
+  ensure(metrics_[id].kind == kind,
+         "MetricsRegistry: wrong kind for metric '" + metrics_[id].name + "'");
+  return metrics_[id];
+}
+
+void MetricsRegistry::add(MetricId id, std::uint64_t delta, std::size_t shard) {
+  const Metric& metric = checked(id, MetricKind::kCounter);
+  ensure(shard < shards_.size(), "MetricsRegistry: shard out of range");
+  shards_[shard].counters[metric.slot] += delta;
+}
+
+void MetricsRegistry::set(MetricId id, double value) {
+  const Metric& metric = checked(id, MetricKind::kGauge);
+  gauges_[metric.slot] = value;
+}
+
+std::size_t MetricsRegistry::bucket_of(const Metric& metric,
+                                       double value) const {
+  const auto it = std::lower_bound(metric.upper_bounds.begin(),
+                                   metric.upper_bounds.end(), value);
+  return static_cast<std::size_t>(it - metric.upper_bounds.begin());
+}
+
+void MetricsRegistry::observe(MetricId id, double value, std::size_t shard) {
+  const Metric& metric = checked(id, MetricKind::kHistogram);
+  ensure(shard < shards_.size(), "MetricsRegistry: shard out of range");
+  HistogramState& state = shards_[shard].histograms[metric.slot];
+  ++state.buckets[bucket_of(metric, value)];
+  ++state.count;
+  state.sum += value;
+  state.min = std::min(state.min, value);
+  state.max = std::max(state.max, value);
+}
+
+void MetricsRegistry::merge_shards() {
+  Shard& base = shards_.front();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    for (std::size_t i = 0; i < shard.counters.size(); ++i) {
+      base.counters[i] += shard.counters[i];
+      shard.counters[i] = 0;
+    }
+    for (std::size_t i = 0; i < shard.histograms.size(); ++i) {
+      HistogramState& from = shard.histograms[i];
+      HistogramState& to = base.histograms[i];
+      for (std::size_t b = 0; b < from.buckets.size(); ++b) {
+        to.buckets[b] += from.buckets[b];
+        from.buckets[b] = 0;
+      }
+      to.count += from.count;
+      to.sum += from.sum;
+      to.min = std::min(to.min, from.min);
+      to.max = std::max(to.max, from.max);
+      from.count = 0;
+      from.sum = 0.0;
+      from.min = std::numeric_limits<double>::infinity();
+      from.max = -std::numeric_limits<double>::infinity();
+    }
+  }
+}
+
+std::uint64_t MetricsRegistry::counter_value(MetricId id) const {
+  const Metric& metric = checked(id, MetricKind::kCounter);
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.counters[metric.slot];
+  return total;
+}
+
+double MetricsRegistry::gauge_value(MetricId id) const {
+  return gauges_[checked(id, MetricKind::kGauge).slot];
+}
+
+HistogramSnapshot MetricsRegistry::histogram_snapshot(MetricId id) const {
+  const Metric& metric = checked(id, MetricKind::kHistogram);
+  HistogramSnapshot snapshot;
+  snapshot.upper_bounds = metric.upper_bounds;
+  snapshot.buckets.assign(metric.upper_bounds.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    const HistogramState& state = shard.histograms[metric.slot];
+    for (std::size_t b = 0; b < state.buckets.size(); ++b) {
+      snapshot.buckets[b] += state.buckets[b];
+    }
+    snapshot.count += state.count;
+    snapshot.sum += state.sum;
+    snapshot.min = std::min(snapshot.min, state.min);
+    snapshot.max = std::max(snapshot.max, state.max);
+  }
+  return snapshot;
+}
+
+std::optional<MetricId> MetricsRegistry::find(std::string_view name) const {
+  for (MetricId id = 0; id < metrics_.size(); ++id) {
+    if (metrics_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+MetricKind MetricsRegistry::kind(MetricId id) const {
+  ensure(id < metrics_.size(), "MetricsRegistry: unknown metric id");
+  return metrics_[id].kind;
+}
+
+const std::string& MetricsRegistry::name(MetricId id) const {
+  ensure(id < metrics_.size(), "MetricsRegistry: unknown metric id");
+  return metrics_[id].name;
+}
+
+const std::string& MetricsRegistry::help(MetricId id) const {
+  ensure(id < metrics_.size(), "MetricsRegistry: unknown metric id");
+  return metrics_[id].help;
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  out << "kind,name,field,value\n";
+  for (MetricId id = 0; id < metrics_.size(); ++id) {
+    const Metric& metric = metrics_[id];
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out << "counter," << metric.name << ",value," << counter_value(id)
+            << "\n";
+        break;
+      case MetricKind::kGauge:
+        out << "gauge," << metric.name << ",value," << render(gauge_value(id))
+            << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot snapshot = histogram_snapshot(id);
+        out << "histogram," << metric.name << ",count," << snapshot.count
+            << "\n";
+        out << "histogram," << metric.name << ",sum," << render(snapshot.sum)
+            << "\n";
+        if (snapshot.count > 0) {
+          out << "histogram," << metric.name << ",min,"
+              << render(snapshot.min) << "\n";
+          out << "histogram," << metric.name << ",max,"
+              << render(snapshot.max) << "\n";
+        }
+        for (std::size_t b = 0; b < snapshot.upper_bounds.size(); ++b) {
+          out << "histogram," << metric.name << ",le_"
+              << render(snapshot.upper_bounds[b]) << ","
+              << snapshot.buckets[b] << "\n";
+        }
+        out << "histogram," << metric.name << ",le_inf,"
+            << snapshot.buckets.back() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::report() const {
+  std::ostringstream out;
+  for (MetricId id = 0; id < metrics_.size(); ++id) {
+    const Metric& metric = metrics_[id];
+    out << "  " << metric.name << " = ";
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out << counter_value(id);
+        break;
+      case MetricKind::kGauge:
+        out << render(gauge_value(id));
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot snapshot = histogram_snapshot(id);
+        out << "count " << snapshot.count << ", sum " << render(snapshot.sum);
+        if (snapshot.count > 0) {
+          out << ", mean " << render(snapshot.mean()) << ", min "
+              << render(snapshot.min) << ", max " << render(snapshot.max);
+        }
+        break;
+      }
+    }
+    if (!metric.help.empty()) out << "  (" << metric.help << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace maxutil::obs

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maxutil::obs {
+
+/// Compile-time kill switch: building with -DMAXUTIL_OBS_OFF makes every
+/// observability attach point a dead branch (Runtime never allocates an
+/// obs::Observability, so `if (obs_)` is always false and the instrumented
+/// code paths are unreachable). The runtime knob is
+/// sim::RuntimeOptions::observe; both default to "off is free".
+#if defined(MAXUTIL_OBS_OFF)
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+/// Dense handle into a MetricsRegistry, assigned at registration.
+using MetricId = std::size_t;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Read-side view of a histogram with all shards folded together.
+/// `buckets[i]` counts samples with value <= upper_bounds[i]; the final
+/// bucket (buckets.back()) is the implicit +inf overflow bucket.
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> buckets;  // size upper_bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// A low-overhead metrics registry: monotonic counters (uint64), gauges
+/// (double, serial writers only), and fixed-bucket histograms. Writes touch
+/// plain slots — no locks, no atomics. Concurrency contract:
+///
+///   * Registration (counter()/gauge()/histogram()) is serial-only and must
+///     finish before any parallel writes.
+///   * add()/observe() take a `shard` index; each concurrent writer must use
+///     its own shard (sim::Runtime passes the worker index). Two writers on
+///     distinct shards never share a cache line's ownership semantics —
+///     shards are independent slot arrays.
+///   * set() (gauges) and all read accessors are serial-only.
+///
+/// Read accessors fold shards in ascending shard order, so merged values are
+/// a pure function of the per-shard contents — and because counters and
+/// bucket counts are integers, the fold is exactly associative: the same
+/// multiset of increments yields bit-identical totals no matter how the
+/// writers were sharded (tests/obs_test.cpp pins this across 1/2/8 shards).
+/// merge_shards() folds everything into shard 0 eagerly at a serial point.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t shards = 1);
+
+  // --- Registration (serial-only, before parallel use) ---
+  MetricId counter(std::string name, std::string help = {});
+  MetricId gauge(std::string name, std::string help = {});
+  /// `upper_bounds` must be strictly increasing; an implicit +inf overflow
+  /// bucket is appended.
+  MetricId histogram(std::string name, std::vector<double> upper_bounds,
+                     std::string help = {});
+
+  // --- Hot-path writes ---
+  void add(MetricId id, std::uint64_t delta = 1, std::size_t shard = 0);
+  void set(MetricId id, double value);  // gauges, serial-only
+  void observe(MetricId id, double value, std::size_t shard = 0);
+
+  /// Folds shards 1..N-1 into shard 0 (and zeroes them) — called at a serial
+  /// merge point so subsequent reads walk only warm shard-0 memory.
+  void merge_shards();
+
+  // --- Reads (serial-only) ---
+  std::uint64_t counter_value(MetricId id) const;
+  double gauge_value(MetricId id) const;
+  HistogramSnapshot histogram_snapshot(MetricId id) const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t size() const { return metrics_.size(); }
+  std::optional<MetricId> find(std::string_view name) const;
+  MetricKind kind(MetricId id) const;
+  const std::string& name(MetricId id) const;
+  const std::string& help(MetricId id) const;
+
+  /// Flat CSV export: header "kind,name,field,value", one row per scalar
+  /// (counters/gauges: field "value"; histograms: count/sum/min/max plus one
+  /// "le_<bound>" row per bucket and "le_inf" for the overflow bucket).
+  void write_csv(std::ostream& out) const;
+
+  /// Human-readable catalog (CLI --metrics-report): every metric with its
+  /// current value and help string.
+  std::string report() const;
+
+ private:
+  struct HistogramState {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  struct Shard {
+    std::vector<std::uint64_t> counters;
+    std::vector<HistogramState> histograms;
+  };
+
+  struct Metric {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::size_t slot = 0;                // index into the per-kind arrays
+    std::vector<double> upper_bounds;    // histograms only
+  };
+
+  const Metric& checked(MetricId id, MetricKind kind) const;
+  std::size_t bucket_of(const Metric& metric, double value) const;
+
+  std::vector<Metric> metrics_;
+  std::vector<Shard> shards_;
+  std::vector<double> gauges_;  // serial writers only, unsharded
+};
+
+}  // namespace maxutil::obs

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace maxutil::obs {
+
+/// Bundle handed to an instrumented component: one metrics registry (sharded
+/// by worker) plus one tracer (serial control path only). sim::Runtime owns
+/// an Observability when RuntimeOptions::observe is set; other layers
+/// (DistributedGradientSystem, CLI, benches) borrow it via Runtime.
+struct Observability {
+  explicit Observability(std::size_t shards = 1) : metrics(shards) {}
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+}  // namespace maxutil::obs

@@ -1,0 +1,232 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace maxutil::obs {
+
+using maxutil::util::ensure;
+
+namespace {
+
+/// JSON string escaping for the small set of characters that can appear in
+/// event/track names (which this repository controls, but escaping keeps the
+/// export valid for any input).
+void write_json_string(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// JSON-safe number rendering: integral values print without a fraction,
+/// non-finite values (never produced by the instrumentation, but callers can
+/// pass anything) clamp to 0 because JSON has no NaN/Inf literal.
+std::string render_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  std::ostringstream out;
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    out << static_cast<long long>(value);
+  } else {
+    out.precision(17);
+    out << value;
+  }
+  return out.str();
+}
+
+void write_args_json(std::ostream& out, const std::vector<TraceArg>& args) {
+  out << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out << ",";
+    write_json_string(out, args[i].key);
+    out << ":" << render_number(args[i].value);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::set_track_name(std::size_t track, std::string name) {
+  for (auto& entry : track_names_) {
+    if (entry.first == track) {
+      entry.second = std::move(name);
+      return;
+    }
+  }
+  track_names_.emplace_back(track, std::move(name));
+}
+
+bool Tracer::has_room() {
+  if (events_.size() < max_events_) return true;
+  ++dropped_events_;
+  return false;
+}
+
+TraceEvent* Tracer::push(TraceEvent event) {
+  if (!has_room()) return nullptr;
+  events_.push_back(std::move(event));
+  return &events_.back();
+}
+
+std::size_t Tracer::begin_span(std::string name, std::string category,
+                               std::size_t track) {
+  if (!has_room()) return kDroppedSpan;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.track = track;
+  event.ts_us = now_us();
+  event.dur_us = -1.0;  // open; end_span fills it
+  events_.push_back(std::move(event));
+  if (open_.size() <= track) open_.resize(track + 1);
+  open_[track].push_back(events_.size() - 1);
+  ++open_count_;
+  return events_.size() - 1;
+}
+
+void Tracer::end_span(std::size_t token, std::vector<TraceArg> args) {
+  if (token == kDroppedSpan) return;
+  ensure(token < events_.size(), "Tracer::end_span: unknown span token");
+  TraceEvent& event = events_[token];
+  ensure(event.phase == 'X' && event.dur_us < 0.0,
+         "Tracer::end_span: span already closed");
+  ensure(event.track < open_.size() && !open_[event.track].empty() &&
+             open_[event.track].back() == token,
+         "Tracer::end_span: spans must close innermost-first per track");
+  open_[event.track].pop_back();
+  --open_count_;
+  event.dur_us = now_us() - event.ts_us;
+  event.args = std::move(args);
+}
+
+void Tracer::complete(std::string name, std::string category,
+                      std::size_t track, double ts_us, double dur_us,
+                      std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.track = track;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.args = std::move(args);
+  push(std::move(event));
+}
+
+void Tracer::instant(std::string name, std::string category, std::size_t track,
+                     std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.track = track;
+  event.ts_us = now_us();
+  event.args = std::move(args);
+  push(std::move(event));
+}
+
+void Tracer::counter(std::string name, std::size_t track,
+                     std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.phase = 'C';
+  event.track = track;
+  event.ts_us = now_us();
+  event.args = std::move(args);
+  push(std::move(event));
+}
+
+std::size_t Tracer::open_spans() const { return open_count_; }
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto separator = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  for (const auto& [track, name] : track_names_) {
+    separator();
+    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << track
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    write_json_string(out, name);
+    out << "}}";
+  }
+  for (const TraceEvent& event : events_) {
+    separator();
+    out << "{\"ph\":\"" << event.phase << "\",\"pid\":0,\"tid\":"
+        << event.track << ",\"ts\":" << render_number(event.ts_us);
+    if (event.phase == 'X') {
+      // A still-open span (dur < 0) exports with zero duration rather than
+      // invalid JSON; finished traces never contain one.
+      out << ",\"dur\":"
+          << render_number(event.dur_us < 0.0 ? 0.0 : event.dur_us);
+    }
+    out << ",\"name\":";
+    write_json_string(out, event.name);
+    if (!event.category.empty()) {
+      out << ",\"cat\":";
+      write_json_string(out, event.category);
+    }
+    if (event.phase == 'i') out << ",\"s\":\"t\"";
+    if (!event.args.empty() || event.phase == 'C') {
+      out << ",\"args\":";
+      write_args_json(out, event.args);
+    }
+    out << "}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":"
+      << "\"maxutil obs::Tracer\"";
+  if (dropped_events_ > 0) {
+    out << ",\"dropped_events\":\"" << dropped_events_ << "\"";
+  }
+  out << "}}\n";
+}
+
+void Tracer::write_csv(std::ostream& out) const {
+  out << "phase,track,ts_us,dur_us,category,name,args\n";
+  for (const TraceEvent& event : events_) {
+    out << event.phase << "," << event.track << ","
+        << render_number(event.ts_us) << ","
+        << render_number(event.phase == 'X' && event.dur_us >= 0.0
+                             ? event.dur_us
+                             : 0.0)
+        << "," << event.category << "," << event.name << ",";
+    for (std::size_t i = 0; i < event.args.size(); ++i) {
+      if (i != 0) out << ";";
+      out << event.args[i].key << "=" << render_number(event.args[i].value);
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace maxutil::obs

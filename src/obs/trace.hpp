@@ -1,0 +1,105 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace maxutil::obs {
+
+/// One numeric argument attached to a trace event (Chrome "args" entry).
+struct TraceArg {
+  std::string key;
+  double value = 0.0;
+};
+
+/// One recorded event. Phases follow the Chrome trace-event format:
+/// 'X' = complete span (ts + dur), 'i' = instant, 'C' = counter sample.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  std::size_t track = 0;  // rendered as the Chrome "tid"
+  double ts_us = 0.0;     // microseconds since the tracer's epoch
+  double dur_us = 0.0;    // complete spans only
+  std::vector<TraceArg> args;
+};
+
+/// Span-based tracer for the serial control path of a run (round loop, wave
+/// boundaries, fault events). NOT thread-safe: every record call must come
+/// from the thread driving the runtime — which is exactly where the
+/// instrumented code sits (the round loop and the outbox merge are serial by
+/// design; see docs/RUNTIME.md §2).
+///
+/// Spans are properly nested per track: begin_span pushes onto that track's
+/// stack and end_span must close the innermost open span (enforced). Exports
+/// are Chrome-tracing JSON (load via chrome://tracing or Perfetto) and a
+/// flat CSV with one row per event.
+///
+/// Timestamps are wall-clock microseconds relative to construction. Tests
+/// and golden files use the explicit-timestamp `complete()` overload so the
+/// exported bytes are deterministic.
+class Tracer {
+ public:
+  /// end_span token returned when the event buffer is full.
+  static constexpr std::size_t kDroppedSpan = static_cast<std::size_t>(-1);
+
+  Tracer();
+
+  /// Names a track (Chrome thread_name metadata on export).
+  void set_track_name(std::size_t track, std::string name);
+
+  /// Caps the event buffer; events past the cap are counted in
+  /// dropped_events() and discarded. Default 4M events.
+  void set_capacity(std::size_t max_events) { max_events_ = max_events; }
+
+  /// Opens a span at now(); returns a token for end_span. Spans on one track
+  /// must close innermost-first (LIFO).
+  std::size_t begin_span(std::string name, std::string category,
+                         std::size_t track);
+  void end_span(std::size_t token, std::vector<TraceArg> args = {});
+
+  /// Records a complete span with explicit timestamps (deterministic-export
+  /// path used by tests and by round-domain spans).
+  void complete(std::string name, std::string category, std::size_t track,
+                double ts_us, double dur_us, std::vector<TraceArg> args = {});
+
+  void instant(std::string name, std::string category, std::size_t track,
+               std::vector<TraceArg> args = {});
+
+  /// Counter sample: each arg becomes one series on the track's counter
+  /// graph in the Chrome UI.
+  void counter(std::string name, std::size_t track, std::vector<TraceArg> args);
+
+  /// Microseconds since construction (monotonic).
+  double now_us() const;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t dropped_events() const { return dropped_events_; }
+  /// Spans currently open across all tracks.
+  std::size_t open_spans() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], ...}. Valid JSON by
+  /// construction (strings escaped, no NaN/Inf emitted).
+  void write_chrome_json(std::ostream& out) const;
+
+  /// Flat CSV: "phase,track,ts_us,dur_us,category,name,args" with args
+  /// rendered "key=value" and ';'-separated.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  bool has_room();
+  TraceEvent* push(TraceEvent event);
+
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::size_t, std::string>> track_names_;
+  std::vector<std::vector<std::size_t>> open_;  // per-track stacks of indexes
+  std::size_t open_count_ = 0;
+  std::size_t max_events_ = std::size_t{1} << 22;
+  std::size_t dropped_events_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace maxutil::obs

@@ -100,6 +100,7 @@ void NodeActor::resync_marginal(std::size_t seq) {
   // A message from a newer wave than ours: we missed the kickoff (we were
   // crashed, or it was lost). Fast-forward and treat the wave as freshly
   // begun; patience re-emits whatever we would have sent at the kickoff.
+  ++resyncs_;
   cur_mseq_ = seq;
   for (auto& slot : commodities_) {
     if (!slot.has_value()) continue;
@@ -246,6 +247,7 @@ void NodeActor::begin_forecast(Outbox& out, std::size_t seq) {
 }
 
 void NodeActor::resync_forecast(std::size_t seq) {
+  ++resyncs_;
   cur_fseq_ = seq;
   for (auto& slot : commodities_) {
     if (!slot.has_value()) continue;
@@ -451,6 +453,7 @@ DistributedGradientSystem::DistributedGradientSystem(
     for (NodeActor* actor : actors_) actor->set_patience(patience);
   }
   for (NodeActor* actor : actors_) actor->set_max_staleness(max_staleness);
+  if (runtime_.observing()) obs_register_metrics();
   // Install the paper's initial routing and bootstrap t/f with one forecast
   // wave so the first marginal sweep has flows to differentiate.
   const core::RoutingState initial = core::RoutingState::initial(xg);
@@ -465,6 +468,63 @@ DistributedGradientSystem::DistributedGradientSystem(
   forecast_wave();
 }
 
+void DistributedGradientSystem::obs_register_metrics() {
+  obs::MetricsRegistry& m = runtime_.observability()->metrics;
+  obs_ids_.waves = m.counter("waves_total", "protocol waves driven");
+  obs_ids_.wave_rounds =
+      m.histogram("wave_rounds", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024},
+                  "message rounds per wave");
+  obs_ids_.node_latency = m.histogram(
+      "wave_node_latency_rounds", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256},
+      "rounds from wave kickoff to a node's emission");
+  obs_ids_.resyncs =
+      m.counter("resync_events_total", "sequence-number resyncs across nodes");
+  obs_ids_.iterations = m.counter("iterations_total", "gradient iterations");
+  obs_ids_.held_updates =
+      m.gauge("held_updates", "Gamma updates held by the staleness guard");
+  obs_ids_.staleness =
+      m.gauge("max_input_staleness", "oldest input age in waves");
+  runtime_.observability()->tracer.set_track_name(Runtime::kObsWaveTrack,
+                                                  "gradient waves");
+}
+
+void DistributedGradientSystem::obs_begin_wave() {
+  obs_wave_done_.assign(actors_.size(), 0);
+}
+
+void DistributedGradientSystem::obs_note_wave_completions(
+    bool marginal, std::size_t wave_start) {
+  obs::MetricsRegistry& m = runtime_.observability()->metrics;
+  for (ActorId id = 0; id < actors_.size(); ++id) {
+    if (obs_wave_done_[id] != 0 || runtime_.is_failed(id)) continue;
+    const NodeActor& actor = *actors_[id];
+    if (marginal ? actor.marginal_complete() : actor.forecast_complete()) {
+      obs_wave_done_[id] = 1;
+      m.observe(obs_ids_.node_latency,
+                static_cast<double>(runtime_.rounds() - wave_start));
+    }
+  }
+}
+
+void DistributedGradientSystem::obs_finish_wave(bool marginal,
+                                                std::size_t wave_start,
+                                                std::size_t span) {
+  obs::Observability& obs = *runtime_.observability();
+  const std::size_t rounds = runtime_.rounds() - wave_start;
+  obs.metrics.add(obs_ids_.waves);
+  obs.metrics.observe(obs_ids_.wave_rounds, static_cast<double>(rounds));
+  const std::size_t resyncs = resync_events();
+  if (resyncs != obs_synced_resyncs_) {
+    obs.metrics.add(obs_ids_.resyncs, resyncs - obs_synced_resyncs_);
+    obs_synced_resyncs_ = resyncs;
+  }
+  obs.tracer.end_span(
+      span,
+      {{"rounds", static_cast<double>(rounds)},
+       {"seq", static_cast<double>(marginal ? marginal_seq_ : forecast_seq_)},
+       {"complete", wave_complete(marginal) ? 1.0 : 0.0}});
+}
+
 bool DistributedGradientSystem::wave_complete(bool marginal) const {
   for (ActorId id = 0; id < actors_.size(); ++id) {
     if (runtime_.is_failed(id)) continue;
@@ -477,10 +537,28 @@ bool DistributedGradientSystem::wave_complete(bool marginal) const {
 }
 
 void DistributedGradientSystem::drive_wave(bool marginal) {
+  obs::Observability* obs = runtime_.observability();
+  const std::size_t wave_start = runtime_.rounds();
+  std::size_t span = obs::Tracer::kDroppedSpan;
+  if (obs) {
+    obs_begin_wave();
+    span = obs->tracer.begin_span(
+        marginal ? "marginal_wave" : "forecast_wave", "wave",
+        Runtime::kObsWaveTrack);
+    // The kickoff already ran (sinks/sources emit immediately): record
+    // zero-latency completions before the first round.
+    obs_note_wave_completions(marginal, wave_start);
+  }
   if (!runtime_.options().faults.enabled()) {
     // Fault-free the wave completes exactly when the network quiesces.
-    runtime_.run_until_quiet(kWaveRoundBudget, /*strict=*/false);
+    std::size_t used = 0;
+    while (!runtime_.quiet() && used < kWaveRoundBudget) {
+      runtime_.run_round();
+      ++used;
+      if (obs) obs_note_wave_completions(marginal, wave_start);
+    }
     last_converged_ = last_converged_ && runtime_.quiet();
+    if (obs) obs_finish_wave(marginal, wave_start, span);
     return;
   }
   // Under faults, quiet is not completion: dropped messages make the
@@ -488,14 +566,21 @@ void DistributedGradientSystem::drive_wave(bool marginal) {
   // idle rounds (which advance the timers) until every live node emitted.
   std::size_t budget = kWaveRoundBudget;
   while (budget > 0) {
-    budget -= runtime_.run_until_quiet(budget, /*strict=*/false);
+    while (!runtime_.quiet() && budget > 0) {
+      runtime_.run_round();
+      --budget;
+      if (obs) obs_note_wave_completions(marginal, wave_start);
+    }
     if (!runtime_.quiet()) break;  // budget exhausted mid-flight
     if (wave_complete(marginal)) break;
+    if (budget == 0) break;
     runtime_.run_round();
     --budget;
+    if (obs) obs_note_wave_completions(marginal, wave_start);
   }
   last_converged_ =
       last_converged_ && runtime_.quiet() && wave_complete(marginal);
+  if (obs) obs_finish_wave(marginal, wave_start, span);
 }
 
 void DistributedGradientSystem::marginal_wave() {
@@ -533,6 +618,19 @@ std::size_t DistributedGradientSystem::iterate() {
   ++iterations_;
   last_rounds_ = runtime_.rounds() - rounds_before;
   last_messages_ = runtime_.delivered_messages() - messages_before;
+  if (obs::Observability* obs = runtime_.observability()) {
+    obs->metrics.add(obs_ids_.iterations);
+    obs->metrics.set(obs_ids_.held_updates,
+                     static_cast<double>(held_updates()));
+    obs->metrics.set(obs_ids_.staleness,
+                     static_cast<double>(max_input_staleness()));
+    obs->tracer.instant(
+        "iteration", "gradient", Runtime::kObsWaveTrack,
+        {{"iteration", static_cast<double>(iterations_)},
+         {"rounds", static_cast<double>(last_rounds_)},
+         {"messages", static_cast<double>(last_messages_)},
+         {"held_updates", static_cast<double>(held_updates())}});
+  }
   return last_rounds_;
 }
 
@@ -561,6 +659,12 @@ double DistributedGradientSystem::utility() const {
 std::size_t DistributedGradientSystem::held_updates() const {
   std::size_t total = 0;
   for (const NodeActor* actor : actors_) total += actor->held_updates();
+  return total;
+}
+
+std::size_t DistributedGradientSystem::resync_events() const {
+  std::size_t total = 0;
+  for (const NodeActor* actor : actors_) total += actor->resyncs();
   return total;
 }
 

@@ -88,6 +88,9 @@ class NodeActor : public Actor {
   double marginal(CommodityId j) const;
   /// Gamma updates skipped by the staleness guard (cumulative).
   std::size_t held_updates() const { return held_updates_; }
+  /// Sequence-number resyncs — times this node observed a wave newer than
+  /// its own and fast-forwarded (it was crashed, or the kickoff was lost).
+  std::size_t resyncs() const { return resyncs_; }
   /// Age (in waves) of this node's oldest input right now.
   std::size_t max_input_staleness() const;
 
@@ -156,6 +159,7 @@ class NodeActor : public Actor {
   std::size_t patience_ = kNoPatience;
   std::size_t max_staleness_ = 8;
   std::size_t held_updates_ = 0;
+  std::size_t resyncs_ = 0;
 };
 
 /// The full distributed system: one NodeActor per extended node on a
@@ -218,6 +222,8 @@ class DistributedGradientSystem {
   // --- Fault telemetry (observer-side, summed over live actors) ---
   /// Gamma updates held by the staleness guard so far.
   std::size_t held_updates() const;
+  /// Sequence-number resyncs across all nodes so far.
+  std::size_t resync_events() const;
   /// Oldest input age (in waves) across all nodes right now.
   std::size_t max_input_staleness() const;
 
@@ -231,8 +237,20 @@ class DistributedGradientSystem {
   /// Runs rounds until the wave completes on every live actor (fault-free
   /// this coincides with quiescence; under drops, quiet rounds before the
   /// patience timeouts fire are normal and the loop keeps stepping).
+  /// Observation is read-only and does not change the round sequence, so
+  /// runs are bit-identical with it on or off.
   void drive_wave(bool marginal);
   bool wave_complete(bool marginal) const;
+
+  // --- Observability (active only while runtime_.observing()) ---
+  void obs_register_metrics();
+  /// Resets per-wave completion tracking (per-node latency histogram).
+  void obs_begin_wave();
+  /// Marks nodes whose wave just completed; records their latency in
+  /// rounds since the wave kickoff.
+  void obs_note_wave_completions(bool marginal, std::size_t wave_start);
+  void obs_finish_wave(bool marginal, std::size_t wave_start,
+                       std::size_t span);
 
   const xform::ExtendedGraph* xg_;
   core::GammaOptions gamma_;
@@ -244,6 +262,14 @@ class DistributedGradientSystem {
   std::size_t last_rounds_ = 0;
   std::size_t last_messages_ = 0;
   bool last_converged_ = true;
+
+  /// Metric handles, valid only while runtime_.observing().
+  struct ObsIds {
+    obs::MetricId waves, wave_rounds, node_latency, resyncs, iterations,
+        held_updates, staleness;
+  } obs_ids_{};
+  std::vector<char> obs_wave_done_;  // per-node completion latch
+  std::size_t obs_synced_resyncs_ = 0;
 };
 
 }  // namespace maxutil::sim

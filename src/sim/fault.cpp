@@ -26,15 +26,64 @@ double FaultPlan::drop_for(std::size_t from, std::size_t to) const {
   return drop;
 }
 
+namespace {
+
+/// Last round (exclusive) a crash window keeps its node down; windows whose
+/// restart is not after the crash never come back (treated as infinite).
+std::size_t window_end(const CrashWindow& w) {
+  return w.restart_round > w.crash_round
+             ? w.restart_round
+             : static_cast<std::size_t>(-1);
+}
+
+std::string window_str(const CrashWindow& w) {
+  std::ostringstream out;
+  out << "[" << w.crash_round << ", ";
+  if (w.restart_round > w.crash_round) {
+    out << w.restart_round << ")";
+  } else {
+    out << "inf)";
+  }
+  return out.str();
+}
+
+}  // namespace
+
 void FaultPlan::validate() const {
-  ensure(drop >= 0.0 && drop <= 1.0, "FaultPlan: drop must be in [0, 1]");
-  ensure(duplicate >= 0.0 && duplicate <= 1.0,
-         "FaultPlan: duplicate must be in [0, 1]");
-  ensure(delay_min <= delay_max,
-         "FaultPlan: delay_min must not exceed delay_max");
+  const auto check_probability = [](double p, const std::string& what) {
+    std::ostringstream out;
+    out << "FaultPlan: " << what << " probability " << p
+        << " outside [0, 1]";
+    ensure(p >= 0.0 && p <= 1.0, out.str());
+  };
+  check_probability(drop, "drop");
+  check_probability(duplicate, "duplicate");
+  {
+    std::ostringstream out;
+    out << "FaultPlan: delay interval [" << delay_min << ", " << delay_max
+        << "] is inverted (min exceeds max)";
+    ensure(delay_min <= delay_max, out.str());
+  }
   for (const LinkDrop& link : link_drops) {
-    ensure(link.probability >= 0.0 && link.probability <= 1.0,
-           "FaultPlan: link drop probability must be in [0, 1]");
+    std::ostringstream what;
+    what << "link " << link.from << "-" << link.to << " drop";
+    check_probability(link.probability, what.str());
+  }
+  // Two windows for the same node whose down intervals intersect would race
+  // over one crash/restart latch pair; demand one merged window instead.
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < crashes.size(); ++j) {
+      const CrashWindow& a = crashes[i];
+      const CrashWindow& b = crashes[j];
+      if (a.node != b.node) continue;
+      const bool overlap =
+          a.crash_round < window_end(b) && b.crash_round < window_end(a);
+      std::ostringstream out;
+      out << "FaultPlan: crash windows for node " << a.node << " overlap ("
+          << window_str(a) << " and " << window_str(b)
+          << "); merge them into one window";
+      ensure(!overlap, out.str());
+    }
   }
 }
 
@@ -104,6 +153,21 @@ FaultPlan parse_fault_spec(const std::string& spec) {
       w.crash_round = parse_count(window.substr(0, dash), "crash begin");
       w.restart_round = parse_count(window.substr(dash + 1), "crash end");
       plan.crashes.push_back(w);
+    } else if (key == "link") {
+      const std::size_t at = value.find('@');
+      ensure(at != std::string::npos,
+             "fault spec: link entries look like link=FROM-TO@DROP "
+             "(e.g. link=2-5@0.3)");
+      const std::string pair = value.substr(0, at);
+      const std::size_t dash = pair.find('-');
+      ensure(dash != std::string::npos,
+             "fault spec: link entries look like link=FROM-TO@DROP "
+             "(e.g. link=2-5@0.3)");
+      LinkDrop link;
+      link.from = parse_count(pair.substr(0, dash), "link from-node");
+      link.to = parse_count(pair.substr(dash + 1), "link to-node");
+      link.probability = parse_probability(value.substr(at + 1), "link drop");
+      plan.link_drops.push_back(link);
     } else {
       ensure(false, "fault spec: unknown key '" + key + "'");
     }
@@ -118,6 +182,9 @@ std::string describe(const FaultPlan& plan) {
   out << "drop=" << plan.drop << " delay=[" << plan.delay_min << ","
       << plan.delay_max << "] dup=" << plan.duplicate
       << " seed=" << plan.seed;
+  for (const LinkDrop& link : plan.link_drops) {
+    out << " link=" << link.from << "-" << link.to << "@" << link.probability;
+  }
   for (const CrashWindow& w : plan.crashes) {
     out << " crash=" << w.node << "@" << w.crash_round << "-"
         << w.restart_round;

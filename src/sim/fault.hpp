@@ -80,8 +80,9 @@ struct FaultPlan {
   /// Drop probability for a specific link, honoring overrides.
   double drop_for(std::size_t from, std::size_t to) const;
 
-  /// Aborts via util::ensure on out-of-range probabilities or an inverted
-  /// delay interval.
+  /// Aborts via util::ensure (with the offending values in the message) on
+  /// out-of-range probabilities, an inverted delay interval, or two crash
+  /// windows of the same node whose down intervals overlap.
   void validate() const;
 };
 
@@ -90,10 +91,12 @@ struct FaultPlan {
 ///   spec    := entry ("," entry)*
 ///   entry   := "drop=" P | "delay=" D | "dup=" P | "seed=" N
 ///            | "crash=" NODE "@" A "-" B
+///            | "link=" FROM "-" TO "@" P
 ///   D       := B | A "-" B          (single value means [0, B])
 ///
-/// e.g. "drop=0.1,delay=1-3,dup=0.05,seed=7,crash=4@200-400". `crash` may
-/// repeat. Aborts via util::ensure on malformed input.
+/// e.g. "drop=0.1,delay=1-3,dup=0.05,seed=7,crash=4@200-400,link=2-5@0.5".
+/// `crash` and `link` may repeat. Aborts via util::ensure on malformed
+/// input, with the expected shape in the error message.
 FaultPlan parse_fault_spec(const std::string& spec);
 
 /// One-line human-readable rendering of a plan (CLI --report output).

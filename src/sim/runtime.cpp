@@ -43,6 +43,66 @@ Runtime::Runtime(RuntimeOptions options)
   payload_shards_.resize(pool_ ? pool_->thread_count() : 1);
   crash_fired_.assign(options_.faults.crashes.size(), 0);
   restart_fired_.assign(options_.faults.crashes.size(), 0);
+  if (options_.observe && obs::kObsEnabled) {
+    obs_ = std::make_unique<obs::Observability>(payload_shards_.size());
+    obs_register_metrics();
+  }
+}
+
+void Runtime::obs_register_metrics() {
+  obs::MetricsRegistry& m = obs_->metrics;
+  obs_ids_.rounds = m.counter("rounds_total", "message rounds executed");
+  obs_ids_.sent = m.counter("messages_sent",
+                            "messages accepted at the serial merge point");
+  obs_ids_.delivered = m.counter("messages_delivered",
+                                 "messages handed to actor inboxes");
+  obs_ids_.dropped =
+      m.counter("messages_dropped", "messages lost (failed endpoints + faults)");
+  obs_ids_.fault_dropped =
+      m.counter("fault_messages_dropped", "drops due to fault injection");
+  obs_ids_.fault_duplicated =
+      m.counter("fault_messages_duplicated", "extra fault-injected copies");
+  obs_ids_.fault_delayed =
+      m.counter("fault_messages_delayed", "messages drawing extra fault delay");
+  obs_ids_.fault_crashes =
+      m.counter("fault_crashes", "crash windows triggered");
+  obs_ids_.fault_restarts =
+      m.counter("fault_restarts", "scheduled restarts triggered");
+  obs_ids_.actor_steps = m.counter(
+      "actor_steps_total", "live-actor invocations (per-worker sharded)");
+  obs_ids_.queue_depth =
+      m.gauge("queue_depth", "messages in flight after the last round");
+  obs_ids_.round_delivered = m.histogram(
+      "round_delivered_messages",
+      {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384},
+      "messages delivered per round");
+  obs_ids_.round_us = m.histogram(
+      "round_wall_us", {1, 10, 50, 100, 500, 1000, 10000, 100000, 1000000},
+      "wall-clock microseconds per round");
+  obs_->tracer.set_track_name(kObsRoundTrack, "runtime rounds");
+  obs_->tracer.set_track_name(kObsFaultTrack, "fault events");
+}
+
+void Runtime::obs_sync_counters() {
+  obs::MetricsRegistry& m = obs_->metrics;
+  const auto push = [&m](obs::MetricId id, std::size_t current,
+                         std::size_t& synced) {
+    if (current != synced) {
+      m.add(id, current - synced);
+      synced = current;
+    }
+  };
+  push(obs_ids_.rounds, rounds_, obs_synced_.rounds);
+  push(obs_ids_.sent, sent_messages_, obs_synced_.sent);
+  push(obs_ids_.delivered, delivered_messages_, obs_synced_.delivered);
+  push(obs_ids_.dropped, dropped_messages_, obs_synced_.dropped);
+  push(obs_ids_.fault_dropped, fault_dropped_, obs_synced_.fault_dropped);
+  push(obs_ids_.fault_duplicated, fault_duplicated_,
+       obs_synced_.fault_duplicated);
+  push(obs_ids_.fault_delayed, fault_delayed_, obs_synced_.fault_delayed);
+  push(obs_ids_.fault_crashes, fault_crashes_, obs_synced_.fault_crashes);
+  push(obs_ids_.fault_restarts, fault_restarts_, obs_synced_.fault_restarts);
+  m.merge_shards();
 }
 
 ActorId Runtime::add_actor(std::unique_ptr<Actor> actor) {
@@ -118,6 +178,7 @@ void Runtime::schedule(Message message, std::size_t base, std::size_t extra) {
 
 void Runtime::enqueue_now(Message message) {
   ensure(message.to < actors_.size(), "Runtime: message to unknown actor");
+  ++sent_messages_;
   if (failed_[message.from] || failed_[message.to]) {
     ++dropped_messages_;
     if (options_.pooled_delivery) recycle_payload(std::move(message.payload));
@@ -261,7 +322,9 @@ void Runtime::step_live_actors(
       if (failed_[id]) continue;
       Outbox out(*this, id, kDirectSlot, 0);
       fn(id, *actors_[id], out);
+      if (obs_) obs_->metrics.add(obs_ids_.actor_steps);
     }
+    if (obs_) obs_sync_counters();
     return;
   }
 
@@ -280,15 +343,25 @@ void Runtime::step_live_actors(
       if (failed_[id]) continue;
       Outbox out(*this, id, slot, worker);
       fn(id, *actors_[id], out);
+      // Worker-sharded write; folded below at the serial merge point.
+      if (obs_) obs_->metrics.add(obs_ids_.actor_steps, 1, worker);
     }
   });
 
   // Deterministic merge: walking the shards in slot order replays the
   // serial (actor id, send order) sequence exactly — chunk slots are
   // contiguous ascending actor ranges whatever the thread count was.
+  std::chrono::steady_clock::time_point merge_start;
+  if (obs_) merge_start = std::chrono::steady_clock::now();
   for (OutboxShard& shard : outbox_shards_) {
     for (Message& message : shard.sends) enqueue_now(std::move(message));
     shard.sends.clear();
+  }
+  if (obs_) {
+    total_merge_seconds_ += std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - merge_start)
+                                .count();
+    obs_sync_counters();
   }
 }
 
@@ -298,12 +371,27 @@ void Runtime::for_each_live_actor(
 }
 
 std::size_t Runtime::run_round_pooled() {
+  std::chrono::steady_clock::time_point t0, t1;
+  if (obs_) t0 = std::chrono::steady_clock::now();
   const std::size_t delivered = deliver_due();
+  if (obs_) {
+    t1 = std::chrono::steady_clock::now();
+    total_deliver_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+  }
+  const double merge_before = total_merge_seconds_;
   step_live_actors(
       [this](ActorId id, Actor& actor, Outbox& out) {
         actor.on_round(out, inbox_of(id));
       },
       delivered);
+  if (obs_) {
+    // step_live_actors times its own outbox merge; subtracting that share
+    // keeps deliver/step/merge disjoint phases of the round.
+    total_step_seconds_ += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t1)
+                               .count() -
+                           (total_merge_seconds_ - merge_before);
+  }
   // The round's inboxes are dead; feed their payload buffers back to the
   // worker pools for next round's sends.
   for (Message& message : inbox_messages_) {
@@ -375,12 +463,24 @@ void Runtime::apply_crash_schedule() {
       if (!failed_[w.node]) {
         failed_[w.node] = true;
         ++fault_crashes_;
+        if (obs_) {
+          obs_->tracer.instant(
+              "crash", "fault", kObsFaultTrack,
+              {{"node", static_cast<double>(w.node)},
+               {"round", static_cast<double>(rounds_)}});
+        }
       }
     }
     if (restart_fired_[i] == 0 && w.restart_round > w.crash_round &&
         w.restart_round <= rounds_) {
       restart_fired_[i] = 1;
       restore(w.node);
+      ++fault_restarts_;
+      if (obs_) {
+        obs_->tracer.instant("restart", "fault", kObsFaultTrack,
+                             {{"node", static_cast<double>(w.node)},
+                              {"round", static_cast<double>(rounds_)}});
+      }
     }
   }
 }
@@ -388,6 +488,9 @@ void Runtime::apply_crash_schedule() {
 std::size_t Runtime::run_round() {
   const auto start = std::chrono::steady_clock::now();
   ++rounds_;
+  const std::size_t span =
+      obs_ ? obs_->tracer.begin_span("round", "runtime", kObsRoundTrack)
+           : obs::Tracer::kDroppedSpan;
   if (!options_.faults.crashes.empty()) apply_crash_schedule();
   release_fault_deferred();
   const std::size_t delivered =
@@ -396,10 +499,23 @@ std::size_t Runtime::run_round() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   total_round_seconds_ += last_round_seconds_;
+  if (obs_) {
+    obs::MetricsRegistry& m = obs_->metrics;
+    m.set(obs_ids_.queue_depth,
+          static_cast<double>(pending_.size() + fault_deferred_.size()));
+    m.observe(obs_ids_.round_delivered, static_cast<double>(delivered));
+    m.observe(obs_ids_.round_us, last_round_seconds_ * 1e6);
+    obs_sync_counters();
+    obs_->tracer.end_span(
+        span, {{"round", static_cast<double>(rounds_)},
+               {"delivered", static_cast<double>(delivered)},
+               {"queue_depth", static_cast<double>(pending_.size() +
+                                                   fault_deferred_.size())}});
+  }
   return delivered;
 }
 
-std::size_t Runtime::run_until_quiet(std::size_t max_rounds, bool strict) {
+QuietResult Runtime::run_until_quiet(std::size_t max_rounds, bool strict) {
   std::size_t used = 0;
   while (!quiet() && used < max_rounds) {
     run_round();
@@ -408,7 +524,7 @@ std::size_t Runtime::run_until_quiet(std::size_t max_rounds, bool strict) {
   if (strict) {
     ensure(quiet(), "Runtime::run_until_quiet: round budget exhausted");
   }
-  return used;
+  return {used, quiet() ? QuietStatus::kQuiet : QuietStatus::kRoundLimit};
 }
 
 Actor& Runtime::actor(ActorId id) {

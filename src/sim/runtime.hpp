@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/observability.hpp"
 #include "sim/fault.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -67,6 +68,31 @@ struct RuntimeOptions {
   /// num_threads > 1 requires `deterministic` (enforced in the ctor) and
   /// stays bit-identical across thread counts.
   FaultPlan faults;
+
+  /// When true (and the build did not define MAXUTIL_OBS_OFF), the runtime
+  /// allocates an obs::Observability and records metrics (message/fault
+  /// counters, queue depth, per-round delivery and wall-time histograms,
+  /// per-worker actor-step shards) plus trace spans (one per round, fault
+  /// instants for crash/restart). Observation is read-only: the computed
+  /// messages and actor states are bit-identical with it on or off, for
+  /// every thread count (tests/property_test.cpp pins this). Off (the
+  /// default) costs one null-pointer branch per round and per merge.
+  bool observe = false;
+};
+
+/// Why run_until_quiet stopped.
+enum class QuietStatus {
+  kQuiet,       // the network quiesced
+  kRoundLimit,  // the round budget ran out with messages still in flight
+};
+
+/// Result of run_until_quiet: rounds executed plus a named status, so
+/// callers no longer infer budget exhaustion from quiet()==false.
+struct QuietResult {
+  std::size_t rounds = 0;
+  QuietStatus status = QuietStatus::kQuiet;
+
+  bool quiet() const { return status == QuietStatus::kQuiet; }
 };
 
 class Runtime;
@@ -160,12 +186,12 @@ class Runtime {
   std::size_t run_round();
 
   /// Runs rounds until no messages are in flight (quiescence) or
-  /// `max_rounds` elapse; returns rounds executed. When `strict` (the
-  /// default) an exhausted budget aborts via util::ensure; with strict =
-  /// false the caller observes non-convergence through quiet() instead —
-  /// what the failure/recovery benches need to measure stalled protocols
-  /// rather than crash.
-  std::size_t run_until_quiet(std::size_t max_rounds = 100000,
+  /// `max_rounds` elapse; returns the rounds executed plus a named
+  /// QuietStatus. When `strict` (the default) an exhausted budget aborts
+  /// via util::ensure; with strict = false the caller gets
+  /// QuietStatus::kRoundLimit instead — what the failure/recovery benches
+  /// need to measure stalled protocols rather than crash.
+  QuietResult run_until_quiet(std::size_t max_rounds = 100000,
                               bool strict = true);
 
   /// True when no messages are in flight — neither queued for delivery nor
@@ -189,6 +215,11 @@ class Runtime {
 
   // --- Counters (cumulative) ---
   std::size_t rounds() const { return rounds_; }
+  /// Messages accepted at the serial merge point (enqueue_now) — before
+  /// failure filtering and fault draws. Conservation law, checked by
+  /// tests/property_test.cpp: sent + fault_duplicated ==
+  /// delivered + dropped + in_flight.
+  std::size_t sent_messages() const { return sent_messages_; }
   std::size_t delivered_messages() const { return delivered_messages_; }
   std::size_t dropped_messages() const { return dropped_messages_; }
   /// Subset of dropped_messages() lost to fault injection (vs failed
@@ -200,6 +231,8 @@ class Runtime {
   std::size_t fault_delayed_messages() const { return fault_delayed_; }
   /// Crash windows that have triggered so far.
   std::size_t fault_crashes() const { return fault_crashes_; }
+  /// Scheduled restarts that have triggered so far.
+  std::size_t fault_restarts() const { return fault_restarts_; }
   /// Total doubles carried in delivered payloads (a bandwidth proxy).
   std::size_t delivered_payload_doubles() const { return delivered_payload_; }
   /// Payload buffers served from the recycle free lists vs freshly heap
@@ -209,6 +242,27 @@ class Runtime {
   /// Wall-clock seconds spent inside run_round (cumulative / last round).
   double total_round_seconds() const { return total_round_seconds_; }
   double last_round_seconds() const { return last_round_seconds_; }
+  /// Per-phase wall-clock breakdown of the pooled round loop (delivery
+  /// scatter / actor stepping / outbox merge). Accumulated only while
+  /// observing — zero otherwise, so the off path pays no clock reads.
+  double total_deliver_seconds() const { return total_deliver_seconds_; }
+  double total_step_seconds() const { return total_step_seconds_; }
+  double total_merge_seconds() const { return total_merge_seconds_; }
+
+  // --- Observability (see src/obs/ and docs/OBSERVABILITY.md) ---
+  /// Trace track ids used by the runtime (and, by convention, the layers
+  /// above it — DistributedGradientSystem claims kObsWaveTrack).
+  static constexpr std::size_t kObsRoundTrack = 0;
+  static constexpr std::size_t kObsFaultTrack = 1;
+  static constexpr std::size_t kObsWaveTrack = 2;
+
+  /// Non-null iff RuntimeOptions::observe was set and the build has the
+  /// layer compiled in. The registry's counters mirror the accessor values
+  /// above; merge shards are folded at every serial merge point, so reads
+  /// between rounds are always current.
+  obs::Observability* observability() { return obs_.get(); }
+  const obs::Observability* observability() const { return obs_.get(); }
+  bool observing() const { return obs_ != nullptr; }
 
   /// Direct read access to an actor (observer-side instrumentation only —
   /// the protocol itself must go through messages).
@@ -271,6 +325,11 @@ class Runtime {
       std::size_t work_hint);
   std::size_t run_round_pooled();
   std::size_t run_round_legacy();
+  /// Registers the runtime's metric catalog (ctor, observe path only).
+  void obs_register_metrics();
+  /// Pushes counter deltas into the registry and folds worker shards —
+  /// called at the serial merge points (end of step_live_actors / round).
+  void obs_sync_counters();
 
   RuntimeOptions options_;
   std::unique_ptr<util::ThreadPool> pool_;
@@ -297,15 +356,36 @@ class Runtime {
   std::size_t recycle_cursor_ = 0;
 
   std::size_t rounds_ = 0;
+  std::size_t sent_messages_ = 0;
   std::size_t delivered_messages_ = 0;
   std::size_t dropped_messages_ = 0;
   std::size_t fault_dropped_ = 0;
   std::size_t fault_duplicated_ = 0;
   std::size_t fault_delayed_ = 0;
   std::size_t fault_crashes_ = 0;
+  std::size_t fault_restarts_ = 0;
   std::size_t delivered_payload_ = 0;
   double total_round_seconds_ = 0.0;
   double last_round_seconds_ = 0.0;
+  double total_deliver_seconds_ = 0.0;
+  double total_step_seconds_ = 0.0;
+  double total_merge_seconds_ = 0.0;
+
+  /// Observability state; null unless options_.observe (and the layer is
+  /// compiled in). Every instrumented site is behind an `if (obs_)`.
+  std::unique_ptr<obs::Observability> obs_;
+  /// Metric handles, valid only while obs_ is non-null.
+  struct ObsIds {
+    obs::MetricId rounds, sent, delivered, dropped, fault_dropped,
+        fault_duplicated, fault_delayed, fault_crashes, fault_restarts,
+        actor_steps, queue_depth, round_delivered, round_us;
+  } obs_ids_{};
+  /// Counter values already pushed to the registry (delta sync).
+  struct ObsSynced {
+    std::size_t rounds = 0, sent = 0, delivered = 0, dropped = 0,
+                fault_dropped = 0, fault_duplicated = 0, fault_delayed = 0,
+                fault_crashes = 0, fault_restarts = 0;
+  } obs_synced_;
 };
 
 }  // namespace maxutil::sim

@@ -29,6 +29,8 @@ using maxutil::sim::FaultPlan;
 using maxutil::sim::Message;
 using maxutil::sim::Outbox;
 using maxutil::sim::parse_fault_spec;
+using maxutil::sim::QuietResult;
+using maxutil::sim::QuietStatus;
 using maxutil::sim::Runtime;
 using maxutil::sim::RuntimeOptions;
 using maxutil::util::CheckError;
@@ -111,6 +113,99 @@ TEST(FaultSpec, DefaultPlanIsDisabled) {
   EXPECT_FALSE(plan.link_faults());
 }
 
+TEST(FaultSpec, ParsesPerLinkOverrides) {
+  const FaultPlan plan = parse_fault_spec("drop=0.1,link=2-5@0.5,link=0-1@0");
+  ASSERT_EQ(plan.link_drops.size(), 2u);
+  EXPECT_EQ(plan.link_drops[0].from, 2u);
+  EXPECT_EQ(plan.link_drops[0].to, 5u);
+  EXPECT_DOUBLE_EQ(plan.link_drops[0].probability, 0.5);
+  // Overrides replace the global rate on their exact link, both ways.
+  EXPECT_DOUBLE_EQ(plan.drop_for(2, 5), 0.5);
+  EXPECT_DOUBLE_EQ(plan.drop_for(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(plan.drop_for(5, 2), 0.1);
+}
+
+/// Extracts the message a CheckError carries; every parser/validator error
+/// must name what was wrong, not just abort.
+template <typename Fn>
+std::string error_message_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(FaultSpec, MalformedLinkOverridesExplainTheShape) {
+  EXPECT_THROW(parse_fault_spec("link=2-5"), CheckError);       // no @drop
+  EXPECT_THROW(parse_fault_spec("link=25@0.5"), CheckError);    // no dash
+  EXPECT_THROW(parse_fault_spec("link=a-b@0.5"), CheckError);   // not numbers
+  EXPECT_THROW(parse_fault_spec("link=2-5@zzz"), CheckError);   // bad drop
+  const std::string message =
+      error_message_of([] { parse_fault_spec("link=2-5"); });
+  EXPECT_NE(message.find("link=FROM-TO@DROP"), std::string::npos) << message;
+}
+
+TEST(FaultSpec, NegativeRatesNameTheOffendingValue) {
+  EXPECT_THROW(parse_fault_spec("drop=-0.2"), CheckError);
+  EXPECT_THROW(parse_fault_spec("dup=-1"), CheckError);
+  EXPECT_THROW(parse_fault_spec("link=0-1@-0.5"), CheckError);
+  const std::string message =
+      error_message_of([] { parse_fault_spec("drop=-0.2"); });
+  EXPECT_NE(message.find("-0.2"), std::string::npos) << message;
+  EXPECT_NE(message.find("[0, 1]"), std::string::npos) << message;
+  const std::string link_message =
+      error_message_of([] { parse_fault_spec("link=0-1@-0.5"); });
+  EXPECT_NE(link_message.find("link 0-1"), std::string::npos) << link_message;
+}
+
+TEST(FaultSpec, OverlappingCrashWindowsAreRejectedWithBothWindows) {
+  // Plain overlap of two finite windows on one node.
+  EXPECT_THROW(parse_fault_spec("crash=1@10-30,crash=1@20-40"), CheckError);
+  // A never-restarting window ([5, inf)) overlaps anything after round 5.
+  EXPECT_THROW(parse_fault_spec("crash=1@5-0,crash=1@100-200"), CheckError);
+  // Same windows on different nodes are fine; so are disjoint windows.
+  EXPECT_NO_THROW(parse_fault_spec("crash=1@10-30,crash=2@20-40"));
+  EXPECT_NO_THROW(parse_fault_spec("crash=1@10-20,crash=1@20-30"));
+  const std::string message = error_message_of(
+      [] { parse_fault_spec("crash=1@10-30,crash=1@20-40"); });
+  EXPECT_NE(message.find("node 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("[10, 30)"), std::string::npos) << message;
+  EXPECT_NE(message.find("[20, 40)"), std::string::npos) << message;
+}
+
+TEST(FaultRuntime, PerLinkOverrideDropsOnlyThatLink) {
+  FaultPlan plan;
+  plan.link_drops.push_back({0, 1, 1.0});  // forward link always drops
+  Runtime runtime = make_pair_runtime(plan);
+  for (int i = 0; i < 5; ++i) send_one(runtime);
+  runtime.run_until_quiet();
+  EXPECT_EQ(receiver(runtime).received, 0u);
+  EXPECT_EQ(runtime.fault_dropped_messages(), 5u);
+}
+
+// --- run_until_quiet status regression (the named-error fix) ---
+
+TEST(FaultRuntime, RoundLimitExhaustionIsNamedNotInferred) {
+  FaultPlan plan;
+  plan.delay_min = 50;
+  plan.delay_max = 50;
+  Runtime runtime = make_pair_runtime(plan);
+  send_one(runtime);
+  // The message is parked in the fault-delay buffer for 50 rounds; a
+  // 10-round budget must report kRoundLimit, not quiescence.
+  const QuietResult limited = runtime.run_until_quiet(10, /*strict=*/false);
+  EXPECT_EQ(limited.status, QuietStatus::kRoundLimit);
+  EXPECT_FALSE(limited.quiet());
+  EXPECT_EQ(limited.rounds, 10u);
+  // With budget to spare the same run drains and reports kQuiet.
+  const QuietResult drained = runtime.run_until_quiet(100, /*strict=*/false);
+  EXPECT_EQ(drained.status, QuietStatus::kQuiet);
+  EXPECT_TRUE(drained.quiet());
+  EXPECT_EQ(receiver(runtime).received, 1u);
+}
+
 // --- Runtime-level fault semantics ---
 
 TEST(FaultRuntime, CertainDropLosesEveryMessageAndCountsIt) {
@@ -164,8 +259,9 @@ TEST(FaultRuntime, RunUntilQuietWaitsOutFaultDelays) {
   plan.delay_max = 5;
   Runtime runtime = make_pair_runtime(plan);
   send_one(runtime);
-  const std::size_t rounds = runtime.run_until_quiet(100, /*strict=*/false);
-  EXPECT_GE(rounds, 6u);  // did not return early while the message was held
+  const QuietResult result = runtime.run_until_quiet(100, /*strict=*/false);
+  EXPECT_GE(result.rounds, 6u);  // no early return while the message was held
+  EXPECT_EQ(result.status, QuietStatus::kQuiet);
   EXPECT_EQ(receiver(runtime).received, 1u);
   EXPECT_TRUE(runtime.quiet());
 }

@@ -1,0 +1,234 @@
+// Unit tests for the observability layer (src/obs): metrics registry
+// semantics, shard-merge determinism, tracer span nesting, and golden-file
+// checks of the Chrome-JSON and CSV exports (via the explicit-timestamp
+// complete() path, so the expected bytes are exact).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using maxutil::obs::HistogramSnapshot;
+using maxutil::obs::MetricId;
+using maxutil::obs::MetricKind;
+using maxutil::obs::MetricsRegistry;
+using maxutil::obs::Tracer;
+using maxutil::obs::TraceArg;
+using maxutil::util::CheckError;
+
+// --- Metrics registry ---
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  MetricsRegistry m;
+  const MetricId c = m.counter("messages", "help text");
+  EXPECT_EQ(m.counter_value(c), 0u);
+  m.add(c);
+  m.add(c, 41);
+  EXPECT_EQ(m.counter_value(c), 42u);
+  EXPECT_EQ(m.kind(c), MetricKind::kCounter);
+  EXPECT_EQ(m.name(c), "messages");
+  EXPECT_EQ(m.help(c), "help text");
+  EXPECT_EQ(m.find("messages"), c);
+  EXPECT_FALSE(m.find("nonexistent").has_value());
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  MetricsRegistry m;
+  const MetricId g = m.gauge("queue_depth");
+  EXPECT_EQ(m.gauge_value(g), 0.0);
+  m.set(g, 7.5);
+  m.set(g, -2.0);
+  EXPECT_EQ(m.gauge_value(g), -2.0);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperBounds) {
+  MetricsRegistry m;
+  const MetricId h = m.histogram("latency", {1.0, 10.0});
+  m.observe(h, 0.5);   // <= 1
+  m.observe(h, 1.0);   // <= 1 (bounds are inclusive)
+  m.observe(h, 7.0);   // <= 10
+  m.observe(h, 20.0);  // overflow
+  const HistogramSnapshot s = m.histogram_snapshot(h);
+  ASSERT_EQ(s.buckets.size(), 3u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 28.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 20.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 28.5 / 4.0);
+}
+
+TEST(Metrics, RegistrationRejectsBadInput) {
+  MetricsRegistry m;
+  m.counter("taken");
+  EXPECT_THROW(m.gauge("taken"), CheckError);
+  EXPECT_THROW(m.histogram("empty", {}), CheckError);
+  EXPECT_THROW(m.histogram("unsorted", {5.0, 1.0}), CheckError);
+  EXPECT_THROW(m.histogram("duplicate_bound", {1.0, 1.0}), CheckError);
+  const MetricId c = m.counter("a_counter");
+  EXPECT_THROW(m.set(c, 1.0), CheckError);       // wrong kind
+  EXPECT_THROW(m.observe(c, 1.0), CheckError);   // wrong kind
+  EXPECT_THROW(m.add(c, 1, 5), CheckError);      // shard out of range
+  EXPECT_THROW(m.counter_value(999), CheckError);
+}
+
+// The shard fold is exactly associative for integer counters and bucket
+// counts, so the same multiset of writes must produce bit-identical reads no
+// matter how it was spread over 1, 2, or 8 shards — the property the runtime
+// leans on for cross-thread-count determinism.
+TEST(Metrics, ShardMergeIsDeterministicAcrossShardCounts) {
+  std::string baseline_csv;
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    MetricsRegistry m(shards);
+    const MetricId c = m.counter("steps");
+    const MetricId h = m.histogram("work", {2.0, 8.0, 32.0});
+    const MetricId g = m.gauge("depth");
+    for (std::size_t i = 0; i < 1000; ++i) {
+      const std::size_t shard = i % shards;
+      m.add(c, 1 + i % 3, shard);
+      m.observe(h, static_cast<double>(i % 40), shard);
+    }
+    m.set(g, 17.0);
+    // Reads fold shards on the fly; merge_shards must not change them.
+    const std::uint64_t before = m.counter_value(c);
+    m.merge_shards();
+    EXPECT_EQ(m.counter_value(c), before);
+    EXPECT_EQ(m.shard_count(), shards);
+
+    std::ostringstream csv;
+    m.write_csv(csv);
+    if (baseline_csv.empty()) {
+      baseline_csv = csv.str();
+    } else {
+      EXPECT_EQ(csv.str(), baseline_csv) << shards << " shards";
+    }
+  }
+  EXPECT_FALSE(baseline_csv.empty());
+}
+
+TEST(Metrics, CsvExportGolden) {
+  MetricsRegistry m;
+  const MetricId a = m.counter("a");
+  const MetricId g = m.gauge("g");
+  const MetricId h = m.histogram("h", {1.0, 10.0});
+  m.add(a, 5);
+  m.set(g, 1.5);
+  m.observe(h, 0.5);
+  m.observe(h, 1.0);
+  m.observe(h, 7.0);
+  m.observe(h, 20.0);
+  std::ostringstream out;
+  m.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "kind,name,field,value\n"
+            "counter,a,value,5\n"
+            "gauge,g,value,1.5\n"
+            "histogram,h,count,4\n"
+            "histogram,h,sum,28.5\n"
+            "histogram,h,min,0.5\n"
+            "histogram,h,max,20\n"
+            "histogram,h,le_1,2\n"
+            "histogram,h,le_10,1\n"
+            "histogram,h,le_inf,1\n");
+}
+
+TEST(Metrics, ReportListsEveryMetricWithHelp) {
+  MetricsRegistry m;
+  m.add(m.counter("rounds", "rounds executed"), 3);
+  m.set(m.gauge("depth"), 2.0);
+  const std::string report = m.report();
+  EXPECT_NE(report.find("rounds = 3"), std::string::npos);
+  EXPECT_NE(report.find("(rounds executed)"), std::string::npos);
+  EXPECT_NE(report.find("depth = 2"), std::string::npos);
+}
+
+// --- Tracer ---
+
+TEST(Trace, SpansNestLifoPerTrack) {
+  Tracer t;
+  const std::size_t outer = t.begin_span("outer", "test", 0);
+  const std::size_t inner = t.begin_span("inner", "test", 0);
+  const std::size_t other = t.begin_span("other_track", "test", 1);
+  EXPECT_EQ(t.open_spans(), 3u);
+  // Closing the outer span while the inner is open violates nesting.
+  EXPECT_THROW(t.end_span(outer), CheckError);
+  t.end_span(inner, {{"k", 1.0}});
+  t.end_span(outer);
+  t.end_span(other);  // tracks are independent stacks
+  EXPECT_EQ(t.open_spans(), 0u);
+  ASSERT_EQ(t.events().size(), 3u);
+  EXPECT_GE(t.events()[0].dur_us, t.events()[1].dur_us);  // outer contains inner
+  EXPECT_THROW(t.end_span(inner), CheckError);  // already closed
+  EXPECT_NO_THROW(t.end_span(Tracer::kDroppedSpan));  // sentinel no-ops
+}
+
+TEST(Trace, CapacityCapDropsAndCounts) {
+  Tracer t;
+  t.set_capacity(2);
+  t.instant("one", "test", 0);
+  t.instant("two", "test", 0);
+  const std::size_t dropped = t.begin_span("three", "test", 0);
+  EXPECT_EQ(dropped, Tracer::kDroppedSpan);
+  t.instant("four", "test", 0);
+  EXPECT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.dropped_events(), 2u);
+  std::ostringstream json;
+  t.write_chrome_json(json);
+  EXPECT_NE(json.str().find("\"dropped_events\":\"2\""), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonExportGolden) {
+  // Only the explicit-timestamp paths, so the bytes are deterministic.
+  Tracer t;
+  t.set_track_name(0, "rounds");
+  t.complete("round", "runtime", 0, 1.0, 2.5, {{"delivered", 3.0}});
+  t.complete("empty", "", 1, 10.0, 0.0);
+  std::ostringstream out;
+  t.write_chrome_json(out);
+  EXPECT_EQ(
+      out.str(),
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"rounds\"}},\n"
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":1,\"dur\":2.5,"
+      "\"name\":\"round\",\"cat\":\"runtime\",\"args\":{\"delivered\":3}},\n"
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":10,\"dur\":0,"
+      "\"name\":\"empty\"}\n"
+      "],\"displayTimeUnit\":\"ms\",\"otherData\":"
+      "{\"generator\":\"maxutil obs::Tracer\"}}\n");
+}
+
+TEST(Trace, CsvExportGolden) {
+  Tracer t;
+  t.complete("round", "runtime", 0, 1.0, 2.5, {{"delivered", 3.0}, {"q", 0.5}});
+  t.complete("empty", "", 1, 10.0, 0.0);
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "phase,track,ts_us,dur_us,category,name,args\n"
+            "X,0,1,2.5,runtime,round,delivered=3;q=0.5\n"
+            "X,1,10,0,,empty,\n");
+}
+
+TEST(Trace, JsonEscapesHostileNamesAndClampsNonFinite) {
+  Tracer t;
+  t.complete("quote\"back\\slash\nnewline", "c", 0, 0.0, 1.0,
+             {{"nan", std::numeric_limits<double>::quiet_NaN()}});
+  std::ostringstream out;
+  t.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnewline"), std::string::npos);
+  EXPECT_NE(json.find("\"nan\":0"), std::string::npos);  // no NaN literal
+  EXPECT_EQ(json.find("NaN"), std::string::npos);
+}
+
+}  // namespace

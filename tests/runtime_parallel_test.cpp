@@ -25,6 +25,8 @@ using maxutil::sim::ActorId;
 using maxutil::sim::DistributedGradientSystem;
 using maxutil::sim::Message;
 using maxutil::sim::Outbox;
+using maxutil::sim::QuietResult;
+using maxutil::sim::QuietStatus;
 using maxutil::sim::Runtime;
 using maxutil::sim::RuntimeOptions;
 using maxutil::util::CheckError;
@@ -164,8 +166,12 @@ TEST(ParallelRuntime, RunUntilQuietStrictnessKnob) {
   Runtime rt;
   rt.add_actor(std::make_unique<Chatter>());
   rt.run_round();
-  // Non-strict: the budget is observable instead of fatal.
-  EXPECT_EQ(rt.run_until_quiet(50, /*strict=*/false), 50u);
+  // Non-strict: the budget is observable instead of fatal, and the result
+  // names the failure mode instead of leaving quiet() inference to callers.
+  const QuietResult result = rt.run_until_quiet(50, /*strict=*/false);
+  EXPECT_EQ(result.rounds, 50u);
+  EXPECT_EQ(result.status, QuietStatus::kRoundLimit);
+  EXPECT_FALSE(result.quiet());
   EXPECT_FALSE(rt.quiet());
   // Strict (the default) aborts once the budget is exhausted.
   EXPECT_THROW(rt.run_until_quiet(50), CheckError);

@@ -21,6 +21,8 @@ using maxutil::sim::ActorId;
 using maxutil::sim::DistributedGradientSystem;
 using maxutil::sim::Message;
 using maxutil::sim::Outbox;
+using maxutil::sim::QuietResult;
+using maxutil::sim::QuietStatus;
 using maxutil::sim::Runtime;
 using maxutil::stream::StreamNetwork;
 using maxutil::util::CheckError;
@@ -75,8 +77,9 @@ TEST(Runtime, UnitDelayIsOneRoundPerHop) {
   rt.add_actor(std::make_unique<PingPong>(0, 4.0, false));
   rt.run_round();  // emit 1
   // messages: 1, 2, 3, 4 -> four more rounds to drain.
-  const std::size_t used = rt.run_until_quiet();
-  EXPECT_EQ(used, 4u);
+  const QuietResult result = rt.run_until_quiet();
+  EXPECT_EQ(result.rounds, 4u);
+  EXPECT_EQ(result.status, QuietStatus::kQuiet);
 }
 
 TEST(Runtime, FailedNodeDropsTraffic) {
@@ -196,7 +199,7 @@ TEST(Runtime, DelayModelPostponesDelivery) {
   rt.set_delay_model([](ActorId, ActorId) { return 5; });
   rt.run_round();  // starter emits; due in 5 rounds
   // 3 messages x 5 rounds each.
-  const std::size_t used = rt.run_until_quiet();
+  const std::size_t used = rt.run_until_quiet().rounds;
   EXPECT_EQ(used, 15u);
   EXPECT_EQ(rt.delivered_messages(), 3u);
 }

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -42,12 +43,17 @@ int usage() {
                "usage: maxutil_cli validate <file>\n"
                "       maxutil_cli solve <file> [--algo gradient|distributed|"
                "backpressure|lp|fw] [--eta X] [--eps X] [--iters N]"
-               " [--threads T] [--faults SPEC] [--newton] [--report]\n"
+               " [--threads T] [--faults SPEC] [--newton] [--report]"
+               " [--metrics FILE] [--trace FILE] [--metrics-report]\n"
                "         (--threads: actor-runtime workers for"
                " --algo distributed; 0 = all hardware threads)\n"
                "         (--faults: inject message faults into --algo"
                " distributed; SPEC is a comma list of drop=P, delay=A-B,"
-               " dup=P, seed=S, crash=NODE@BEGIN-END)\n"
+               " dup=P, seed=S, crash=NODE@BEGIN-END, link=FROM-TO@P)\n"
+               "         (--metrics: write the metric registry as CSV;"
+               " --trace: write a chrome://tracing JSON (or CSV if FILE ends"
+               " in .csv); --metrics-report: print the metric catalog —"
+               " all three imply observation, --algo distributed only)\n"
                "       maxutil_cli dot <file> [--extended]\n"
                "       maxutil_cli generate [--servers N] [--commodities J]"
                " [--stages K] [--lambda X] [--seed S]\n");
@@ -64,7 +70,8 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
       throw util::CheckError("unexpected argument '" + key + "'");
     }
     key = key.substr(2);
-    if (key == "extended" || key == "report" || key == "newton") {
+    if (key == "extended" || key == "report" || key == "newton" ||
+        key == "metrics-report") {
       flags[key] = "1";
     } else {
       if (i + 1 >= argc) {
@@ -103,6 +110,15 @@ int cmd_solve(const std::string& path,
       flags.count("algo") != 0 ? flags.at("algo") : "gradient";
   const auto iters =
       static_cast<std::size_t>(flag_number(flags, "iters", 5000));
+
+  const bool want_obs = flags.count("metrics") != 0 ||
+                        flags.count("trace") != 0 ||
+                        flags.count("metrics-report") != 0;
+  if (want_obs && algo != "distributed") {
+    std::fprintf(stderr,
+                 "warning: --metrics/--trace/--metrics-report instrument the "
+                 "actor runtime and require --algo distributed; ignored\n");
+  }
 
   std::vector<double> admitted(net.commodity_count(), 0.0);
   double utility = 0.0;
@@ -146,6 +162,7 @@ int cmd_solve(const std::string& path,
     if (flags.count("faults") != 0) {
       ropts.faults = sim::parse_fault_spec(flags.at("faults"));
     }
+    ropts.observe = want_obs;
     const auto dist_iters =
         static_cast<std::size_t>(flag_number(flags, "iters", 500));
     sim::DistributedGradientSystem system(xg, gopts, ropts);
@@ -191,6 +208,40 @@ int cmd_solve(const std::string& path,
                   rt.total_round_seconds(),
                   static_cast<double>(rt.rounds()) /
                       std::max(1e-12, rt.total_round_seconds()));
+    }
+    if (want_obs) {
+      const obs::Observability* o = system.runtime().observability();
+      if (o == nullptr) {
+        std::fprintf(stderr,
+                     "warning: this build compiled the observability layer "
+                     "out (MAXUTIL_OBS_OFF); no metrics/trace written\n");
+      } else {
+        if (flags.count("metrics") != 0) {
+          const std::string& file = flags.at("metrics");
+          std::ofstream out(file);
+          util::ensure(out.good(), "cannot open --metrics file " + file);
+          o->metrics.write_csv(out);
+          std::fprintf(stderr, "wrote metrics CSV to %s\n", file.c_str());
+        }
+        if (flags.count("trace") != 0) {
+          const std::string& file = flags.at("trace");
+          std::ofstream out(file);
+          util::ensure(out.good(), "cannot open --trace file " + file);
+          const bool csv =
+              file.size() >= 4 && file.compare(file.size() - 4, 4, ".csv") == 0;
+          if (csv) {
+            o->tracer.write_csv(out);
+          } else {
+            o->tracer.write_chrome_json(out);
+          }
+          std::fprintf(stderr, "wrote %s trace (%zu events) to %s\n",
+                       csv ? "CSV" : "chrome://tracing", o->tracer.events().size(),
+                       file.c_str());
+        }
+        if (flags.count("metrics-report") != 0) {
+          std::printf("metric catalog:\n%s\n", o->metrics.report().c_str());
+        }
+      }
     }
   } else if (algo == "backpressure") {
     bp::BackPressureOptions options;
