@@ -2,18 +2,19 @@
 // correctness vignette: model construction, Property-1 shrinkage, the
 // extended-graph transformation's size formula, and agreement of the
 // distributed algorithms with the LP optimum on the exact paper topology.
+// All solves go through solver::SolverRegistry — the same dispatch the CLI
+// uses — and a warm-start Pipeline ("lp,gradient") is checked to converge
+// in fewer iterations than the cold-started gradient.
 
 #include <cstdio>
 #include <iostream>
 
-#include "bp/backpressure.hpp"
 #include "common.hpp"
-#include "core/optimizer.hpp"
 #include "gen/figure1.hpp"
+#include "solver/pipeline.hpp"
+#include "solver/registry.hpp"
 #include "stream/validate.hpp"
 #include "util/table.hpp"
-#include "xform/extended_graph.hpp"
-#include "xform/lp_reference.hpp"
 
 int main() {
   using namespace maxutil;
@@ -27,7 +28,8 @@ int main() {
   params.stage_shrinkage = 0.8;
   gen::Figure1Ids ids;
   const auto net = gen::figure1_example(params, &ids);
-  const xform::ExtendedGraph xg(net);
+  const solver::Problem problem(net);
+  const xform::ExtendedGraph& xg = problem.extended();
 
   std::printf("physical: %zu nodes, %zu links, %zu streams\n",
               net.node_count(), net.link_count(), net.commodity_count());
@@ -36,32 +38,40 @@ int main() {
               net.node_count() + net.link_count() + net.commodity_count(),
               xg.edge_count(), 2 * net.link_count() + 2 * net.commodity_count());
 
-  const auto reference = xform::solve_reference(xg);
+  const auto& registry = solver::SolverRegistry::instance();
 
-  core::GradientOptions gopt;
-  gopt.eta = 0.1;
-  gopt.max_iterations = 6000;
-  core::GradientOptimizer gradient(xg, gopt);
-  gradient.run();
+  const auto reference = registry.solve("lp", problem, {});
 
-  bp::BackPressureOptions bopt;
-  bopt.record_history = false;
-  bp::BackPressureOptimizer backpressure(xg, bopt);
-  backpressure.run(60000);
+  solver::SolveOptions gradient_options;
+  gradient_options.eta = 0.1;
+  gradient_options.max_iterations = 6000;
+  const auto gradient = registry.solve("gradient", problem, gradient_options);
 
-  const auto galloc = gradient.allocation();
-  const auto brates = backpressure.admitted_rates();
+  solver::SolveOptions bp_options;
+  bp_options.max_iterations = 60000;
+  const auto backpressure = registry.solve("backpressure", problem, bp_options);
+
+  // Warm-start pipeline vs the cold start at the same tolerance: the LP
+  // vertex (guard-repaired) should land the gradient near the fixed point.
+  solver::SolveOptions tol_options = gradient_options;
+  tol_options.tolerance = 1e-4;
+  const auto cold = registry.solve("gradient", problem, tol_options);
+  const auto warm =
+      solver::Pipeline::parse("lp,gradient").run(problem, tol_options);
+
   util::Table table({"solver", "S1 admitted", "S2 admitted", "utility"});
   table.add_row({"LP (simplex)", util::Table::cell(reference.admitted[ids.s1]),
                  util::Table::cell(reference.admitted[ids.s2]),
-                 util::Table::cell(reference.optimal_utility)});
-  table.add_row({"gradient", util::Table::cell(galloc.admitted[ids.s1]),
-                 util::Table::cell(galloc.admitted[ids.s2]),
-                 util::Table::cell(gradient.utility())});
-  table.add_row({"back-pressure", util::Table::cell(brates[ids.s1]),
-                 util::Table::cell(brates[ids.s2]),
-                 util::Table::cell(backpressure.utility())});
+                 util::Table::cell(reference.utility)});
+  table.add_row({"gradient", util::Table::cell(gradient.admitted[ids.s1]),
+                 util::Table::cell(gradient.admitted[ids.s2]),
+                 util::Table::cell(gradient.utility)});
+  table.add_row({"back-pressure", util::Table::cell(backpressure.admitted[ids.s1]),
+                 util::Table::cell(backpressure.admitted[ids.s2]),
+                 util::Table::cell(backpressure.utility)});
   table.print(std::cout);
+  std::printf("\nwarm start: cold gradient %zu iterations, lp,gradient"
+              " pipeline %zu\n", cold.iterations, warm.iterations);
 
   std::printf("\nshape checks:\n");
   bool ok = true;
@@ -76,12 +86,15 @@ int main() {
           xg.edge_count() ==
               2 * net.link_count() + 2 * net.commodity_count());
   ok &= bench::shape_check("gradient within 95% of the LP optimum",
-                           gradient.utility() >= 0.95 * reference.optimal_utility);
+                           gradient.utility >= 0.95 * reference.utility);
   ok &= bench::shape_check("back-pressure within 93% of the LP optimum",
-                           backpressure.utility() >=
-                               0.93 * reference.optimal_utility);
+                           backpressure.utility >= 0.93 * reference.utility);
   ok &= bench::shape_check(
       "Theorem-2 sufficient condition approximately satisfied at convergence",
-      gradient.optimality().sufficient_violation < 0.05);
+      gradient.optimality.has_value() &&
+          gradient.optimality->sufficient_violation < 0.05);
+  ok &= bench::shape_check(
+      "lp,gradient pipeline converges in fewer iterations than cold start",
+      solver::is_usable(warm.status) && warm.iterations < cold.iterations);
   return ok ? 0 : 1;
 }

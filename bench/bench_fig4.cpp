@@ -8,18 +8,19 @@
 // curves rise monotonically to the optimal line; the gradient algorithm
 // needs orders of magnitude fewer iterations (paper: ~10^3 vs ~10^5 to
 // reach 95%).
+//
+// All three solves dispatch through solver::SolverRegistry; the history
+// traces come back in SolveResult::history (record_history + the
+// backpressure adapter's history_stride passthrough).
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "common.hpp"
-#include "bp/backpressure.hpp"
-#include "core/optimizer.hpp"
+#include "solver/registry.hpp"
 #include "util/artifacts.hpp"
 #include "util/table.hpp"
-#include "xform/extended_graph.hpp"
-#include "xform/lp_reference.hpp"
 
 int main() {
   using namespace maxutil;
@@ -34,33 +35,35 @@ int main() {
   const auto net = bench::paper_instance();
   xform::PenaltyConfig penalty;
   penalty.epsilon = 0.1;
-  const xform::ExtendedGraph xg(net, penalty);
+  const solver::Problem problem(net, penalty);
+  const auto& registry = solver::SolverRegistry::instance();
 
-  const auto reference = xform::solve_reference(xg);
-  const double optimal = reference.optimal_utility;
+  const auto reference = registry.solve("lp", problem, {});
+  const double optimal = reference.utility;
   std::printf("optimal total throughput (simplex, %zu pivots): %.4f\n\n",
               reference.iterations, optimal);
 
   // Gradient-based algorithm.
-  core::GradientOptions gopt;
-  gopt.eta = 0.04;
-  gopt.max_iterations = 20000;
-  core::GradientOptimizer gradient(xg, gopt);
-  gradient.run();
+  solver::SolveOptions gradient_options;
+  gradient_options.eta = 0.04;
+  gradient_options.max_iterations = 20000;
+  gradient_options.record_history = true;
+  const auto gradient = registry.solve("gradient", problem, gradient_options);
 
   // Back-pressure baseline.
-  bp::BackPressureOptions bopt;
-  bopt.history_stride = 10;
-  bp::BackPressureOptimizer backpressure(xg, bopt);
-  backpressure.run(200000);
+  solver::SolveOptions bp_options;
+  bp_options.max_iterations = 200000;
+  bp_options.record_history = true;
+  bp_options.extra["history_stride"] = "10";
+  const auto backpressure = registry.solve("backpressure", problem, bp_options);
 
   // The figure's series at log-spaced iteration counts.
   util::Table table({"iteration", "gradient utility", "back-pressure utility",
                      "optimal"});
-  const auto& git = gradient.history().column("iteration");
-  const auto& gu = gradient.history().column("utility");
-  const auto& bit = backpressure.history().column("iteration");
-  const auto& bu = backpressure.history().column("utility");
+  const auto& git = gradient.history->column("iteration");
+  const auto& gu = gradient.history->column("utility");
+  const auto& bit = backpressure.history->column("iteration");
+  const auto& bu = backpressure.history->column("utility");
   const auto value_at = [](const std::vector<double>& xs,
                            const std::vector<double>& ys, double x) {
     double best = 0.0;
@@ -79,16 +82,16 @@ int main() {
   table.print(std::cout);
 
   const std::size_t g95 =
-      bench::iterations_to_fraction(gradient.history(), "utility", optimal, 0.95);
-  const std::size_t b95 = bench::iterations_to_fraction(backpressure.history(),
+      bench::iterations_to_fraction(*gradient.history, "utility", optimal, 0.95);
+  const std::size_t b95 = bench::iterations_to_fraction(*backpressure.history,
                                                         "utility", optimal, 0.95);
   // Raw series for external plotting (set MAXUTIL_RESULTS_DIR to enable).
   if (const auto p = util::save_series(
-          gradient.history().log_downsample(200), "fig4_gradient")) {
+          gradient.history->log_downsample(200), "fig4_gradient")) {
     std::printf("wrote %s\n", p->c_str());
   }
   if (const auto p = util::save_series(
-          backpressure.history().log_downsample(200), "fig4_backpressure")) {
+          backpressure.history->log_downsample(200), "fig4_backpressure")) {
     std::printf("wrote %s\n", p->c_str());
   }
 
@@ -98,14 +101,14 @@ int main() {
               static_cast<double>(b95) / static_cast<double>(g95 ? g95 : 1));
   std::printf("final utility: gradient %.4f (%.1f%%), back-pressure %.4f"
               " (%.1f%%)\n\n",
-              gradient.utility(), 100.0 * gradient.utility() / optimal,
-              backpressure.utility(), 100.0 * backpressure.utility() / optimal);
+              gradient.utility, 100.0 * gradient.utility / optimal,
+              backpressure.utility, 100.0 * backpressure.utility / optimal);
 
   std::printf("shape checks (paper's Figure-4 claims):\n");
   bool ok = true;
   ok &= bench::shape_check("both algorithms reach >= 93% of the optimal line",
-                           gradient.utility() >= 0.93 * optimal &&
-                               backpressure.utility() >= 0.93 * optimal);
+                           gradient.utility >= 0.93 * optimal &&
+                               backpressure.utility >= 0.93 * optimal);
   ok &= bench::shape_check(
       "gradient reaches 95% in O(10^2..10^3) iterations",
       g95 >= 10 && g95 <= 5000);

@@ -2,17 +2,18 @@
 // Theorem 2): the distributed gradient algorithm converges to the optimal
 // solution. For 30 random instances of varying size, report the final
 // utility gap against the simplex reference and the Theorem-2 residuals.
+// Both solvers dispatch through solver::SolverRegistry on a shared
+// solver::Problem, so the LP and the gradient differentiate the same
+// extended-graph cost model.
 
 #include <cstdio>
 #include <iostream>
 
 #include "common.hpp"
-#include "core/optimizer.hpp"
 #include "gen/random_instance.hpp"
+#include "solver/registry.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
-#include "xform/extended_graph.hpp"
-#include "xform/lp_reference.hpp"
 
 int main() {
   using namespace maxutil;
@@ -40,30 +41,29 @@ int main() {
         const auto net = gen::random_instance(p, rng);
         xform::PenaltyConfig penalty;
         penalty.epsilon = 0.05;
-        const xform::ExtendedGraph xg(net, penalty);
-        const auto reference = xform::solve_reference(xg);
-        if (reference.status != lp::LpStatus::kOptimal) continue;
+        const solver::Problem problem(net, penalty);
+        const auto& registry = solver::SolverRegistry::instance();
+        const auto reference = registry.solve("lp", problem, {});
+        if (reference.status != solver::Status::kConverged) continue;
 
-        core::GradientOptions options;
+        solver::SolveOptions options;
         options.eta = 0.05;
         options.max_iterations = 12000;
-        options.record_history = false;
-        core::GradientOptimizer opt(xg, options);
-        opt.run();
+        const auto result = registry.solve("gradient", problem, options);
 
-        const double pct = 100.0 * opt.utility() / reference.optimal_utility;
-        const auto report = opt.optimality();
+        const double pct = 100.0 * result.utility / reference.utility;
         ratio_stats.add(pct);
-        violation_stats.add(report.sufficient_violation);
+        violation_stats.add(result.optimality->sufficient_violation);
         all_bounded = all_bounded &&
-                      opt.utility() <= reference.optimal_utility + 1e-6;
+                      result.utility <= reference.utility + 1e-6;
         table.add_row({util::Table::cell(static_cast<long long>(servers)),
                        util::Table::cell(static_cast<long long>(commodities)),
                        util::Table::cell(static_cast<long long>(seed)),
-                       util::Table::cell(reference.optimal_utility),
-                       util::Table::cell(opt.utility()),
+                       util::Table::cell(reference.utility),
+                       util::Table::cell(result.utility),
                        util::Table::cell(pct, 2),
-                       util::Table::cell(report.sufficient_violation, 5)});
+                       util::Table::cell(result.optimality->sufficient_violation,
+                                         5)});
       }
     }
   }

@@ -1,18 +1,16 @@
 // Walkthrough of the paper's Figure-1 example: 8 servers, 2 streams
 // (S1: tasks A,B,C,D; S2: tasks G,E,F,H) with replicated operators and a
 // shared 3->5 link. Runs the gradient algorithm and the back-pressure
-// baseline against the LP optimum and shows how S1 splits its traffic over
+// baseline against the LP optimum — all through solver::SolverRegistry on
+// one shared solver::Problem — and shows how S1 splits its traffic over
 // the replicated B/C operators.
 
 #include <cstdio>
 #include <iostream>
 
-#include "bp/backpressure.hpp"
-#include "core/optimizer.hpp"
 #include "gen/figure1.hpp"
+#include "solver/registry.hpp"
 #include "util/table.hpp"
-#include "xform/extended_graph.hpp"
-#include "xform/lp_reference.hpp"
 
 int main() {
   using namespace maxutil;
@@ -25,42 +23,43 @@ int main() {
   gen::Figure1Ids ids;
   const auto net = gen::figure1_example(params, &ids);
 
-  const xform::ExtendedGraph xg(net);
-  const auto reference = xform::solve_reference(xg);
+  const solver::Problem problem(net);
+  const auto& registry = solver::SolverRegistry::instance();
 
-  core::GradientOptions gopt;
+  const auto reference = registry.solve("lp", problem, {});
+
+  solver::SolveOptions gopt;
   gopt.eta = 0.1;
   gopt.max_iterations = 4000;
-  core::GradientOptimizer gradient(xg, gopt);
-  gradient.run();
+  const auto gradient = registry.solve("gradient", problem, gopt);
 
-  bp::BackPressureOptions bopt;
-  bopt.record_history = false;
-  bp::BackPressureOptimizer backpressure(xg, bopt);
-  backpressure.run(40000);
+  solver::SolveOptions bopt;
+  bopt.max_iterations = 40000;
+  const auto backpressure = registry.solve("backpressure", problem, bopt);
 
   std::printf("Figure-1 example: S1 = A,B,C,D over servers 1..6;"
               " S2 = G,E,F,H over servers 7,3,5,8; lambda = %.0f each\n\n",
               params.lambda);
 
   util::Table table({"metric", "S1", "S2", "total"});
-  const auto galloc = gradient.allocation();
-  const auto brates = backpressure.admitted_rates();
   table.add_row({"LP-optimal admitted",
                  util::Table::cell(reference.admitted[ids.s1]),
                  util::Table::cell(reference.admitted[ids.s2]),
-                 util::Table::cell(reference.optimal_utility)});
+                 util::Table::cell(reference.utility)});
   table.add_row({"gradient admitted",
-                 util::Table::cell(galloc.admitted[ids.s1]),
-                 util::Table::cell(galloc.admitted[ids.s2]),
-                 util::Table::cell(gradient.utility())});
-  table.add_row({"back-pressure admitted", util::Table::cell(brates[ids.s1]),
-                 util::Table::cell(brates[ids.s2]),
-                 util::Table::cell(backpressure.utility())});
+                 util::Table::cell(gradient.admitted[ids.s1]),
+                 util::Table::cell(gradient.admitted[ids.s2]),
+                 util::Table::cell(gradient.utility)});
+  table.add_row({"back-pressure admitted",
+                 util::Table::cell(backpressure.admitted[ids.s1]),
+                 util::Table::cell(backpressure.admitted[ids.s2]),
+                 util::Table::cell(backpressure.utility)});
   table.print(std::cout);
 
   // How S1 splits over the replicated operators (task B on servers 2 and 3,
-  // task C on servers 4 and 5).
+  // task C on servers 4 and 5). The physical-network view lives in
+  // SolveResult::allocation for backends that emit a routing.
+  const core::PhysicalAllocation& galloc = *gradient.allocation;
   const auto& g = net.graph();
   const auto flow = [&](stream::NodeId a, stream::NodeId b) {
     const auto link = g.find_edge(a, b);

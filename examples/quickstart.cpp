@@ -7,12 +7,10 @@
 
 #include <cstdio>
 
-#include "core/optimizer.hpp"
+#include "solver/registry.hpp"
 #include "stream/model.hpp"
 #include "stream/validate.hpp"
 #include "util/table.hpp"
-#include "xform/extended_graph.hpp"
-#include "xform/lp_reference.hpp"
 
 #include <iostream>
 
@@ -43,21 +41,25 @@ int main() {
 
   // 3. Transform (Section 3): bandwidth nodes unify link and CPU limits;
   //    dummy nodes turn admission control into routing. A small penalty
-  //    epsilon keeps the barrier-induced optimality gap tight.
+  //    epsilon keeps the barrier-induced optimality gap tight. The
+  //    solver::Problem caches the transformation for every backend.
   xform::PenaltyConfig penalty;
   penalty.epsilon = 0.05;
-  const xform::ExtendedGraph xg(net, penalty);
+  const solver::Problem problem(net, penalty);
 
-  // 4. Run the distributed gradient algorithm (Section 5).
-  core::GradientOptions options;
+  // 4. Run the distributed gradient algorithm (Section 5) through the
+  //    solver registry — swap the name for "lp", "distributed",
+  //    "backpressure", or "fw" (or a pipeline like "lp,gradient") to try
+  //    another backend on the same Problem.
+  const auto& registry = solver::SolverRegistry::instance();
+  solver::SolveOptions options;
   options.eta = 0.2;
   options.max_iterations = 2000;
-  core::GradientOptimizer optimizer(xg, options);
-  optimizer.run();
+  const auto result = registry.solve("gradient", problem, options);
 
   // 5. Compare against the centralized LP optimum and print the allocation.
-  const auto reference = xform::solve_reference(xg);
-  const auto alloc = optimizer.allocation();
+  const auto reference = registry.solve("lp", problem, {});
+  const core::PhysicalAllocation& alloc = *result.allocation;
 
   std::printf("quickstart: one stream through ingest(10 cpu) -> 5 bw -> "
               "filter(20 cpu) -> 6 bw -> dashboard\n\n");
@@ -65,9 +67,8 @@ int main() {
   table.add_row({"offered rate (lambda)", util::Table::cell(net.lambda(s))});
   table.add_row({"admitted rate a*", util::Table::cell(alloc.admitted[0])});
   table.add_row({"delivered at sink", util::Table::cell(alloc.delivered[0])});
-  table.add_row({"utility (gradient)", util::Table::cell(optimizer.utility())});
-  table.add_row({"utility (LP optimum)",
-                 util::Table::cell(reference.optimal_utility)});
+  table.add_row({"utility (gradient)", util::Table::cell(result.utility)});
+  table.add_row({"utility (LP optimum)", util::Table::cell(reference.utility)});
   table.add_row({"ingest cpu used / 10",
                  util::Table::cell(alloc.server_usage[source])});
   table.add_row({"filter cpu used / 20",
@@ -77,7 +78,7 @@ int main() {
   table.add_row({"link filter->sink used / 6",
                  util::Table::cell(alloc.link_usage[l_out])});
   table.add_row({"iterations", util::Table::cell(
-                                   static_cast<long long>(optimizer.iterations()))});
+                                   static_cast<long long>(result.iterations))});
   table.print(std::cout);
 
   std::printf("\nThe ingest stage is the bottleneck: 10 cpu / 2 per unit = 5"

@@ -5,10 +5,13 @@
 # tests and the fault-injection tests (faulted runs exercise the
 # deterministic merge path under threads). Phase 3: AddressSanitizer pass
 # over the observability suites (metric shards + trace buffers are raw slot
-# arrays; ASan guards the indexing). Phase 4: the CLI's --trace export must
-# be valid JSON — checked with python's strict parser when available.
-# Sanitizers exit non-zero on any report, which set -e turns into a CI
-# failure.
+# arrays; ASan guards the indexing). Phase 4: solver-parity leg — the
+# unified solver layer's registry/adapter/pipeline suite re-run in
+# isolation, so a parity break is named in the CI log even when earlier
+# phases fail for unrelated reasons. Phase 5: the CLI's --trace and
+# --compare-json exports must be valid JSON — checked with python's strict
+# parser when available. Sanitizers exit non-zero on any report, which
+# set -e turns into a CI failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +32,10 @@ cmake --build --preset asan -j"${jobs}" --target obs_test property_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/property_test
 
+# Solver parity: every registry adapter bit-identical to its optimizer,
+# every backend within tolerance of the LP optimum (tests/solver_test.cpp).
+ctest --preset default -R "AdapterParity|CrossSolverParity|Pipeline"
+
 if command -v python3 >/dev/null 2>&1; then
   trace_file=$(mktemp /tmp/maxutil_trace.XXXXXX.json)
   ./build/tools/maxutil_cli solve examples/scenarios/fair_share.maxutil \
@@ -36,8 +43,15 @@ if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool "${trace_file}" >/dev/null
   rm -f "${trace_file}"
   echo "ci.sh: --trace export parses as strict JSON"
+
+  compare_file=$(mktemp /tmp/maxutil_compare.XXXXXX.json)
+  ./build/tools/maxutil_cli solve examples/scenarios/fair_share.maxutil \
+    --compare-json "${compare_file}" --iters 200 >/dev/null
+  python3 -m json.tool "${compare_file}" >/dev/null
+  rm -f "${compare_file}"
+  echo "ci.sh: --compare-json export parses as strict JSON"
 else
-  echo "ci.sh: python3 not found; skipping --trace JSON check"
+  echo "ci.sh: python3 not found; skipping --trace/--compare-json JSON checks"
 fi
 
 echo "ci.sh: all checks passed"

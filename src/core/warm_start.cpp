@@ -1,5 +1,7 @@
 #include "core/warm_start.hpp"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -61,6 +63,26 @@ EdgeId old_edge_for(const ExtendedGraph& old_xg, const ExtendedGraph& new_xg,
       "transfer_routing: new edge has no pre-surgery counterpart");
 }
 
+/// Blends `routing` toward the always-feasible all-rejected state until
+/// every finite-capacity node is strictly inside guard * C. Returns the
+/// fallback itself when 60 halvings do not suffice (pathological guards).
+RoutingState repair_capacity_feasibility(const ExtendedGraph& xg,
+                                         RoutingState routing,
+                                         double capacity_guard) {
+  const RoutingState fallback = RoutingState::initial(xg);
+  for (int round = 0; round < 60; ++round) {
+    const FlowState flows = compute_flows(xg, routing);
+    bool feasible = true;
+    for (NodeId v = 0; v < xg.node_count() && feasible; ++v) {
+      if (!xg.has_finite_capacity(v)) continue;
+      feasible = flows.f_node[v] < capacity_guard * xg.capacity(v);
+    }
+    if (feasible) return routing;
+    routing.blend_toward(fallback, 0.5);
+  }
+  return fallback;
+}
+
 }  // namespace
 
 RoutingState transfer_routing(const ExtendedGraph& old_xg,
@@ -111,21 +133,50 @@ RoutingState transfer_routing(const ExtendedGraph& old_xg,
          "transfer_routing: produced invalid routing");
 
   // Feasibility repair: redistributed mass can overload a surviving replica
-  // (the failed server's share now funnels through fewer nodes). Blend
-  // toward the always-feasible all-rejected state until strictly inside the
-  // guard.
-  const RoutingState fallback = RoutingState::initial(new_xg);
-  for (int round = 0; round < 60; ++round) {
-    const FlowState flows = compute_flows(new_xg, out);
-    bool feasible = true;
-    for (NodeId v = 0; v < new_xg.node_count() && feasible; ++v) {
-      if (!new_xg.has_finite_capacity(v)) continue;
-      feasible = flows.f_node[v] < capacity_guard * new_xg.capacity(v);
+  // (the failed server's share now funnels through fewer nodes).
+  return repair_capacity_feasibility(new_xg, std::move(out), capacity_guard);
+}
+
+RoutingState routing_from_flows(
+    const ExtendedGraph& xg,
+    const std::vector<std::vector<std::pair<EdgeId, double>>>& flows,
+    double capacity_guard) {
+  ensure(flows.size() == xg.commodity_count(),
+         "routing_from_flows: one flow list per commodity required");
+  RoutingState out(xg);
+  const auto& g = xg.graph();
+  std::vector<double> y(xg.edge_count());
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (const auto& [e, rate] : flows[j]) {
+      ensure(e < xg.edge_count(), "routing_from_flows: edge out of range");
+      ensure(rate >= -1e-9, "routing_from_flows: negative flow");
+      y[e] = std::max(0.0, rate);
     }
-    if (feasible) return out;
-    out.blend_toward(fallback, 0.5);
+    for (const NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j)) continue;
+      std::vector<EdgeId> usable;
+      double total = 0.0;
+      for (const EdgeId e : g.out_edges(v)) {
+        if (!xg.usable(j, e)) continue;
+        usable.push_back(e);
+        total += y[e];
+      }
+      ensure(!usable.empty(),
+             "routing_from_flows: node without usable out-edge");
+      if (total > 1e-12) {
+        for (const EdgeId e : usable) out.set_phi(j, e, y[e] / total);
+      } else {
+        // The flow never reaches this node: any valid split works, and
+        // uniform matches RoutingState::initial's interior convention.
+        const double share = 1.0 / static_cast<double>(usable.size());
+        for (const EdgeId e : usable) out.set_phi(j, e, share);
+      }
+    }
   }
-  return fallback;
+  ensure(out.is_valid(xg, 1e-9),
+         "routing_from_flows: produced invalid routing");
+  return repair_capacity_feasibility(xg, std::move(out), capacity_guard);
 }
 
 }  // namespace maxutil::core

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "core/routing.hpp"
 #include "stream/surgery.hpp"
 #include "xform/extended_graph.hpp"
@@ -31,5 +34,21 @@ RoutingState transfer_routing(const xform::ExtendedGraph& old_xg,
                               const xform::ExtendedGraph& new_xg,
                               const stream::SurgeryResult& surgery,
                               double capacity_guard = 0.999);
+
+/// Reconstructs a valid RoutingState from per-commodity extended-edge flows
+/// (e.g. the LP reference vertex, whose ReferenceSolution::flows has exactly
+/// this shape): phi at each non-sink commodity node is the node's outgoing
+/// flow split, with a uniform fallback where the node carries no flow.
+///
+/// The second warm-start pipe alongside transfer_routing: a vertex of the
+/// *original* constrained polytope typically saturates capacities exactly
+/// (f = C), where the barrier cost is infinite, so the result is blended
+/// toward the all-rejected initial state until every finite-capacity node is
+/// strictly inside guard * C — always a legal optimizer start. Used by the
+/// solver layer's lp -> gradient warm-start chaining (docs/SOLVERS.md).
+RoutingState routing_from_flows(
+    const xform::ExtendedGraph& xg,
+    const std::vector<std::vector<std::pair<graph::EdgeId, double>>>& flows,
+    double capacity_guard = 0.999);
 
 }  // namespace maxutil::core

@@ -430,7 +430,16 @@ double NodeActor::marginal(CommodityId j) const { return state(j).dr_self; }
 DistributedGradientSystem::DistributedGradientSystem(
     const xform::ExtendedGraph& xg, core::GammaOptions gamma,
     RuntimeOptions runtime_options, std::size_t max_staleness)
+    : DistributedGradientSystem(xg, core::RoutingState::initial(xg), gamma,
+                                std::move(runtime_options), max_staleness) {}
+
+DistributedGradientSystem::DistributedGradientSystem(
+    const xform::ExtendedGraph& xg, const core::RoutingState& initial_routing,
+    core::GammaOptions gamma, RuntimeOptions runtime_options,
+    std::size_t max_staleness)
     : xg_(&xg), gamma_(gamma), runtime_(runtime_options) {
+  ensure(initial_routing.is_valid(xg),
+         "DistributedGradientSystem: invalid initial routing");
   actors_.reserve(xg.node_count());
   for (NodeId v = 0; v < xg.node_count(); ++v) {
     auto actor = std::make_unique<NodeActor>(xg, v, gamma);
@@ -454,14 +463,16 @@ DistributedGradientSystem::DistributedGradientSystem(
   }
   for (NodeActor* actor : actors_) actor->set_max_staleness(max_staleness);
   if (runtime_.observing()) obs_register_metrics();
-  // Install the paper's initial routing and bootstrap t/f with one forecast
-  // wave so the first marginal sweep has flows to differentiate.
-  const core::RoutingState initial = core::RoutingState::initial(xg);
+  // Install the starting routing (the paper's all-rejected state unless the
+  // caller warm-starts) and bootstrap t/f with one forecast wave so the
+  // first marginal sweep has flows to differentiate.
   for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
     for (const NodeId v : xg.commodity_nodes(j)) {
       if (v == xg.sink(j)) continue;
       for (const EdgeId e : xg.graph().out_edges(v)) {
-        if (xg.usable(j, e)) actors_[v]->set_phi(j, e, initial.phi(j, e));
+        if (xg.usable(j, e)) {
+          actors_[v]->set_phi(j, e, initial_routing.phi(j, e));
+        }
       }
     }
   }

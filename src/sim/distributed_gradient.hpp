@@ -190,6 +190,18 @@ class DistributedGradientSystem {
                                      RuntimeOptions runtime_options = {},
                                      std::size_t max_staleness = 8);
 
+  /// Starts the actors from a caller-provided routing (e.g. the centralized
+  /// fixed point, or an LP vertex repaired by core::routing_from_flows)
+  /// instead of the paper's all-rejected initial state — the solver layer's
+  /// gradient -> distributed warm-start path. The routing must satisfy the
+  /// RoutingState invariants on `xg`; the bootstrap forecast wave then
+  /// derives consistent traffic/usage state before the first iteration.
+  DistributedGradientSystem(const xform::ExtendedGraph& xg,
+                            const core::RoutingState& initial_routing,
+                            core::GammaOptions gamma = {},
+                            RuntimeOptions runtime_options = {},
+                            std::size_t max_staleness = 8);
+
   /// One full algorithm iteration; returns message rounds consumed.
   std::size_t iterate();
 

@@ -1,0 +1,52 @@
+// Registry adapter for the back-pressure baseline
+// (bp::BackPressureOptimizer, the SIGMETRICS'06 reconstruction). No routing
+// fractions exist in this scheme — admission control arises from buffer
+// overflow — so the adapter emits no routing and cannot be warm-started.
+
+#include <utility>
+
+#include "bp/backpressure.hpp"
+#include "solver/adapters.hpp"
+#include "solver/registry.hpp"
+
+namespace maxutil::solver {
+
+namespace {
+
+SolveResult solve_backpressure(const Problem& problem,
+                               const SolveOptions& options) {
+  bp::BackPressureOptions b;
+  b.record_history = options.record_history;
+  b.buffer_cap_multiplier =
+      options.extra_number("buffer_cap", b.buffer_cap_multiplier);
+  b.step_scale = options.extra_number("step_scale", b.step_scale);
+  b.history_stride = static_cast<std::size_t>(
+      options.extra_number("history_stride", 1.0));
+
+  bp::BackPressureOptimizer opt(problem.extended(), b);
+  opt.run(options.max_iterations != 0 ? options.max_iterations : 5000);
+
+  SolveResult result;
+  result.status = Status::kIterationLimit;
+  result.admitted = opt.admitted_rates();
+  result.utility = opt.utility();
+  result.iterations = opt.iterations();
+  result.metrics = {{"max_budget_violation", opt.max_budget_violation()}};
+  if (options.record_history) result.history = opt.history();
+  return result;
+}
+
+}  // namespace
+
+void register_backpressure_solver(SolverRegistry& registry) {
+  SolverInfo info;
+  info.name = "backpressure";
+  info.description =
+      "back-pressure baseline: buffer potentials, O(1) neighbor messages, "
+      "admission by overflow";
+  info.default_iterations = 5000;
+  info.solve = solve_backpressure;
+  registry.add(std::move(info));
+}
+
+}  // namespace maxutil::solver

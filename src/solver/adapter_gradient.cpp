@@ -1,0 +1,93 @@
+// Registry adapter for the centralized Section-5 gradient optimizer
+// (core::GradientOptimizer). Delegates without changing any numerics: a
+// registry solve with the same knobs is bit-identical to driving the
+// optimizer directly (tests/solver_test.cpp pins this).
+
+#include <cstdio>
+#include <optional>
+#include <sstream>
+
+#include "core/bottleneck.hpp"
+#include "core/optimizer.hpp"
+#include "solver/adapters.hpp"
+#include "solver/registry.hpp"
+#include "util/table.hpp"
+
+namespace maxutil::solver {
+
+namespace {
+
+std::string bottleneck_report(const xform::ExtendedGraph& xg,
+                              const core::GradientOptimizer& opt) {
+  std::ostringstream out;
+  out << "top bottlenecks (barrier prices):\n";
+  util::Table table({"resource", "utilization", "price"});
+  for (const auto& entry : core::bottleneck_report(xg, opt.flows(), 5)) {
+    table.add_row({xg.node_label(entry.node),
+                   util::Table::cell(100.0 * entry.utilization, 1) + "%",
+                   util::Table::cell(entry.price, 4)});
+  }
+  table.print(out);
+  const auto report = opt.optimality();
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "Theorem-2 residuals: sufficient %.2e, stationarity %.2e\n",
+                report.sufficient_violation, report.stationarity_gap);
+  out << line;
+  return out.str();
+}
+
+SolveResult solve_gradient(const Problem& problem,
+                           const SolveOptions& options) {
+  const xform::ExtendedGraph& xg = problem.extended();
+  core::GradientOptions g;
+  g.curvature_scaled = options.curvature_scaled;
+  if (options.curvature_scaled) g.eta = 1.0;
+  if (options.eta > 0.0) g.eta = options.eta;
+  if (options.max_iterations != 0) g.max_iterations = options.max_iterations;
+  g.convergence_tol = options.tolerance;
+  g.record_history = options.record_history;
+  g.capacity_guard = options.extra_number("capacity_guard", g.capacity_guard);
+  g.adaptive_eta = options.extra_number("adaptive_eta", 0.0) != 0.0;
+
+  std::optional<core::GradientOptimizer> opt;
+  if (options.warm_start.has_value()) {
+    opt.emplace(xg, g, *options.warm_start);
+  } else {
+    opt.emplace(xg, g);
+  }
+  opt->run();
+
+  SolveResult result;
+  result.status = (g.convergence_tol > 0.0 &&
+                   opt->iterations() < g.max_iterations)
+                      ? Status::kConverged
+                      : Status::kIterationLimit;
+  result.admitted = opt->admitted();
+  result.utility = opt->utility();
+  result.iterations = opt->iterations();
+  result.node_usage = opt->flows().f_node;
+  result.routing = opt->routing();
+  result.allocation = opt->allocation();
+  result.optimality = opt->optimality();
+  result.metrics = {{"cost", opt->cost()}, {"working_eta", opt->working_eta()}};
+  if (options.record_history) result.history = opt->history();
+  if (options.report) result.report = bottleneck_report(xg, *opt);
+  return result;
+}
+
+}  // namespace
+
+void register_gradient_solver(SolverRegistry& registry) {
+  SolverInfo info;
+  info.name = "gradient";
+  info.description =
+      "centralized Section-5 gradient optimizer (Gamma update, safeguards)";
+  info.default_iterations = 5000;
+  info.supports_warm_start = true;
+  info.emits_routing = true;
+  info.solve = solve_gradient;
+  registry.add(std::move(info));
+}
+
+}  // namespace maxutil::solver

@@ -1,0 +1,56 @@
+#include "solver/solver.hpp"
+
+#include <stdexcept>
+
+#include "stream/validate.hpp"
+#include "util/check.hpp"
+
+namespace maxutil::solver {
+
+Problem::Problem(const stream::StreamNetwork& network,
+                 xform::PenaltyConfig penalty)
+    : network_(&network), xg_(network, penalty) {}
+
+double SolveOptions::extra_number(const std::string& key,
+                                  double fallback) const {
+  const auto it = extra.find(key);
+  if (it == extra.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw util::CheckError("SolveOptions: extra '" + key +
+                           "' is not a number: '" + it->second + "'");
+  }
+}
+
+std::string SolveOptions::extra_text(const std::string& key,
+                                     const std::string& fallback) const {
+  const auto it = extra.find(key);
+  return it == extra.end() ? fallback : it->second;
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kConverged: return "converged";
+    case Status::kIterationLimit: return "iteration-limit";
+    case Status::kRoundLimit: return "round-limit";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kUnbounded: return "unbounded";
+    case Status::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+bool is_usable(Status status) {
+  return status == Status::kConverged || status == Status::kIterationLimit ||
+         status == Status::kRoundLimit;
+}
+
+double SolveResult::metric(const std::string& name, double fallback) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+}  // namespace maxutil::solver

@@ -2,14 +2,20 @@
 // stream-processing scenarios in the text format of src/scenario.
 //
 //   maxutil_cli validate <file>
-//   maxutil_cli solve <file> [--algo gradient|backpressure|lp|fw]
-//                            [--eta X] [--eps X] [--iters N]
+//   maxutil_cli solve <file> [--algo NAME[,NAME...]|help] [--compare]
+//                            [--eta X] [--eps X] [--iters N] [--tol X]
 //   maxutil_cli dot <file> [--extended]
 //   maxutil_cli generate [--servers N] [--commodities J] [--stages K]
 //                        [--lambda X] [--seed S]
 //
-// Exit code 0 on success; 1 on a usage error, parse failure, or (for
-// `validate`) validation errors.
+// `solve` dispatches every algorithm through solver::SolverRegistry —
+// `--algo help` prints the live backend list (gradient, distributed,
+// backpressure, lp, fw, plus anything registered later), a comma-separated
+// spec runs a warm-start solver::Pipeline, and `--compare` races every
+// registered backend on the same scenario.
+//
+// Exit code 0 on success; 1 on a usage error, parse failure, failed solve,
+// or (for `validate`) validation errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,46 +23,51 @@
 #include <iostream>
 #include <map>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "bp/backpressure.hpp"
-#include "core/bottleneck.hpp"
-#include "core/flow.hpp"
-#include "core/optimizer.hpp"
 #include "gen/random_instance.hpp"
 #include "scenario/scenario.hpp"
-#include "sim/distributed_gradient.hpp"
+#include "solver/pipeline.hpp"
+#include "solver/registry.hpp"
 #include "stream/validate.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "xform/extended_graph.hpp"
-#include "xform/lp_reference.hpp"
 
 namespace {
 
 using namespace maxutil;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: maxutil_cli validate <file>\n"
-               "       maxutil_cli solve <file> [--algo gradient|distributed|"
-               "backpressure|lp|fw] [--eta X] [--eps X] [--iters N]"
-               " [--threads T] [--faults SPEC] [--newton] [--report]"
-               " [--metrics FILE] [--trace FILE] [--metrics-report]\n"
-               "         (--threads: actor-runtime workers for"
-               " --algo distributed; 0 = all hardware threads)\n"
-               "         (--faults: inject message faults into --algo"
-               " distributed; SPEC is a comma list of drop=P, delay=A-B,"
-               " dup=P, seed=S, crash=NODE@BEGIN-END, link=FROM-TO@P)\n"
-               "         (--metrics: write the metric registry as CSV;"
-               " --trace: write a chrome://tracing JSON (or CSV if FILE ends"
-               " in .csv); --metrics-report: print the metric catalog —"
-               " all three imply observation, --algo distributed only)\n"
-               "       maxutil_cli dot <file> [--extended]\n"
-               "       maxutil_cli generate [--servers N] [--commodities J]"
-               " [--stages K] [--lambda X] [--seed S]\n");
+  std::fprintf(
+      stderr,
+      "usage: maxutil_cli validate <file>\n"
+      "       maxutil_cli solve <file> [--algo NAME[,NAME...]|help]"
+      " [--compare] [--compare-json FILE]\n"
+      "                            [--eta X] [--eps X] [--iters N] [--tol X]"
+      " [--threads T] [--faults SPEC] [--newton] [--report]\n"
+      "                            [--metrics FILE] [--trace FILE]"
+      " [--metrics-report]\n"
+      "         (--algo: a registered solver — one of %s —\n"
+      "          or a comma-separated warm-start pipeline such as"
+      " 'lp,gradient'; 'help' lists the registry)\n"
+      "         (--compare: run every registered solver on the scenario and"
+      " tabulate utility/iterations/wall time;\n"
+      "          --compare-json FILE additionally writes the table as JSON)\n"
+      "         (--threads: actor-runtime workers for solvers with a"
+      " parallel engine; 0 = all hardware threads)\n"
+      "         (--faults: inject message faults into the distributed"
+      " runtime; SPEC is a comma list of drop=P, delay=A-B,\n"
+      "          dup=P, seed=S, crash=NODE@BEGIN-END, link=FROM-TO@P)\n"
+      "         (--metrics: write the metric registry as CSV; --trace:"
+      " write a chrome://tracing JSON (or CSV if FILE ends\n"
+      "          in .csv); --metrics-report: print the metric catalog —"
+      " all three imply observation)\n"
+      "       maxutil_cli dot <file> [--extended]\n"
+      "       maxutil_cli generate [--servers N] [--commodities J]"
+      " [--stages K] [--lambda X] [--seed S]\n",
+      solver::SolverRegistry::instance().names_joined().c_str());
   return 1;
 }
 
@@ -71,7 +82,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
     }
     key = key.substr(2);
     if (key == "extended" || key == "report" || key == "newton" ||
-        key == "metrics-report") {
+        key == "metrics-report" || key == "compare") {
       flags[key] = "1";
     } else {
       if (i + 1 >= argc) {
@@ -99,190 +110,218 @@ int cmd_validate(const std::string& path) {
   return report.ok() ? 0 : 1;
 }
 
+/// `--algo help`: the live registry, with capabilities and defaults.
+int print_solver_help() {
+  const auto& registry = solver::SolverRegistry::instance();
+  util::Table table({"solver", "default iters", "capabilities", "description"});
+  for (const solver::SolverInfo& info : registry.solvers()) {
+    std::string caps;
+    const auto tag = [&caps](bool on, const char* name) {
+      if (!on) return;
+      if (!caps.empty()) caps += " ";
+      caps += name;
+    };
+    tag(info.supports_warm_start, "warm-start");
+    tag(info.supports_threads, "threads");
+    tag(info.supports_observation, "observe");
+    tag(info.emits_routing, "routing");
+    table.add_row({info.name,
+                   info.default_iterations == 0
+                       ? std::string("-")
+                       : util::Table::cell(static_cast<long long>(
+                             info.default_iterations)),
+                   caps.empty() ? "-" : caps, info.description});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npipelines: --algo A,B,... chains solvers left to right, warm-"
+      "starting each stage\nfrom the previous stage's routing when supported"
+      " (e.g. --algo lp,gradient).\nSee docs/SOLVERS.md for the contract.\n");
+  return 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// `--compare`: every registered solver on the same Problem; console table
+/// plus optional machine-readable JSON.
+int run_compare(const solver::Problem& problem,
+                const solver::SolveOptions& options, const std::string& path,
+                const std::map<std::string, std::string>& flags) {
+  const auto& registry = solver::SolverRegistry::instance();
+  util::Table table({"solver", "status", "utility", "iterations", "wall s"});
+  std::vector<std::pair<std::string, solver::SolveResult>> results;
+  for (const solver::SolverInfo& info : registry.solvers()) {
+    auto result = registry.solve(info.name, problem, options);
+    table.add_row(
+        {info.name, solver::to_string(result.status),
+         util::Table::cell(result.utility, 6),
+         util::Table::cell(static_cast<long long>(result.iterations)),
+         util::Table::cell(result.wall_seconds, 4)});
+    results.emplace_back(info.name, std::move(result));
+  }
+  table.print(std::cout);
+
+  if (flags.count("compare-json") != 0) {
+    const std::string& file = flags.at("compare-json");
+    std::ofstream out(file);
+    util::ensure(out.good(), "cannot open --compare-json file " + file);
+    char buf[64];
+    out << "{\n  \"scenario\": \"" << json_escape(path) << "\",\n"
+        << "  \"epsilon\": "
+        << (std::snprintf(buf, sizeof(buf), "%.10g",
+                          problem.extended().penalty_config().epsilon),
+            buf)
+        << ",\n  \"solvers\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& [name, r] = results[i];
+      out << "    {\"name\": \"" << name << "\", \"status\": \""
+          << solver::to_string(r.status) << "\", ";
+      std::snprintf(buf, sizeof(buf), "%.10g", r.utility);
+      out << "\"utility\": " << buf << ", \"iterations\": " << r.iterations
+          << ", ";
+      std::snprintf(buf, sizeof(buf), "%.6g", r.wall_seconds);
+      out << "\"wall_seconds\": " << buf << ", \"admitted\": [";
+      for (std::size_t j = 0; j < r.admitted.size(); ++j) {
+        std::snprintf(buf, sizeof(buf), "%.10g", r.admitted[j]);
+        out << (j == 0 ? "" : ", ") << buf;
+      }
+      out << "], \"metrics\": {";
+      for (std::size_t j = 0; j < r.metrics.size(); ++j) {
+        std::snprintf(buf, sizeof(buf), "%.10g", r.metrics[j].second);
+        out << (j == 0 ? "" : ", ") << "\"" << json_escape(r.metrics[j].first)
+            << "\": " << buf;
+      }
+      out << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    util::ensure(out.good(), "write to --compare-json file failed: " + file);
+    std::fprintf(stderr, "wrote solver comparison JSON to %s\n", file.c_str());
+  }
+  return 0;
+}
+
 int cmd_solve(const std::string& path,
               const std::map<std::string, std::string>& flags) {
+  const std::string algo =
+      flags.count("algo") != 0 ? flags.at("algo") : "gradient";
+  if (algo == "help") return print_solver_help();
+
   const auto net = scenario::load_file(path);
   stream::validate_or_throw(net);
   xform::PenaltyConfig penalty;
   penalty.epsilon = flag_number(flags, "eps", 0.1);
-  const xform::ExtendedGraph xg(net, penalty);
-  const std::string algo =
-      flags.count("algo") != 0 ? flags.at("algo") : "gradient";
-  const auto iters =
-      static_cast<std::size_t>(flag_number(flags, "iters", 5000));
+  const solver::Problem problem(net, penalty);
 
   const bool want_obs = flags.count("metrics") != 0 ||
                         flags.count("trace") != 0 ||
                         flags.count("metrics-report") != 0;
-  if (want_obs && algo != "distributed") {
-    std::fprintf(stderr,
-                 "warning: --metrics/--trace/--metrics-report instrument the "
-                 "actor runtime and require --algo distributed; ignored\n");
+  solver::SolveOptions options;
+  options.eta =
+      flag_number(flags, "eta", flags.count("newton") != 0 ? 1.0 : 0.05);
+  options.max_iterations =
+      static_cast<std::size_t>(flag_number(flags, "iters", 0));
+  options.tolerance = flag_number(flags, "tol", 0.0);
+  options.curvature_scaled = flags.count("newton") != 0;
+  const double threads = flag_number(flags, "threads", 1);
+  options.threads =
+      threads <= 0 ? 0 : static_cast<std::size_t>(threads);
+  options.report = flags.count("report") != 0;
+  options.observe = want_obs;
+  if (flags.count("faults") != 0) options.extra["faults"] = flags.at("faults");
+
+  if (flags.count("compare") != 0 || flags.count("compare-json") != 0) {
+    return run_compare(problem, options, path, flags);
   }
 
-  std::vector<double> admitted(net.commodity_count(), 0.0);
-  double utility = 0.0;
-  if (algo == "gradient") {
-    core::GradientOptions options;
-    options.eta = flag_number(flags, "eta", 0.05);
-    options.max_iterations = iters;
-    options.record_history = false;
-    options.curvature_scaled = flags.count("newton") != 0;
-    if (options.curvature_scaled) options.eta = flag_number(flags, "eta", 1.0);
-    core::GradientOptimizer opt(xg, options);
-    opt.run();
-    admitted = opt.admitted();
-    utility = opt.utility();
-    if (flags.count("report") != 0) {
-      std::printf("top bottlenecks (barrier prices):\n");
-      util::Table bt({"resource", "utilization", "price"});
-      for (const auto& entry :
-           core::bottleneck_report(xg, opt.flows(), 5)) {
-        bt.add_row({xg.node_label(entry.node),
-                    util::Table::cell(100.0 * entry.utilization, 1) + "%",
-                    util::Table::cell(entry.price, 4)});
-      }
-      bt.print(std::cout);
-      const auto report = opt.optimality();
-      std::printf("Theorem-2 residuals: sufficient %.2e, stationarity %.2e\n\n",
-                  report.sufficient_violation, report.stationarity_gap);
-    }
-  } else if (algo == "distributed") {
-    // The Section-5 algorithm as real message-passing actors on the
-    // parallel deterministic runtime; results match --algo gradient when
-    // the safeguard never engages, and are thread-count independent.
-    core::GammaOptions gopts;
-    gopts.eta = flag_number(flags, "eta", 0.05);
-    sim::RuntimeOptions ropts;
-    const double threads = flag_number(flags, "threads", 1);
-    ropts.num_threads =
-        threads <= 0
-            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-            : static_cast<std::size_t>(threads);
-    if (flags.count("faults") != 0) {
-      ropts.faults = sim::parse_fault_spec(flags.at("faults"));
-    }
-    ropts.observe = want_obs;
-    const auto dist_iters =
-        static_cast<std::size_t>(flag_number(flags, "iters", 500));
-    sim::DistributedGradientSystem system(xg, gopts, ropts);
-    system.run(dist_iters);
-    const auto flows = core::compute_flows(xg, system.routing_snapshot());
-    for (stream::CommodityId j = 0; j < net.commodity_count(); ++j) {
-      admitted[j] = core::admitted_rate(xg, flows, j);
-    }
-    utility = core::total_utility(xg, flows);
-    if (!system.last_iteration_converged()) {
-      std::fprintf(stderr,
-                   "warning: last iteration's wave did not quiesce within "
-                   "the round budget\n");
-    }
-    if (flags.count("report") != 0) {
-      const auto& rt = system.runtime();
-      std::printf("runtime telemetry (%zu thread%s):\n", ropts.num_threads,
-                  ropts.num_threads == 1 ? "" : "s");
-      std::printf("  rounds %zu, messages %zu, payload doubles %zu\n",
-                  rt.rounds(), rt.delivered_messages(),
-                  rt.delivered_payload_doubles());
-      const std::size_t pool_total =
-          rt.payload_pool_reuses() + rt.payload_pool_allocations();
-      std::printf("  payload pool: %zu acquisitions, %.1f%% recycled\n",
-                  pool_total,
-                  pool_total == 0 ? 0.0
-                                  : 100.0 *
-                                        static_cast<double>(
-                                            rt.payload_pool_reuses()) /
-                                        static_cast<double>(pool_total));
-      if (rt.options().faults.enabled()) {
-        std::printf("  fault plan: %s\n",
-                    sim::describe(rt.options().faults).c_str());
-        std::printf(
-            "  faults: %zu dropped, %zu duplicated, %zu delayed, "
-            "%zu crashes\n",
-            rt.fault_dropped_messages(), rt.fault_duplicated_messages(),
-            rt.fault_delayed_messages(), rt.fault_crashes());
-        std::printf("  staleness: %zu held updates, max input age %zu waves\n",
-                    system.held_updates(), system.max_input_staleness());
-      }
-      std::printf("  %.3fs in rounds (%.1f rounds/s)\n\n",
-                  rt.total_round_seconds(),
-                  static_cast<double>(rt.rounds()) /
-                      std::max(1e-12, rt.total_round_seconds()));
-    }
-    if (want_obs) {
-      const obs::Observability* o = system.runtime().observability();
-      if (o == nullptr) {
-        std::fprintf(stderr,
-                     "warning: this build compiled the observability layer "
-                     "out (MAXUTIL_OBS_OFF); no metrics/trace written\n");
-      } else {
-        if (flags.count("metrics") != 0) {
-          const std::string& file = flags.at("metrics");
-          std::ofstream out(file);
-          util::ensure(out.good(), "cannot open --metrics file " + file);
-          o->metrics.write_csv(out);
-          std::fprintf(stderr, "wrote metrics CSV to %s\n", file.c_str());
-        }
-        if (flags.count("trace") != 0) {
-          const std::string& file = flags.at("trace");
-          std::ofstream out(file);
-          util::ensure(out.good(), "cannot open --trace file " + file);
-          const bool csv =
-              file.size() >= 4 && file.compare(file.size() - 4, 4, ".csv") == 0;
-          if (csv) {
-            o->tracer.write_csv(out);
-          } else {
-            o->tracer.write_chrome_json(out);
-          }
-          std::fprintf(stderr, "wrote %s trace (%zu events) to %s\n",
-                       csv ? "CSV" : "chrome://tracing", o->tracer.events().size(),
-                       file.c_str());
-        }
-        if (flags.count("metrics-report") != 0) {
-          std::printf("metric catalog:\n%s\n", o->metrics.report().c_str());
-        }
-      }
-    }
-  } else if (algo == "backpressure") {
-    bp::BackPressureOptions options;
-    options.record_history = false;
-    bp::BackPressureOptimizer opt(xg, options);
-    opt.run(iters);
-    admitted = opt.admitted_rates();
-    utility = opt.utility();
-  } else if (algo == "lp") {
-    const auto reference = xform::solve_reference(xg);
-    if (reference.status != lp::LpStatus::kOptimal) {
-      std::fprintf(stderr, "LP solve failed: %s\n",
-                   lp::to_string(reference.status));
-      return 1;
-    }
-    admitted = reference.admitted;
-    utility = reference.optimal_utility;
-  } else if (algo == "fw") {
-    const auto reference = xform::solve_reference_frank_wolfe(xg, iters);
-    if (reference.status != lp::LpStatus::kOptimal) {
-      std::fprintf(stderr, "Frank-Wolfe solve failed: %s\n",
-                   lp::to_string(reference.status));
-      return 1;
-    }
-    admitted = reference.admitted;
-    utility = reference.utility;
-    std::printf("duality gap: %.3g\n", reference.duality_gap);
-  } else {
-    std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
+  const auto pipeline = solver::Pipeline::parse(algo);
+  if (want_obs &&
+      !pipeline.any_stage(&solver::SolverInfo::supports_observation)) {
+    std::fprintf(stderr,
+                 "warning: --metrics/--trace/--metrics-report instrument the "
+                 "actor runtime and require a solver with the observe "
+                 "capability (see --algo help); ignored\n");
+  }
+  const auto result = pipeline.run(problem, options);
+
+  for (const std::string& warning : result.warnings) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
+  if (!solver::is_usable(result.status)) {
+    std::fprintf(stderr, "%s\n",
+                 result.message.empty() ? "solve failed" : result.message.c_str());
     return 1;
+  }
+
+  if (!result.report.empty()) {
+    std::fputs(result.report.c_str(), stdout);
+    std::printf("\n");
+  }
+
+  if (result.obs.has_value()) {
+    const solver::ObsSnapshot& obs = *result.obs;
+    if (flags.count("metrics") != 0) {
+      const std::string& file = flags.at("metrics");
+      std::ofstream out(file);
+      util::ensure(out.good(), "cannot open --metrics file " + file);
+      out << obs.metrics_csv;
+      std::fprintf(stderr, "wrote metrics CSV to %s\n", file.c_str());
+    }
+    if (flags.count("trace") != 0) {
+      const std::string& file = flags.at("trace");
+      std::ofstream out(file);
+      util::ensure(out.good(), "cannot open --trace file " + file);
+      const bool csv =
+          file.size() >= 4 && file.compare(file.size() - 4, 4, ".csv") == 0;
+      out << (csv ? obs.trace_csv : obs.trace_chrome_json);
+      std::fprintf(stderr, "wrote %s trace (%zu events) to %s\n",
+                   csv ? "CSV" : "chrome://tracing", obs.trace_events,
+                   file.c_str());
+    }
+    if (flags.count("metrics-report") != 0) {
+      std::printf("metric catalog:\n%s\n", obs.metrics_report.c_str());
+    }
+  }
+
+  for (const std::string& note : result.notes) {
+    std::printf("%s\n", note.c_str());
+  }
+
+  if (result.stages.size() > 1) {
+    std::printf("pipeline stages:\n");
+    util::Table stages({"stage", "status", "utility", "iterations", "wall s"});
+    for (const solver::StageSummary& stage : result.stages) {
+      stages.add_row(
+          {stage.solver, solver::to_string(stage.status),
+           util::Table::cell(stage.utility, 6),
+           util::Table::cell(static_cast<long long>(stage.iterations)),
+           util::Table::cell(stage.wall_seconds, 4)});
+    }
+    stages.print(std::cout);
+    std::printf("\n");
   }
 
   util::Table table({"commodity", "offered", "admitted", "share"});
   for (stream::CommodityId j = 0; j < net.commodity_count(); ++j) {
     table.add_row({net.commodity_name(j), util::Table::cell(net.lambda(j)),
-                   util::Table::cell(admitted[j]),
-                   util::Table::cell(100.0 * admitted[j] / net.lambda(j), 1) +
+                   util::Table::cell(result.admitted[j]),
+                   util::Table::cell(100.0 * result.admitted[j] / net.lambda(j),
+                                     1) +
                        "%"});
   }
   table.print(std::cout);
-  std::printf("total utility (%s): %.6f\n", algo.c_str(), utility);
+  std::printf("total utility (%s): %.6f\n", pipeline.spec().c_str(),
+              result.utility);
   return 0;
 }
 
