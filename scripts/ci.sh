@@ -8,10 +8,12 @@
 # arrays; ASan guards the indexing). Phase 4: solver-parity leg — the
 # unified solver layer's registry/adapter/pipeline suite re-run in
 # isolation, so a parity break is named in the CI log even when earlier
-# phases fail for unrelated reasons. Phase 5: the CLI's --trace and
-# --compare-json exports must be valid JSON — checked with python's strict
-# parser when available. Sanitizers exit non-zero on any report, which
-# set -e turns into a CI failure.
+# phases fail for unrelated reasons. Phase 5: churn-controller leg — the
+# ctrl/churn suites re-run in isolation, plus a bench_churn smoke run whose
+# JSON artifact must parse. Phase 6: the CLI's --trace and --compare-json
+# exports must be valid JSON — checked with python's strict parser when
+# available. Sanitizers exit non-zero on any report, which set -e turns
+# into a CI failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,9 +25,11 @@ ctest --preset default
 
 cmake --preset tsan
 cmake --build --preset tsan -j"${jobs}" \
-  --target runtime_parallel_test fault_test
+  --target runtime_parallel_test fault_test ctrl_test
 ./build-tsan/tests/runtime_parallel_test
 ./build-tsan/tests/fault_test
+# The churn controller drives the threaded distributed pipeline per event.
+./build-tsan/tests/ctrl_test
 
 cmake --preset asan
 cmake --build --preset asan -j"${jobs}" --target obs_test property_test
@@ -35,6 +39,18 @@ cmake --build --preset asan -j"${jobs}" --target obs_test property_test
 # Solver parity: every registry adapter bit-identical to its optimizer,
 # every backend within tolerance of the LP optimum (tests/solver_test.cpp).
 ctest --preset default -R "AdapterParity|CrossSolverParity|Pipeline"
+
+# Churn-controller leg: the plan/controller suites in isolation, then the
+# E17 smoke bench — its shape checks fail the run and its JSON must parse.
+ctest --preset default -R "ChurnPlan|Controller"
+cmake --build --preset default -j"${jobs}" --target bench_churn
+churn_dir=$(mktemp -d /tmp/maxutil_churn.XXXXXX)
+MAXUTIL_RESULTS_DIR="${churn_dir}" ./build/bench/bench_churn --smoke
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${churn_dir}/BENCH_churn.json" >/dev/null
+  echo "ci.sh: BENCH_churn.json parses as strict JSON"
+fi
+rm -rf "${churn_dir}"
 
 if command -v python3 >/dev/null 2>&1; then
   trace_file=$(mktemp /tmp/maxutil_trace.XXXXXX.json)

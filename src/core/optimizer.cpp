@@ -1,6 +1,7 @@
 #include "core/optimizer.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -16,6 +17,18 @@ bool within_guard(const xform::ExtendedGraph& xg, const FlowState& flows,
   for (NodeId v = 0; v < xg.node_count(); ++v) {
     if (!xg.has_finite_capacity(v)) continue;
     if (flows.f_node[v] >= guard * xg.capacity(v)) return false;
+  }
+  return true;
+}
+
+/// True when utility/cost and every node's routed mass are finite. The
+/// barrier keeps feasible states finite (within_guard implies z < C), so a
+/// non-finite value here is genuine divergence — e.g. an unbounded utility
+/// evaluating to inf - inf — not a barrier touch.
+bool finite_flows(const FlowState& flows) {
+  if (!std::isfinite(flows.cost())) return false;
+  for (const double f : flows.f_node) {
+    if (!std::isfinite(f)) return false;
   }
   return true;
 }
@@ -65,6 +78,14 @@ void GradientOptimizer::refresh_flows() {
 }
 
 double GradientOptimizer::step() {
+  if (diverged_) return 0.0;
+  if (!finite_flows(flows_)) {
+    // The current state is already non-finite (a warm start or the very
+    // first flow computation produced inf - inf): refuse to iterate on NaNs.
+    diverged_ = true;
+    divergence_iteration_ = iterations_;
+    return 0.0;
+  }
   const MarginalCosts marginals = compute_marginals(*xg_, routing_, flows_);
 
   GammaOptions gamma_options;
@@ -89,7 +110,12 @@ double GradientOptimizer::step() {
   FlowState candidate_flows = compute_flows(*xg_, candidate);
   std::size_t damping = 0;
   double alpha = 1.0;
-  while (!within_guard(*xg_, candidate_flows, options_.capacity_guard) ||
+  // A non-finite candidate is damped like a guard violation (NaN compares
+  // false everywhere, so without this clause it would slip through and
+  // commit); if damping never recovers a finite step, the iteration is
+  // rejected below like any other failed step.
+  while (!finite_flows(candidate_flows) ||
+         !within_guard(*xg_, candidate_flows, options_.capacity_guard) ||
          (options_.enforce_cost_decrease &&
           candidate_flows.cost() > current_cost + 1e-12)) {
     if (++damping > options_.max_damping_rounds) {
@@ -131,6 +157,7 @@ std::size_t GradientOptimizer::run() {
   std::size_t steps = 0;
   while (steps < options_.max_iterations) {
     const double delta = step();
+    if (diverged_) break;
     ++steps;
     if (options_.convergence_tol > 0.0 && delta < options_.convergence_tol) {
       break;

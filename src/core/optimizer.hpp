@@ -109,6 +109,16 @@ class GradientOptimizer {
   /// The eta currently in force (equals options.eta unless adaptive_eta).
   double working_eta() const { return working_eta_; }
 
+  /// True when an iteration produced non-finite utility or routing mass
+  /// (e.g. an unbounded utility evaluating to inf - inf). Once set, step()
+  /// and run() are no-ops: the optimizer refuses to iterate on NaNs, and the
+  /// solver layer surfaces Status::kFailed with divergence_iteration().
+  bool diverged() const { return diverged_; }
+
+  /// Iteration index at which divergence was detected (0 when the initial
+  /// state was already non-finite). Meaningful only when diverged().
+  std::size_t divergence_iteration() const { return divergence_iteration_; }
+
   /// Theorem-2 residuals at the current state.
   OptimalityReport optimality() const;
 
@@ -129,6 +139,8 @@ class GradientOptimizer {
   std::size_t iterations_ = 0;
   double working_eta_ = 0.0;
   std::size_t clean_steps_ = 0;
+  bool diverged_ = false;
+  std::size_t divergence_iteration_ = 0;
   util::TimeSeries history_;
 };
 

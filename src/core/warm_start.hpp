@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,47 @@ RoutingState transfer_routing(const xform::ExtendedGraph& old_xg,
                               const xform::ExtendedGraph& new_xg,
                               const stream::SurgeryResult& surgery,
                               double capacity_guard = 0.999);
+
+/// Tolerant sibling of transfer_routing for the churn controller: remaps
+/// `old_routing` across arbitrary surgery maps (old network -> new network,
+/// e.g. from stream::compose_maps) where — unlike the shrink-only
+/// without_server case — the new network may contain entities with *no*
+/// pre-surgery counterpart (a restored server's links, a newly arrived
+/// commodity).
+///
+/// * New commodities without an old counterpart start at the all-rejected
+///   convention of RoutingState::initial (all mass on the dummy difference
+///   link, uniform at interior nodes).
+/// * New edges without an old counterpart contribute zero mass; nodes whose
+///   entire mass landed on such edges fall back to uniform (all-rejected at
+///   dummy sources).
+/// * The result is repaired to strict capacity feasibility like
+///   transfer_routing.
+///
+/// Returns nullopt instead of throwing when the maps are inconsistent with
+/// the graphs — the controller's cue to fall back to a cold start rather
+/// than abort the churn run.
+///
+/// With `repair = false` the remapped routing is returned as-is (valid, but
+/// possibly violating the capacity guard) so the caller can apply its own
+/// degradation policy — e.g. the churn controller's `priority` policy sheds
+/// whole commodities instead of blending everyone proportionally.
+std::optional<RoutingState> remap_routing(const xform::ExtendedGraph& old_xg,
+                                          const RoutingState& old_routing,
+                                          const xform::ExtendedGraph& new_xg,
+                                          const stream::EntityMaps& maps,
+                                          double capacity_guard = 0.999,
+                                          bool repair = true);
+
+/// Blends `routing` toward the all-rejected initial state until every
+/// finite-capacity node is strictly inside guard * C (the `proportional`
+/// degradation policy: every commodity sheds the same fraction). Returns the
+/// initial state itself when 60 halvings do not suffice. This is the repair
+/// pass transfer_routing/routing_from_flows/remap_routing run internally,
+/// exported for callers that defer it (remap_routing with repair = false).
+RoutingState repair_capacity_feasibility(const xform::ExtendedGraph& xg,
+                                         RoutingState routing,
+                                         double capacity_guard = 0.999);
 
 /// Reconstructs a valid RoutingState from per-commodity extended-edge flows
 /// (e.g. the LP reference vertex, whose ReferenceSolution::flows has exactly

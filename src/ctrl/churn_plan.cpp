@@ -1,0 +1,202 @@
+#include "ctrl/churn_plan.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace maxutil::ctrl {
+
+using maxutil::util::ensure;
+
+const char* to_string(ChurnEventKind kind) {
+  switch (kind) {
+    case ChurnEventKind::kCrash: return "crash";
+    case ChurnEventKind::kRestore: return "restore";
+    case ChurnEventKind::kCapScale: return "cap";
+    case ChurnEventKind::kBwScale: return "bw";
+    case ChurnEventKind::kArrive: return "arrive";
+    case ChurnEventKind::kDepart: return "depart";
+  }
+  return "?";
+}
+
+std::string ChurnEvent::describe() const {
+  std::ostringstream out;
+  out << to_string(kind) << "=";
+  switch (kind) {
+    case ChurnEventKind::kCrash:
+    case ChurnEventKind::kRestore:
+      out << node;
+      break;
+    case ChurnEventKind::kCapScale:
+      out << node << "*" << factor;
+      break;
+    case ChurnEventKind::kBwScale:
+      out << from << "-" << to << "*" << factor;
+      break;
+    case ChurnEventKind::kArrive:
+      out << commodity;
+      if (factor != 1.0) out << "*" << factor;
+      break;
+    case ChurnEventKind::kDepart:
+      out << commodity;
+      break;
+  }
+  out << "@" << time;
+  return out.str();
+}
+
+void ChurnPlan::validate() const {
+  for (const ChurnEvent& event : events) {
+    std::ostringstream what;
+    what << "churn plan: event '" << event.describe() << "' ";
+    switch (event.kind) {
+      case ChurnEventKind::kCrash:
+      case ChurnEventKind::kRestore:
+        ensure(!event.node.empty(), what.str() + "has an empty node");
+        break;
+      case ChurnEventKind::kCapScale:
+        ensure(!event.node.empty(), what.str() + "has an empty node");
+        ensure(std::isfinite(event.factor) && event.factor > 0,
+               what.str() + "needs a positive finite factor");
+        break;
+      case ChurnEventKind::kBwScale:
+        ensure(!event.from.empty() && !event.to.empty(),
+               what.str() + "has an empty endpoint");
+        ensure(std::isfinite(event.factor) && event.factor > 0,
+               what.str() + "needs a positive finite factor");
+        break;
+      case ChurnEventKind::kArrive:
+        ensure(!event.commodity.empty(), what.str() + "has an empty commodity");
+        ensure(std::isfinite(event.factor) && event.factor > 0,
+               what.str() + "needs a positive finite factor");
+        break;
+      case ChurnEventKind::kDepart:
+        ensure(!event.commodity.empty(), what.str() + "has an empty commodity");
+        break;
+    }
+  }
+}
+
+std::string ChurnPlan::describe() const {
+  std::string out;
+  for (const ChurnEvent& event : events) {
+    if (!out.empty()) out += ",";
+    out += event.describe();
+  }
+  return out;
+}
+
+namespace {
+
+double parse_factor(const std::string& text, const std::string& entry) {
+  std::size_t used = 0;
+  double value = -1.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (...) {
+    ensure(false, "churn plan: bad factor in '" + entry + "'");
+  }
+  ensure(used == text.size(),
+         "churn plan: trailing junk after factor in '" + entry + "'");
+  return value;
+}
+
+std::size_t parse_time(const std::string& text, const std::string& entry) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  ensure(ec == std::errc{} && ptr == text.data() + text.size(),
+         "churn plan: bad time in '" + entry + "' (want @<non-negative int>)");
+  return value;
+}
+
+/// Splits "NAME*F" into (NAME, F); factor defaults to 1 when `require` is
+/// false and no '*' is present.
+std::pair<std::string, double> split_factor(const std::string& text,
+                                            const std::string& entry,
+                                            bool require) {
+  const std::size_t star = text.rfind('*');
+  if (star == std::string::npos) {
+    ensure(!require, "churn plan: '" + entry + "' needs a *FACTOR");
+    return {text, 1.0};
+  }
+  return {text.substr(0, star), parse_factor(text.substr(star + 1), entry)};
+}
+
+}  // namespace
+
+ChurnPlan parse_churn_plan(const std::string& spec) {
+  ChurnPlan plan;
+  std::stringstream stream(spec);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    // Trim surrounding spaces so "crash=a@1, restore=a@3" parses.
+    while (!entry.empty() && entry.front() == ' ') entry.erase(entry.begin());
+    while (!entry.empty() && entry.back() == ' ') entry.pop_back();
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    ensure(eq != std::string::npos,
+           "churn plan: entry '" + entry + "' is not key=value@T");
+    const std::string key = entry.substr(0, eq);
+    std::string value = entry.substr(eq + 1);
+
+    const std::size_t at = value.rfind('@');
+    ensure(at != std::string::npos,
+           "churn plan: entry '" + entry + "' is missing its @T time");
+    ChurnEvent event;
+    event.time = parse_time(value.substr(at + 1), entry);
+    value = value.substr(0, at);
+    ensure(!value.empty(), "churn plan: entry '" + entry + "' has no entity");
+
+    if (key == "crash" || key == "restore") {
+      event.kind = key == "crash" ? ChurnEventKind::kCrash
+                                  : ChurnEventKind::kRestore;
+      event.node = value;
+    } else if (key == "cap") {
+      event.kind = ChurnEventKind::kCapScale;
+      const auto [name, factor] = split_factor(value, entry, /*require=*/true);
+      ensure(!name.empty(), "churn plan: entry '" + entry + "' has no node");
+      event.node = name;
+      event.factor = factor;
+    } else if (key == "bw") {
+      event.kind = ChurnEventKind::kBwScale;
+      const auto [pair, factor] = split_factor(value, entry, /*require=*/true);
+      const std::size_t dash = pair.find('-');
+      ensure(dash != std::string::npos,
+             "churn plan: entry '" + entry + "' needs FROM-TO endpoints");
+      event.from = pair.substr(0, dash);
+      event.to = pair.substr(dash + 1);
+      ensure(!event.from.empty() && !event.to.empty(),
+             "churn plan: entry '" + entry + "' has an empty endpoint");
+      event.factor = factor;
+    } else if (key == "arrive") {
+      event.kind = ChurnEventKind::kArrive;
+      const auto [name, factor] = split_factor(value, entry, /*require=*/false);
+      ensure(!name.empty(),
+             "churn plan: entry '" + entry + "' has no commodity");
+      event.commodity = name;
+      event.factor = factor;
+    } else if (key == "depart") {
+      event.kind = ChurnEventKind::kDepart;
+      event.commodity = value;
+    } else {
+      ensure(false, "churn plan: unknown key '" + key + "' in '" + entry +
+                        "' (want crash/restore/cap/bw/arrive/depart)");
+    }
+    plan.events.push_back(std::move(event));
+  }
+  // Stable by-time order: same-time events keep their spec order.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.time < b.time;
+                   });
+  plan.validate();
+  return plan;
+}
+
+}  // namespace maxutil::ctrl

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace maxutil::ctrl {
+
+/// One topology-churn event kind (docs/CONTROLLER.md §2).
+enum class ChurnEventKind {
+  kCrash,     // crash=NODE@T       : fail-stop a server (reversible)
+  kRestore,   // restore=NODE@T     : bring a crashed server back
+  kCapScale,  // cap=NODE*F@T       : scale computing power to F * current
+  kBwScale,   // bw=FROM-TO*F@T     : scale every FROM->TO link's bandwidth
+  kArrive,    // arrive=J@T, arrive=J*F@T : (re-)admit commodity J, lambda*F
+  kDepart,    // depart=J@T         : withdraw commodity J
+};
+
+const char* to_string(ChurnEventKind kind);
+
+/// One parsed event. Entity fields name *baseline* entities (the network the
+/// controller was constructed with): node/commodity names, or decimal ids.
+/// Which fields are meaningful depends on `kind`.
+struct ChurnEvent {
+  ChurnEventKind kind = ChurnEventKind::kCrash;
+  std::size_t time = 0;    // virtual event time (the @T suffix)
+  std::string node;        // crash / restore / cap
+  std::string from, to;    // bw endpoints
+  std::string commodity;   // arrive / depart
+  double factor = 1.0;     // cap / bw / arrive lambda factor
+
+  /// The event in spec form, e.g. "cap=relay*0.5@3".
+  std::string describe() const;
+};
+
+/// A scripted, deterministic churn sequence: the controller replays it
+/// event by event, re-optimizing after each. Parsed from the comma-separated
+/// grammar above (same shape as the PR-2 fault grammar); events are kept in
+/// stable time order, so same-time events apply in spec order.
+struct ChurnPlan {
+  std::vector<ChurnEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Entity-independent checks (factors positive and finite, non-empty
+  /// names); entity resolution happens in the controller against its
+  /// baseline network.
+  void validate() const;
+
+  /// The plan in canonical spec form.
+  std::string describe() const;
+};
+
+/// Parses "crash=n2@1,restore=n2@4,cap=relay*0.5@6,...". Throws
+/// util::CheckError naming the offending entry on any malformed input
+/// (unknown key, missing @T, bad number, empty entity). The empty spec is an
+/// empty plan.
+ChurnPlan parse_churn_plan(const std::string& spec);
+
+}  // namespace maxutil::ctrl

@@ -1,0 +1,602 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "core/flow.hpp"
+#include "core/warm_start.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+#include "xform/lp_reference.hpp"
+
+namespace maxutil::ctrl {
+
+using maxutil::util::ensure;
+
+namespace {
+
+/// Guard mirrored from GradientOptions::capacity_guard: interim points and
+/// warm starts must sit strictly inside guard * C to be legal starts.
+constexpr double kGuard = 0.999;
+
+/// Degraded interim points are shed down to this fraction of capacity, not
+/// to kGuard: a point shaved to sit exactly at the guard starts inside the
+/// steep tail of the barrier, where damping shrinks every step and the
+/// re-solve can be slower than a cold start. The 10% headroom is the
+/// controller's use of the penalty's reserved-capacity margin (the paper's
+/// "faster recovery" remark).
+constexpr double kRepairHeadroom = 0.9;
+
+bool within_guard(const xform::ExtendedGraph& xg,
+                  const core::FlowState& flows, double guard) {
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    if (!xg.has_finite_capacity(v)) continue;
+    if (flows.f_node[v] >= guard * xg.capacity(v)) return false;
+  }
+  return true;
+}
+
+/// Largest f_v - guard * C_v over finite-capacity nodes; <= 0 means the
+/// routing is a strictly feasible optimizer start.
+double guard_violation(const xform::ExtendedGraph& xg,
+                       const core::FlowState& flows) {
+  double worst = -std::numeric_limits<double>::infinity();
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    if (!xg.has_finite_capacity(v)) continue;
+    worst = std::max(worst, flows.f_node[v] - kGuard * xg.capacity(v));
+  }
+  return worst;
+}
+
+/// The `priority` degradation policy: shed whole commodities highest-id
+/// first (later arrivals are lower priority) until the point is strictly
+/// feasible; all-rejected when even one survivor is too much.
+core::RoutingState priority_shed(const xform::ExtendedGraph& xg,
+                                 core::RoutingState routing, double target) {
+  const core::RoutingState initial = core::RoutingState::initial(xg);
+  for (stream::CommodityId j = xg.commodity_count(); j-- > 0;) {
+    for (graph::EdgeId e = 0; e < xg.edge_count(); ++e) {
+      routing.set_phi(j, e, initial.phi(j, e));
+    }
+    if (within_guard(xg, core::compute_flows(xg, routing), target)) {
+      return routing;
+    }
+  }
+  return initial;
+}
+
+std::string status_cell(const EventOutcome& outcome) {
+  if (outcome.exact_restore) return "exact";
+  std::string start = outcome.warm_started ? "warm" : "cold";
+  if (outcome.watchdog_retry) start += "+retry";
+  return start;
+}
+
+}  // namespace
+
+const char* to_string(DegradationPolicy policy) {
+  switch (policy) {
+    case DegradationPolicy::kProportional: return "proportional";
+    case DegradationPolicy::kPriority: return "priority";
+    case DegradationPolicy::kFreeze: return "freeze";
+  }
+  return "?";
+}
+
+DegradationPolicy parse_policy(const std::string& text) {
+  if (text == "proportional") return DegradationPolicy::kProportional;
+  if (text == "priority") return DegradationPolicy::kPriority;
+  if (text == "freeze") return DegradationPolicy::kFreeze;
+  ensure(false, "unknown degradation policy '" + text +
+                    "' (want proportional, priority, or freeze)");
+  return DegradationPolicy::kProportional;
+}
+
+std::string ChurnReport::summary() const {
+  std::ostringstream out;
+  util::Table table({"t", "event", "status", "start", "iters", "recovery",
+                     "utility", "optimum"});
+  for (const EventOutcome& o : events) {
+    table.add_row(
+        {std::to_string(o.event.time), o.event.describe(),
+         solver::to_string(o.status), status_cell(o),
+         std::to_string(o.iterations),
+         o.recovery_iterations == kNotRecovered
+             ? "never"
+             : std::to_string(o.recovery_iterations),
+         util::Table::cell(o.utility_after, 4),
+         util::Table::cell(o.optimum, 4)});
+  }
+  table.print(out);
+  out << "events " << events.size() << ": warm " << warm_starts << ", cold "
+      << cold_starts << ", exact restores " << exact_restores << ", retries "
+      << watchdog_retries << ", failures " << failures << "\n";
+  out << "utility " << initial_utility << " -> " << final_utility << "\n";
+  return out.str();
+}
+
+/// The rebuilt network + baseline->current maps and the solver Problem over
+/// it. Problem points into surgery.network, so a State is pinned on the heap
+/// and never moved once built.
+struct Controller::State {
+  stream::SurgeryResult surgery;
+  std::optional<solver::Problem> problem;
+};
+
+Controller::Controller(const stream::StreamNetwork& baseline,
+                       ControllerOptions options)
+    : options_(std::move(options)),
+      pipeline_(solver::Pipeline::parse(options_.pipeline)) {
+  const solver::SolverInfo* last =
+      solver::SolverRegistry::instance().find(pipeline_.stages().back());
+  ensure(last != nullptr && last->emits_routing,
+         "Controller: pipeline's last stage '" + pipeline_.stages().back() +
+             "' does not emit a routing (needed to warm-start the next event)");
+  if (options_.solve.tolerance <= 0.0) options_.solve.tolerance = 1e-7;
+
+  // Normalize through an identity rebuild: every later topology is produced
+  // by the same rebuild code path over this exact baseline, so re-applying a
+  // configuration reproduces its network bit-for-bit (exact restores).
+  baseline_ = stream::rebuild(baseline, stream::RebuildSpec{}).network;
+  config_.node_down.assign(baseline_.node_count(), 0);
+  config_.link_down.assign(baseline_.link_count(), 0);
+  config_.commodity_absent.assign(baseline_.commodity_count(), 0);
+  config_.cap_factor.assign(baseline_.node_count(), 1.0);
+  config_.bw_factor.assign(baseline_.link_count(), 1.0);
+  config_.lambda_factor.assign(baseline_.commodity_count(), 1.0);
+
+  register_metrics();
+  state_ = build_state(config_);
+
+  EventOutcome boot;
+  const solver::SolveResult result =
+      watchdogged_solve(*state_->problem, std::nullopt, boot);
+  ensure(solver::is_usable(result.status),
+         "Controller: initial solve failed: " +
+             (result.message.empty() ? std::string(to_string(result.status))
+                                     : result.message));
+  ensure(result.routing.has_value(),
+         "Controller: initial solve emitted no routing");
+  routing_ = result.routing;
+  admitted_ = result.admitted;
+  utility_ = result.utility;
+  report_.initial_utility = utility_;
+  report_.final_utility = utility_;
+  metrics_.set(m_utility_, utility_);
+  metrics_.set(m_commodities_,
+               static_cast<double>(network().commodity_count()));
+}
+
+Controller::~Controller() = default;
+
+void Controller::register_metrics() {
+  m_events_ = metrics_.counter("ctrl_events_total", "churn events applied");
+  m_crashes_ = metrics_.counter("ctrl_crashes_total", "crash events");
+  m_restores_ = metrics_.counter("ctrl_restores_total", "restore events");
+  m_cap_scales_ = metrics_.counter("ctrl_cap_scales_total",
+                                   "capacity scale events");
+  m_bw_scales_ = metrics_.counter("ctrl_bw_scales_total",
+                                  "bandwidth scale events");
+  m_arrivals_ = metrics_.counter("ctrl_arrivals_total", "commodity arrivals");
+  m_departures_ = metrics_.counter("ctrl_departures_total",
+                                   "commodity departures");
+  m_warm_starts_ = metrics_.counter(
+      "ctrl_warm_starts_total", "re-solves warm-started from a remapped routing");
+  m_cold_starts_ = metrics_.counter("ctrl_cold_starts_total",
+                                    "re-solves started from all-rejected");
+  m_exact_restores_ = metrics_.counter(
+      "ctrl_exact_restores_total", "restores served from a snapshot (no solve)");
+  m_retries_ = metrics_.counter("ctrl_watchdog_retries_total",
+                                "re-solves retried at a safer step size");
+  m_failures_ = metrics_.counter("ctrl_solve_failures_total",
+                                 "events whose re-solve (and retry) failed");
+  m_recovered_ = metrics_.counter(
+      "ctrl_recovered_total", "events whose utility re-entered the band");
+  m_utility_ = metrics_.gauge("ctrl_utility", "utility after the last event");
+  m_commodities_ = metrics_.gauge("ctrl_commodities_active",
+                                  "commodities in the current network");
+  m_recovery_hist_ = metrics_.histogram(
+      "ctrl_recovery_iterations",
+      {0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000},
+      "iterations until utility re-entered the band (recovered events)");
+  m_deficit_hist_ = metrics_.histogram(
+      "ctrl_utility_deficit", {0, 0.1, 1, 10, 100, 1000, 1e4, 1e5},
+      "per-event utility-deficit integral sum_i max(0, opt - u_i)");
+}
+
+std::unique_ptr<Controller::State> Controller::build_state(
+    const Config& config) const {
+  stream::RebuildSpec spec;
+  for (NodeId n = 0; n < baseline_.node_count(); ++n) {
+    if (config.node_down[n]) spec.removed_nodes.push_back(n);
+    if (config.cap_factor[n] != 1.0) {
+      spec.capacity_factors.emplace_back(n, config.cap_factor[n]);
+    }
+  }
+  for (stream::LinkId l = 0; l < baseline_.link_count(); ++l) {
+    if (config.link_down[l]) spec.removed_links.push_back(l);
+    if (config.bw_factor[l] != 1.0) {
+      spec.bandwidth_factors.emplace_back(l, config.bw_factor[l]);
+    }
+  }
+  for (stream::CommodityId j = 0; j < baseline_.commodity_count(); ++j) {
+    if (config.commodity_absent[j]) spec.removed_commodities.push_back(j);
+    if (config.lambda_factor[j] != 1.0) {
+      spec.lambda_factors.emplace_back(j, config.lambda_factor[j]);
+    }
+  }
+  auto state = std::make_unique<State>();
+  state->surgery = stream::rebuild(baseline_, spec);
+  state->problem.emplace(state->surgery.network, options_.penalty);
+  return state;
+}
+
+NodeId Controller::resolve_node(const std::string& text,
+                                const char* what) const {
+  for (NodeId n = 0; n < baseline_.node_count(); ++n) {
+    if (baseline_.node_name(n) == text) return n;
+  }
+  try {
+    std::size_t used = 0;
+    const unsigned long id = std::stoul(text, &used);
+    if (used == text.size() && id < baseline_.node_count()) {
+      return static_cast<NodeId>(id);
+    }
+  } catch (...) {
+  }
+  ensure(false, std::string("churn ") + what + ": unknown node '" + text +
+                    "' (baseline names or ids)");
+  return 0;
+}
+
+stream::CommodityId Controller::resolve_commodity(const std::string& text,
+                                                  const char* what) const {
+  for (stream::CommodityId j = 0; j < baseline_.commodity_count(); ++j) {
+    if (baseline_.commodity_name(j) == text) return j;
+  }
+  try {
+    std::size_t used = 0;
+    const unsigned long id = std::stoul(text, &used);
+    if (used == text.size() && id < baseline_.commodity_count()) {
+      return static_cast<stream::CommodityId>(id);
+    }
+  } catch (...) {
+  }
+  ensure(false, std::string("churn ") + what + ": unknown commodity '" + text +
+                    "' (baseline names or ids)");
+  return 0;
+}
+
+solver::SolveResult Controller::watchdogged_solve(
+    const solver::Problem& problem, std::optional<core::RoutingState> warm,
+    EventOutcome& outcome) {
+  solver::SolveOptions so = options_.solve;
+  so.record_history = true;  // the recovery SLOs read the utility trace
+  if (options_.watchdog_iterations > 0 &&
+      (so.max_iterations == 0 ||
+       so.max_iterations > options_.watchdog_iterations)) {
+    so.max_iterations = options_.watchdog_iterations;
+  }
+  so.warm_start = std::move(warm);
+
+  solver::SolveResult result = pipeline_.run(problem, so);
+  outcome.iterations = result.iterations;
+  outcome.wall_seconds = result.wall_seconds;
+  const bool tripped =
+      !solver::is_usable(result.status) ||
+      (options_.watchdog_wall_seconds > 0.0 &&
+       result.wall_seconds > options_.watchdog_wall_seconds);
+  if (tripped) {
+    outcome.watchdog_retry = true;
+    metrics_.add(m_retries_);
+    solver::SolveOptions retry = so;
+    const double base_eta =
+        so.eta > 0.0 ? so.eta : (so.curvature_scaled ? 1.0 : 0.04);
+    retry.eta = base_eta * options_.retry_eta_factor;
+    result = pipeline_.run(problem, retry);
+    outcome.iterations += result.iterations;
+    outcome.wall_seconds += result.wall_seconds;
+  }
+  outcome.status = result.status;
+  outcome.message = result.message;
+  return result;
+}
+
+EventOutcome Controller::apply(const ChurnEvent& event) {
+  ensure(routing_.has_value(), "Controller: not initialized");
+  EventOutcome outcome;
+  outcome.event = event;
+  Config next = config_;
+  std::optional<std::pair<char, std::size_t>> restore_key;
+
+  switch (event.kind) {
+    case ChurnEventKind::kCrash: {
+      const NodeId u = resolve_node(event.node, "crash");
+      ensure(!config_.node_down[u],
+             "churn crash: node '" + event.node + "' is already down");
+      // Snapshot the pre-crash state so a restore that returns the
+      // configuration here is served exactly, with no re-solve.
+      snapshots_.insert_or_assign(
+          {'n', u}, Snapshot{config_, *routing_, admitted_, utility_});
+      next.node_down[u] = 1;
+      metrics_.add(m_crashes_);
+      break;
+    }
+    case ChurnEventKind::kRestore: {
+      const NodeId u = resolve_node(event.node, "restore");
+      ensure(config_.node_down[u],
+             "churn restore: node '" + event.node + "' is not down");
+      next.node_down[u] = 0;
+      restore_key = {'n', u};
+      metrics_.add(m_restores_);
+      break;
+    }
+    case ChurnEventKind::kCapScale: {
+      const NodeId u = resolve_node(event.node, "cap");
+      ensure(!baseline_.is_sink(u),
+             "churn cap: sink '" + event.node + "' has no computing power");
+      ensure(!config_.node_down[u],
+             "churn cap: node '" + event.node + "' is down");
+      next.cap_factor[u] *= event.factor;
+      metrics_.add(m_cap_scales_);
+      break;
+    }
+    case ChurnEventKind::kBwScale: {
+      const NodeId from = resolve_node(event.from, "bw");
+      const NodeId to = resolve_node(event.to, "bw");
+      bool any = false;
+      const auto& g = baseline_.graph();
+      for (stream::LinkId l = 0; l < baseline_.link_count(); ++l) {
+        if (g.tail(l) != from || g.head(l) != to) continue;
+        next.bw_factor[l] *= event.factor;
+        any = true;
+      }
+      ensure(any, "churn bw: no baseline link " + event.from + "-" + event.to);
+      metrics_.add(m_bw_scales_);
+      break;
+    }
+    case ChurnEventKind::kArrive: {
+      const stream::CommodityId j = resolve_commodity(event.commodity, "arrive");
+      ensure(config_.commodity_absent[j], "churn arrive: commodity '" +
+                                              event.commodity +
+                                              "' is already present");
+      next.commodity_absent[j] = 0;
+      next.lambda_factor[j] *= event.factor;
+      restore_key = {'c', j};
+      metrics_.add(m_arrivals_);
+      break;
+    }
+    case ChurnEventKind::kDepart: {
+      const stream::CommodityId j = resolve_commodity(event.commodity, "depart");
+      ensure(!config_.commodity_absent[j],
+             "churn depart: commodity '" + event.commodity + "' is absent");
+      // Like a crash, a departure is reversible: snapshot so a re-arrival
+      // at the same rate restores the pre-departure state exactly.
+      snapshots_.insert_or_assign(
+          {'c', j}, Snapshot{config_, *routing_, admitted_, utility_});
+      next.commodity_absent[j] = 1;
+      metrics_.add(m_departures_);
+      break;
+    }
+  }
+  metrics_.add(m_events_);
+  const std::size_t event_index = events_applied_++;
+
+  // Exact restore: the configuration returned to the snapshot taken at the
+  // crash (or departure), so the deterministic rebuild reproduces the
+  // pre-event network bit-for-bit and the snapshot routing is reinstated
+  // without a solve.
+  if (restore_key.has_value()) {
+    const auto it = snapshots_.find(*restore_key);
+    if (it != snapshots_.end() && it->second.config == next) {
+      std::unique_ptr<State> next_state = build_state(next);
+      ensure(it->second.routing.is_valid(next_state->problem->extended(), 1e-9),
+             "churn exact restore: snapshot routing invalid on the rebuilt "
+             "network");
+      state_ = std::move(next_state);
+      config_ = std::move(next);
+      routing_ = it->second.routing;
+      admitted_ = it->second.admitted;
+      utility_ = it->second.utility;
+      snapshots_.erase(it);
+
+      outcome.exact_restore = true;
+      outcome.status = solver::Status::kConverged;
+      outcome.recovery_iterations = 0;
+      outcome.utility_before = utility_;
+      outcome.utility_after = utility_;
+      if (options_.lp_reference) {
+        outcome.optimum =
+            xform::solve_reference(state_->problem->extended()).optimal_utility;
+      }
+      metrics_.add(m_exact_restores_);
+      metrics_.add(m_recovered_);
+      metrics_.observe(m_recovery_hist_, 0.0);
+      metrics_.observe(m_deficit_hist_, 0.0);
+      metrics_.set(m_utility_, utility_);
+      metrics_.set(m_commodities_,
+                   static_cast<double>(network().commodity_count()));
+      if (options_.record_trace) {
+        tracer_.complete(event.describe(), "churn", 0,
+                         1000.0 * static_cast<double>(event.time) +
+                             static_cast<double>(event_index),
+                         1.0, {{"iterations", 0.0}, {"utility", utility_}});
+      }
+      report_.events.push_back(outcome);
+      report_.exact_restores += 1;
+      report_.final_utility = utility_;
+      return outcome;
+    }
+  }
+
+  std::unique_ptr<State> next_state = build_state(next);
+  const xform::ExtendedGraph& new_xg = next_state->problem->extended();
+  const stream::EntityMaps maps = stream::compose_maps(
+      static_cast<const stream::EntityMaps&>(state_->surgery),
+      static_cast<const stream::EntityMaps&>(next_state->surgery));
+
+  // Warm start: remap the previous routing across the surgery maps, then
+  // shape the interim operating point with the degradation policy. Whatever
+  // sheds here is only the transient — the re-solve redistributes optimally.
+  std::optional<core::RoutingState> warm;
+  if (options_.use_warm_start) {
+    warm = core::remap_routing(state_->problem->extended(), *routing_, new_xg,
+                               maps, kGuard, /*repair=*/false);
+  }
+  if (warm.has_value()) {
+    const core::FlowState raw_flows = core::compute_flows(new_xg, *warm);
+    const double raw_violation = guard_violation(new_xg, raw_flows);
+    // A carry-over that is already a legal start is used untouched; the
+    // policy only decides what to shed when the point violates the guard.
+    switch (options_.policy) {
+      case DegradationPolicy::kProportional:
+        if (raw_violation >= 0.0) {
+          warm = core::repair_capacity_feasibility(new_xg, std::move(*warm),
+                                                   kRepairHeadroom);
+        }
+        break;
+      case DegradationPolicy::kPriority:
+        if (raw_violation >= 0.0) {
+          warm = priority_shed(new_xg, std::move(*warm), kRepairHeadroom);
+        }
+        break;
+      case DegradationPolicy::kFreeze:
+        if (raw_violation >= 0.0) {
+          // Freeze sheds nothing, so an infeasible carry-over cannot seed
+          // the optimizer: fall back to a cold start and say so.
+          outcome.degraded_infeasible = true;
+          outcome.message = "freeze policy: carried-over point violates "
+                            "capacity; cold start";
+          warm.reset();
+        }
+        break;
+    }
+  }
+  if (warm.has_value()) {
+    const core::FlowState warm_flows = core::compute_flows(new_xg, *warm);
+    outcome.warm_start_violation = guard_violation(new_xg, warm_flows);
+    outcome.utility_before = core::total_utility(new_xg, warm_flows);
+    outcome.warm_started = true;
+  } else {
+    const core::RoutingState initial = core::RoutingState::initial(new_xg);
+    outcome.utility_before =
+        core::total_utility(new_xg, core::compute_flows(new_xg, initial));
+    outcome.cold_started = true;
+  }
+  metrics_.add(outcome.warm_started ? m_warm_starts_ : m_cold_starts_);
+
+  const core::RoutingState interim =
+      warm.has_value() ? *warm : core::RoutingState::initial(new_xg);
+  const solver::SolveResult result =
+      watchdogged_solve(*next_state->problem, warm, outcome);
+
+  const bool usable = solver::is_usable(result.status);
+  state_ = std::move(next_state);
+  config_ = std::move(next);
+  if (usable) {
+    ensure(result.routing.has_value(),
+           "Controller: pipeline emitted no routing");
+    routing_ = result.routing;
+    admitted_ = result.admitted;
+    utility_ = result.utility;
+  } else {
+    // The topology change stands regardless; keep operating on the degraded
+    // interim point until a later event's re-solve succeeds.
+    routing_ = interim;
+    const core::FlowState flows = core::compute_flows(new_xg, interim);
+    admitted_.assign(new_xg.commodity_count(), 0.0);
+    for (stream::CommodityId j = 0; j < new_xg.commodity_count(); ++j) {
+      admitted_[j] = core::admitted_rate(new_xg, flows, j);
+    }
+    utility_ = core::total_utility(new_xg, flows);
+    metrics_.add(m_failures_);
+  }
+  outcome.utility_after = utility_;
+
+  // Recovery SLOs against the post-event optimum.
+  outcome.recovery_iterations = kNotRecovered;
+  if (options_.lp_reference) {
+    outcome.optimum =
+        xform::solve_reference(state_->problem->extended()).optimal_utility;
+    const double threshold =
+        outcome.optimum -
+        options_.recovery_band * std::max(1.0, std::abs(outcome.optimum));
+    bool from_history = false;
+    if (usable && result.history.has_value() && result.history->rows() > 0) {
+      try {
+        const std::vector<double>& u = result.history->column("utility");
+        const std::vector<double>& it = result.history->column("iteration");
+        outcome.utility_deficit = 0.0;
+        for (std::size_t row = 0; row < u.size(); ++row) {
+          outcome.utility_deficit += std::max(0.0, outcome.optimum - u[row]);
+          if (outcome.recovery_iterations == kNotRecovered &&
+              u[row] >= threshold) {
+            outcome.recovery_iterations = static_cast<std::size_t>(it[row]);
+          }
+        }
+        from_history = true;
+      } catch (const util::CheckError&) {
+        from_history = false;  // backend history without a utility column
+      }
+    }
+    if (!from_history) {
+      outcome.recovery_iterations =
+          utility_ >= threshold ? outcome.iterations : kNotRecovered;
+      outcome.utility_deficit = std::max(0.0, outcome.optimum - utility_) *
+                                static_cast<double>(std::max<std::size_t>(
+                                    1, outcome.iterations));
+    }
+  }
+
+  if (outcome.recovery_iterations != kNotRecovered) {
+    metrics_.add(m_recovered_);
+    metrics_.observe(m_recovery_hist_,
+                     static_cast<double>(outcome.recovery_iterations));
+  }
+  metrics_.observe(m_deficit_hist_, outcome.utility_deficit);
+  metrics_.set(m_utility_, utility_);
+  metrics_.set(m_commodities_,
+               static_cast<double>(network().commodity_count()));
+  if (options_.record_trace) {
+    tracer_.complete(
+        event.describe(), "churn", 0,
+        1000.0 * static_cast<double>(event.time) +
+            static_cast<double>(event_index),
+        std::max(1.0, static_cast<double>(outcome.iterations)),
+        {{"iterations", static_cast<double>(outcome.iterations)},
+         {"utility", utility_},
+         {"optimum", outcome.optimum},
+         {"deficit", outcome.utility_deficit}});
+  }
+
+  report_.events.push_back(outcome);
+  if (outcome.warm_started) report_.warm_starts += 1;
+  if (outcome.cold_started) report_.cold_starts += 1;
+  if (outcome.watchdog_retry) report_.watchdog_retries += 1;
+  if (!usable) report_.failures += 1;
+  report_.final_utility = utility_;
+  return outcome;
+}
+
+ChurnReport Controller::run(const ChurnPlan& plan) {
+  for (const ChurnEvent& event : plan.events) apply(event);
+  return report_;
+}
+
+const stream::StreamNetwork& Controller::network() const {
+  return state_->surgery.network;
+}
+
+const xform::ExtendedGraph& Controller::extended() const {
+  return state_->problem->extended();
+}
+
+const core::RoutingState& Controller::routing() const {
+  ensure(routing_.has_value(), "Controller: not initialized");
+  return *routing_;
+}
+
+}  // namespace maxutil::ctrl

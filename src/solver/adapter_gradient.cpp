@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <optional>
 #include <sstream>
+#include <string>
 
 #include "core/bottleneck.hpp"
 #include "core/optimizer.hpp"
@@ -59,6 +60,18 @@ SolveResult solve_gradient(const Problem& problem,
   opt->run();
 
   SolveResult result;
+  if (opt->diverged()) {
+    result.status = Status::kFailed;
+    result.message =
+        "gradient diverged: non-finite utility or routing mass at iteration " +
+        std::to_string(opt->divergence_iteration());
+    result.notes.push_back("divergence_iteration=" +
+                           std::to_string(opt->divergence_iteration()));
+    result.warnings.push_back(result.message);
+    result.iterations = opt->iterations();
+    if (options.record_history) result.history = opt->history();
+    return result;
+  }
   result.status = (g.convergence_tol > 0.0 &&
                    opt->iterations() < g.max_iterations)
                       ? Status::kConverged

@@ -66,7 +66,17 @@ SolveResult Pipeline::run(const Problem& problem,
     if (carry.has_value() && info->supports_warm_start) {
       stage_options.warm_start = carry;
     }
-    result = registry_->solve(stage, problem, stage_options);
+    try {
+      result = registry_->solve(stage, problem, stage_options);
+    } catch (const maxutil::util::CheckError& e) {
+      // The registry already converts adapter CheckErrors into failed
+      // results; this guards the dispatch itself (and future registries) so
+      // a pipeline never unwinds past a stage boundary.
+      result = SolveResult{};
+      result.status = Status::kFailed;
+      result.message = e.what();
+      result.warnings.push_back(result.message);
+    }
     summaries.push_back({stage, result.status, result.utility,
                          result.iterations, result.wall_seconds});
     for (const std::string& w : result.warnings) {

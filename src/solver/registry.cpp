@@ -66,7 +66,19 @@ SolveResult SolverRegistry::solve(const std::string& name,
   ensure(info != nullptr, "unknown solver '" + name +
                               "' (registered: " + names_joined() + ")");
   const auto start = std::chrono::steady_clock::now();
-  SolveResult result = info->solve(problem, options);
+  SolveResult result;
+  try {
+    result = info->solve(problem, options);
+  } catch (const maxutil::util::CheckError& e) {
+    // Malformed inputs (an unreachable sink, an invalid warm start, ...)
+    // surface as a failed *result* rather than an exception, so callers that
+    // drive many solves — the churn controller, pipelines, the CLI — can
+    // inspect and continue instead of unwinding.
+    result = SolveResult{};
+    result.status = Status::kFailed;
+    result.message = e.what();
+    result.warnings.push_back(result.message);
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -1,5 +1,7 @@
 #include "stream/surgery.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "graph/algorithms.hpp"
@@ -10,38 +12,81 @@ namespace maxutil::stream {
 
 using maxutil::util::ensure;
 
-SurgeryResult without_server(const StreamNetwork& net, NodeId failed) {
-  ensure(failed < net.node_count(), "without_server: node out of range");
-  ensure(!net.is_sink(failed), "without_server: sinks do not process; fail a server");
+SurgeryResult rebuild(const StreamNetwork& net, const RebuildSpec& spec) {
+  // Expand the spec into per-entity masks and cumulative factors. Repeated
+  // factor entries for one entity multiply, so a spec assembled from a
+  // sequence of scale events composes the way the events did.
+  std::vector<char> node_removed(net.node_count(), 0);
+  for (const NodeId n : spec.removed_nodes) {
+    ensure(n < net.node_count(), "rebuild: removed node out of range");
+    ensure(!net.is_sink(n), "rebuild: sinks do not process; remove a server");
+    node_removed[n] = 1;
+  }
+  std::vector<char> link_removed(net.link_count(), 0);
+  for (const LinkId l : spec.removed_links) {
+    ensure(l < net.link_count(), "rebuild: removed link out of range");
+    link_removed[l] = 1;
+  }
+  std::vector<char> commodity_removed(net.commodity_count(), 0);
+  for (const CommodityId j : spec.removed_commodities) {
+    ensure(j < net.commodity_count(), "rebuild: removed commodity out of range");
+    commodity_removed[j] = 1;
+  }
+  std::vector<double> cap_factor(net.node_count(), 1.0);
+  for (const auto& [n, f] : spec.capacity_factors) {
+    ensure(n < net.node_count(), "rebuild: capacity factor node out of range");
+    ensure(!net.is_sink(n), "rebuild: sinks have no computing power to scale");
+    ensure(std::isfinite(f) && f > 0,
+           "rebuild: capacity factor must be positive and finite");
+    cap_factor[n] *= f;
+  }
+  std::vector<double> bw_factor(net.link_count(), 1.0);
+  for (const auto& [l, f] : spec.bandwidth_factors) {
+    ensure(l < net.link_count(), "rebuild: bandwidth factor link out of range");
+    ensure(std::isfinite(f) && f > 0,
+           "rebuild: bandwidth factor must be positive and finite");
+    bw_factor[l] *= f;
+  }
+  std::vector<double> lambda_factor(net.commodity_count(), 1.0);
+  for (const auto& [j, f] : spec.lambda_factors) {
+    ensure(j < net.commodity_count(), "rebuild: lambda factor commodity out of range");
+    ensure(std::isfinite(f) && f > 0,
+           "rebuild: lambda factor must be positive and finite");
+    lambda_factor[j] *= f;
+  }
 
   SurgeryResult result;
   auto& out = result.network;
 
-  // Nodes.
+  // Nodes, in id order so surviving entities keep their relative order.
   result.node_map.assign(net.node_count(), kRemovedEntity);
   for (NodeId n = 0; n < net.node_count(); ++n) {
-    if (n == failed) continue;
-    result.node_map[n] = net.is_sink(n)
-                             ? out.add_sink(net.node_name(n))
-                             : out.add_server(net.node_name(n), net.capacity(n));
+    if (node_removed[n]) continue;
+    result.node_map[n] =
+        net.is_sink(n)
+            ? out.add_sink(net.node_name(n))
+            : out.add_server(net.node_name(n), net.capacity(n) * cap_factor[n]);
   }
 
   // Links between surviving nodes.
   const auto& g = net.graph();
   result.link_map.assign(net.link_count(), kRemovedEntity);
   for (LinkId l = 0; l < net.link_count(); ++l) {
+    if (link_removed[l]) continue;
     const NodeId tail = g.tail(l);
     const NodeId head = g.head(l);
-    if (tail == failed || head == failed) continue;
-    result.link_map[l] = out.add_link(result.node_map[tail],
-                                      result.node_map[head], net.bandwidth(l));
+    if (node_removed[tail] || node_removed[head]) continue;
+    result.link_map[l] =
+        out.add_link(result.node_map[tail], result.node_map[head],
+                     net.bandwidth(l) * bw_factor[l]);
   }
 
   // Commodities: prune each usable subgraph to links on a surviving
   // source -> sink path.
   result.commodity_map.assign(net.commodity_count(), kRemovedEntity);
   for (CommodityId j = 0; j < net.commodity_count(); ++j) {
-    if (net.source(j) == failed) continue;  // source died with the server
+    if (commodity_removed[j]) continue;
+    if (node_removed[net.source(j)]) continue;  // source died with the server
     const auto survives = [&](maxutil::graph::EdgeId e) {
       return net.uses_link(j, e) && result.link_map[e] != kRemovedEntity;
     };
@@ -52,7 +97,8 @@ SurgeryResult without_server(const StreamNetwork& net, NodeId failed) {
 
     const CommodityId nj = out.add_commodity(
         net.commodity_name(j), result.node_map[net.source(j)],
-        result.node_map[net.sink(j)], net.lambda(j), net.utility(j));
+        result.node_map[net.sink(j)], net.lambda(j) * lambda_factor[j],
+        net.utility(j));
     result.commodity_map[j] = nj;
     for (NodeId n = 0; n < net.node_count(); ++n) {
       if (result.node_map[n] == kRemovedEntity) continue;
@@ -68,6 +114,77 @@ SurgeryResult without_server(const StreamNetwork& net, NodeId failed) {
   }
 
   validate_or_throw(out);
+  return result;
+}
+
+SurgeryResult without_server(const StreamNetwork& net, NodeId failed) {
+  ensure(failed < net.node_count(), "without_server: node out of range");
+  ensure(!net.is_sink(failed), "without_server: sinks do not process; fail a server");
+  RebuildSpec spec;
+  spec.removed_nodes.push_back(failed);
+  return rebuild(net, spec);
+}
+
+SurgeryResult without_link(const StreamNetwork& net, LinkId failed) {
+  ensure(failed < net.link_count(), "without_link: link out of range");
+  RebuildSpec spec;
+  spec.removed_links.push_back(failed);
+  return rebuild(net, spec);
+}
+
+SurgeryResult with_capacity_scaled(const StreamNetwork& net, NodeId node,
+                                   double factor) {
+  ensure(node < net.node_count(), "with_capacity_scaled: node out of range");
+  ensure(!net.is_sink(node),
+         "with_capacity_scaled: sinks have no computing power to scale");
+  ensure(std::isfinite(factor) && factor > 0,
+         "with_capacity_scaled: factor must be positive and finite");
+  RebuildSpec spec;
+  spec.capacity_factors.emplace_back(node, factor);
+  return rebuild(net, spec);
+}
+
+SurgeryResult with_bandwidth_scaled(const StreamNetwork& net, LinkId link,
+                                    double factor) {
+  ensure(link < net.link_count(), "with_bandwidth_scaled: link out of range");
+  ensure(std::isfinite(factor) && factor > 0,
+         "with_bandwidth_scaled: factor must be positive and finite");
+  RebuildSpec spec;
+  spec.bandwidth_factors.emplace_back(link, factor);
+  return rebuild(net, spec);
+}
+
+namespace {
+
+// Inverts `to_old` (baseline -> A) and chains through `to_new`
+// (baseline -> B), producing A -> B. Rebuild assigns new ids in baseline-id
+// order, so A's entity count is max(to_old)+1.
+std::vector<std::size_t> compose_one(const std::vector<std::size_t>& to_old,
+                                     const std::vector<std::size_t>& to_new,
+                                     const char* what) {
+  ensure(to_old.size() == to_new.size(),
+         std::string("compose_maps: ") + what + " maps disagree on baseline size");
+  std::size_t old_count = 0;
+  for (const std::size_t v : to_old) {
+    if (v != kRemovedEntity) old_count = std::max(old_count, v + 1);
+  }
+  std::vector<std::size_t> out(old_count, kRemovedEntity);
+  for (std::size_t base = 0; base < to_old.size(); ++base) {
+    if (to_old[base] == kRemovedEntity) continue;
+    ensure(to_old[base] < old_count, "compose_maps: malformed old map");
+    out[to_old[base]] = to_new[base];
+  }
+  return out;
+}
+
+}  // namespace
+
+EntityMaps compose_maps(const EntityMaps& to_old, const EntityMaps& to_new) {
+  EntityMaps result;
+  result.node_map = compose_one(to_old.node_map, to_new.node_map, "node");
+  result.link_map = compose_one(to_old.link_map, to_new.link_map, "link");
+  result.commodity_map =
+      compose_one(to_old.commodity_map, to_new.commodity_map, "commodity");
   return result;
 }
 

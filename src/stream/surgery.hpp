@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "stream/model.hpp"
@@ -10,27 +11,87 @@ namespace maxutil::stream {
 /// Sentinel in SurgeryResult maps: the entity did not survive the surgery.
 inline constexpr std::size_t kRemovedEntity = static_cast<std::size_t>(-1);
 
-/// Result of rebuilding a network without a failed server.
-struct SurgeryResult {
-  StreamNetwork network;
-  /// Old node id -> new node id (kRemovedEntity for the failed server).
+/// Old-id -> new-id maps of a surgery (kRemovedEntity where the entity did
+/// not survive). Shared between SurgeryResult and the warm-start remapping
+/// layer (core::remap_routing), which only needs the maps, never the
+/// rebuilt network itself.
+struct EntityMaps {
+  /// Old node id -> new node id (kRemovedEntity for removed servers).
   std::vector<NodeId> node_map;
-  /// Old link id -> new link id (kRemovedEntity when an endpoint died).
+  /// Old link id -> new link id (kRemovedEntity when an endpoint died or
+  /// the link itself was removed).
   std::vector<LinkId> link_map;
-  /// Old commodity id -> new commodity id (kRemovedEntity when the failure
-  /// disconnected its source from its sink).
+  /// Old commodity id -> new commodity id (kRemovedEntity when the surgery
+  /// disconnected its source from its sink, or removed it outright).
   std::vector<CommodityId> commodity_map;
 };
 
+/// Result of rebuilding a network under a topology edit.
+struct SurgeryResult : EntityMaps {
+  StreamNetwork network;
+};
+
+/// Declarative topology edit applied by `rebuild`. All ids refer to the
+/// input network. Factors must be positive and finite; a factor of 1 is a
+/// no-op. Removing entities and scaling capacities compose freely; the
+/// result is always pruned so that it passes stream::validate.
+struct RebuildSpec {
+  std::vector<NodeId> removed_nodes;
+  std::vector<LinkId> removed_links;
+  std::vector<CommodityId> removed_commodities;
+  /// (node, factor): server computing power scaled to factor * C_u.
+  std::vector<std::pair<NodeId, double>> capacity_factors;
+  /// (link, factor): bandwidth scaled to factor * B_ik.
+  std::vector<std::pair<LinkId, double>> bandwidth_factors;
+  /// (commodity, factor): offered load scaled to factor * lambda_j.
+  std::vector<std::pair<CommodityId, double>> lambda_factors;
+};
+
+/// Rebuilds `net` under `spec`: removed servers take their incident links
+/// with them, removed links disappear, surviving capacities/bandwidths/
+/// lambdas are scaled, and each surviving commodity's usable subgraph is
+/// pruned to the links still on some source->sink path (so the result
+/// always passes validate()). Commodities whose source died, whose sink
+/// became unreachable, or which were removed outright map to
+/// kRemovedEntity. An empty spec reproduces the input network exactly with
+/// identity maps — the restore-from-snapshot path of the churn controller
+/// (src/ctrl), which keeps a pristine baseline and re-applies its current
+/// edit set after every event, making crashes reversible.
+SurgeryResult rebuild(const StreamNetwork& net, const RebuildSpec& spec);
+
 /// Rebuilds `net` as if `failed` crashed fail-stop: the server and its
-/// incident links disappear; each commodity's usable subgraph is pruned to
-/// the links still on some source->sink path (so the result always passes
-/// validate()); commodities whose sink became unreachable are dropped.
+/// incident links disappear; commodities whose sink became unreachable are
+/// dropped.
 ///
 /// This is the recovery path of the paper's Section-3 remark that spare
 /// penalty-induced headroom helps "faster recovery in the case of node or
 /// link failures": after surgery one simply re-runs the optimizer on the
-/// surviving network (see examples/failure_recovery.cpp).
+/// surviving network (see examples/failure_recovery.cpp for the one-shot
+/// walkthrough and src/ctrl for the online controller form).
 SurgeryResult without_server(const StreamNetwork& net, NodeId failed);
+
+/// Rebuilds `net` as if physical link `failed` was severed (both endpoints
+/// stay up). Commodities left without a source->sink path are dropped.
+SurgeryResult without_link(const StreamNetwork& net, LinkId failed);
+
+/// Rebuilds `net` with server `node`'s computing power scaled to
+/// factor * C_u (factor > 0; > 1 models an upgrade). Structure is
+/// unchanged, so all maps are identities.
+SurgeryResult with_capacity_scaled(const StreamNetwork& net, NodeId node,
+                                   double factor);
+
+/// Rebuilds `net` with link `link`'s bandwidth scaled to factor * B_ik.
+/// Structure is unchanged, so all maps are identities.
+SurgeryResult with_bandwidth_scaled(const StreamNetwork& net, LinkId link,
+                                    double factor);
+
+/// Composes two surgeries of the *same* baseline network into the maps from
+/// the first result's network onto the second's: given `to_old` (baseline ->
+/// network A) and `to_new` (baseline -> network B), returns A -> B maps. An
+/// entity of A maps to kRemovedEntity when its baseline pre-image did not
+/// survive into B. This is how the churn controller threads a routing from
+/// the pre-event network onto the post-event one when both were rebuilt from
+/// the shared baseline.
+EntityMaps compose_maps(const EntityMaps& to_old, const EntityMaps& to_new);
 
 }  // namespace maxutil::stream

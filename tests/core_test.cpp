@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/allocation.hpp"
 #include "core/flow.hpp"
@@ -9,9 +11,11 @@
 #include "core/optimality.hpp"
 #include "core/optimizer.hpp"
 #include "core/routing.hpp"
+#include "core/warm_start.hpp"
 #include "gen/figure1.hpp"
 #include "gen/random_instance.hpp"
 #include "stream/model.hpp"
+#include "stream/surgery.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "xform/extended_graph.hpp"
@@ -433,6 +437,147 @@ TEST(Optimizer, AllocationMapsBackToPhysical) {
   EXPECT_NEAR(alloc.link_usage[0], alloc.admitted[0], 1e-9);
   EXPECT_NEAR(alloc.link_flow[0][0], alloc.admitted[0], 1e-9);
   EXPECT_DOUBLE_EQ(alloc.max_capacity_violation(xg), 0.0);
+}
+
+TEST(Optimizer, LatchesDivergenceInsteadOfIteratingOnNaNs) {
+  // A linear utility with weight 1e200 on an offered load of 1e200: the
+  // first admitted trickle makes utility - cost = inf - inf = NaN. The
+  // optimizer must detect the non-finite state, latch diverged(), and stop.
+  StreamNetwork net;
+  const NodeId a = net.add_server("a", 10.0);
+  const NodeId t = net.add_sink("t");
+  const auto at = net.add_link(a, t, 10.0);
+  const CommodityId j =
+      net.add_commodity("hot", a, t, 1e200, Utility::linear(1e200));
+  net.enable_link(j, at, 1.0);
+  const ExtendedGraph xg(net);
+
+  GradientOptions options;
+  options.eta = 0.1;
+  options.max_iterations = 100;
+  GradientOptimizer opt(xg, options);
+  const std::size_t steps = opt.run();
+
+  EXPECT_TRUE(opt.diverged());
+  EXPECT_LT(steps, options.max_iterations);  // stopped early, not at budget
+  EXPECT_LE(opt.divergence_iteration(), steps + 1);
+  // Once latched, step() refuses to iterate on the NaN state.
+  EXPECT_EQ(opt.step(), 0.0);
+  EXPECT_TRUE(opt.diverged());
+}
+
+// ------------------------------------------- warm-start remapping edges
+
+// Max capacity overshoot past guard * C over all finite-capacity extended
+// nodes; negative means strictly inside the guard everywhere.
+double worst_guard_overshoot(const ExtendedGraph& xg, const FlowState& flows,
+                             double guard = 0.999) {
+  double worst = -std::numeric_limits<double>::infinity();
+  for (NodeId v = 0; v < xg.node_count(); ++v) {
+    if (!xg.has_finite_capacity(v)) continue;
+    worst = std::max(worst, flows.f_node[v] - guard * xg.capacity(v));
+  }
+  return worst;
+}
+
+TEST(RemapRouting, RemovedCommodityDropsAndSurvivorsStayFeasible) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  const ExtendedGraph xg(net);
+  GradientOptions options;
+  options.eta = 0.1;
+  options.max_iterations = 400;
+  GradientOptimizer opt(xg, options);
+  opt.run();
+
+  // Server 7 is S2's source: removing it kills S2 but leaves S1 whole.
+  const auto surgery =
+      maxutil::stream::without_server(net, ids.server[6]);
+  ASSERT_EQ(surgery.commodity_map[ids.s2], maxutil::stream::kRemovedEntity);
+  ASSERT_NE(surgery.commodity_map[ids.s1], maxutil::stream::kRemovedEntity);
+  const ExtendedGraph new_xg(surgery.network);
+
+  const auto warm =
+      maxutil::core::remap_routing(xg, opt.routing(), new_xg, surgery);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->is_valid(new_xg));
+  const FlowState flows = maxutil::core::compute_flows(new_xg, *warm);
+  EXPECT_LT(worst_guard_overshoot(new_xg, flows), 0.0);
+}
+
+TEST(RemapRouting, NewCommodityStartsAtTheAllRejectedConvention) {
+  // Compose baseline -> A (S2 departed) with baseline -> B (identity): the
+  // A -> B maps contain a commodity of B with no pre-image in A — the
+  // re-arrival case the shrink-only transfer_routing cannot express.
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  maxutil::stream::RebuildSpec depart;
+  depart.removed_commodities.push_back(ids.s2);
+  const auto a = maxutil::stream::rebuild(net, depart);
+  const auto b = maxutil::stream::rebuild(net, {});
+  const auto maps = maxutil::stream::compose_maps(a, b);
+
+  const ExtendedGraph old_xg(a.network);
+  const ExtendedGraph new_xg(b.network);
+  GradientOptions options;
+  options.eta = 0.1;
+  options.max_iterations = 400;
+  GradientOptimizer opt(old_xg, options);
+  opt.run();
+
+  const auto warm =
+      maxutil::core::remap_routing(old_xg, opt.routing(), new_xg, maps);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->is_valid(new_xg));
+
+  // The re-arrived commodity starts all-rejected: its rows equal the
+  // initial convention and it admits nothing until the re-solve ramps it.
+  const CommodityId s2 = b.commodity_map[ids.s2];
+  ASSERT_NE(s2, maxutil::stream::kRemovedEntity);
+  const RoutingState init = RoutingState::initial(new_xg);
+  for (EdgeId e = 0; e < new_xg.edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(warm->phi(s2, e), init.phi(s2, e));
+  }
+  const FlowState flows = maxutil::core::compute_flows(new_xg, *warm);
+  EXPECT_NEAR(maxutil::core::admitted_rate(new_xg, flows, s2), 0.0, 1e-12);
+}
+
+TEST(RemapRouting, CapacityDownscaleIsRepairedToStrictFeasibility) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  const ExtendedGraph xg(net);
+  GradientOptions options;
+  options.eta = 0.1;
+  options.max_iterations = 600;
+  GradientOptimizer opt(xg, options);
+  opt.run();
+
+  // Shrink the shared Server 3 to 10% capacity: the converged point now
+  // overloads it. repair = false must hand back the raw violating point
+  // (the priority policy's input); the default repairs it inside the guard.
+  const auto surgery =
+      maxutil::stream::with_capacity_scaled(net, ids.server[2], 0.1);
+  const ExtendedGraph new_xg(surgery.network);
+
+  const auto raw = maxutil::core::remap_routing(xg, opt.routing(), new_xg,
+                                                surgery, 0.999, false);
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_TRUE(raw->is_valid(new_xg));
+  const FlowState raw_flows = maxutil::core::compute_flows(new_xg, *raw);
+  EXPECT_GT(worst_guard_overshoot(new_xg, raw_flows), 0.0);
+
+  const auto repaired =
+      maxutil::core::repair_capacity_feasibility(new_xg, *raw, 0.999);
+  EXPECT_TRUE(repaired.is_valid(new_xg));
+  const FlowState fixed = maxutil::core::compute_flows(new_xg, repaired);
+  EXPECT_LT(worst_guard_overshoot(new_xg, fixed), 0.0);
+
+  // And the one-call form agrees on feasibility.
+  const auto warm =
+      maxutil::core::remap_routing(xg, opt.routing(), new_xg, surgery);
+  ASSERT_TRUE(warm.has_value());
+  const FlowState warm_flows = maxutil::core::compute_flows(new_xg, *warm);
+  EXPECT_LT(worst_guard_overshoot(new_xg, warm_flows), 0.0);
 }
 
 // Property sweep: across random instances, the converged state is feasible,

@@ -1,5 +1,7 @@
 # docs_lint: checks that every relative markdown link in the repo's
-# documentation points at a file that exists. Run as a ctest:
+# documentation points at a file that exists, and that every `examples/...`
+# or `docs/...` path cited in a src/ header comment still exists. Run as a
+# ctest:
 #
 #   cmake -DREPO=<source dir> -P docs_lint.cmake
 #
@@ -56,8 +58,34 @@ foreach(doc ${doc_files})
   endforeach()
 endforeach()
 
+# Header comments cite walkthroughs and design notes by repo-relative path
+# (e.g. "see examples/failure_recovery.cpp", "docs/CONTROLLER.md §4"). Those
+# references rot silently when files move; check they all still resolve.
+file(GLOB_RECURSE header_files ${REPO}/src/*.hpp)
+set(refs_checked 0)
+foreach(header ${header_files})
+  file(READ ${header} content)
+  string(REGEX MATCHALL "(examples|docs)/[A-Za-z0-9_.][A-Za-z0-9_./-]*"
+         refs "${content}")
+  list(REMOVE_DUPLICATES refs)
+  foreach(ref ${refs})
+    # Only paths with a file extension are citations; bare directory
+    # mentions ("the docs/ tree") are prose.
+    if(NOT ref MATCHES "\\.[A-Za-z]+$")
+      continue()
+    endif()
+    math(EXPR refs_checked "${refs_checked} + 1")
+    if(NOT EXISTS ${REPO}/${ref})
+      file(RELATIVE_PATH rel ${REPO} ${header})
+      list(APPEND broken "${rel}: cites missing file '${ref}'")
+    endif()
+  endforeach()
+endforeach()
+
 if(NOT broken STREQUAL "")
   list(JOIN broken "\n  " report)
   message(FATAL_ERROR "docs_lint: broken relative links:\n  ${report}")
 endif()
-message(STATUS "docs_lint: ${checked} relative links OK")
+message(STATUS
+        "docs_lint: ${checked} relative links OK, "
+        "${refs_checked} header citations OK")

@@ -17,6 +17,7 @@
 #include "sim/distributed_gradient.hpp"
 #include "solver/pipeline.hpp"
 #include "solver/registry.hpp"
+#include "stream/validate.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "xform/extended_graph.hpp"
@@ -371,6 +372,117 @@ TEST(RoutingFromFlows, WarmStartedGradientAcceptsTheRouting) {
   // Starting near the optimum, a short run already sits close to the LP
   // utility (cold starts need hundreds of iterations to get here).
   EXPECT_GE(opt.utility(), 0.9 * reference.optimal_utility);
+}
+
+TEST(RoutingFromFlows, ZeroFlowCommoditiesFallBackToTheUniformSplit) {
+  const auto net = gen::figure1_example();  // lightly loaded defaults
+  const solver::Problem problem(net);
+  const xform::ExtendedGraph& xg = problem.extended();
+
+  // An empty flow list per commodity — the vertex of an all-zero objective.
+  // Every non-sink node then carries no flow and must take the documented
+  // uniform fallback over its usable out-edges.
+  const std::vector<std::vector<std::pair<graph::EdgeId, double>>> zero(
+      xg.commodity_count());
+  const auto routing = core::routing_from_flows(xg, zero);
+  ASSERT_TRUE(routing.is_valid(xg));
+
+  for (stream::CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    // The dummy source has exactly two usable out-edges (input and
+    // difference), so uniform means a 50/50 admit/reject split.
+    EXPECT_DOUBLE_EQ(routing.phi(j, xg.dummy_input_link(j)), 0.5);
+    EXPECT_DOUBLE_EQ(routing.phi(j, xg.dummy_difference_link(j)), 0.5);
+    for (const stream::NodeId v : xg.commodity_nodes(j)) {
+      if (v == xg.sink(j) || v == xg.dummy_source(j)) continue;
+      std::size_t usable = 0;
+      for (const graph::EdgeId e : xg.graph().out_edges(v)) {
+        if (xg.usable(j, e)) ++usable;
+      }
+      ASSERT_GT(usable, 0u);
+      for (const graph::EdgeId e : xg.graph().out_edges(v)) {
+        if (!xg.usable(j, e)) continue;
+        EXPECT_DOUBLE_EQ(routing.phi(j, e),
+                         1.0 / static_cast<double>(usable));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------- failure boundaries
+
+// A commodity that can reach server b but never its sink: stream::validate
+// rejects the network, and any solve over it trips a CheckError deep inside
+// the optimizer (a commodity node without a usable out-edge).
+stream::StreamNetwork stranded_commodity_network() {
+  stream::StreamNetwork net;
+  const auto a = net.add_server("a", 10.0);
+  const auto b = net.add_server("b", 10.0);
+  const auto sink = net.add_sink("t");
+  const auto ab = net.add_link(a, b, 10.0);
+  net.add_link(b, sink, 10.0);
+  const auto j =
+      net.add_commodity("stranded", a, sink, 5.0, stream::Utility::linear());
+  net.enable_link(j, ab, 1.0);  // b -> t stays unusable: the sink is cut off
+  return net;
+}
+
+TEST(SolverBoundary, UnreachableSinkIsAFailedResultNotAThrow) {
+  const auto net = stranded_commodity_network();
+  ASSERT_FALSE(stream::validate(net).ok());
+
+  // The registry boundary converts the CheckError into a failed *result* so
+  // callers that drive many solves (the churn controller, the CLI) can
+  // inspect and continue instead of unwinding.
+  const solver::Problem problem(net);
+  solver::SolveResult result;
+  ASSERT_NO_THROW(result = solver::SolverRegistry::instance().solve(
+                      "gradient", problem, {}));
+  EXPECT_EQ(result.status, solver::Status::kFailed);
+  EXPECT_FALSE(solver::is_usable(result.status));
+  EXPECT_FALSE(result.message.empty());
+  ASSERT_FALSE(result.warnings.empty());
+  EXPECT_EQ(result.warnings.front(), result.message);
+}
+
+TEST(SolverBoundary, PipelineSurvivesAFailingStage) {
+  const auto net = stranded_commodity_network();
+  const solver::Problem problem(net);
+  solver::SolveResult result;
+  ASSERT_NO_THROW(result =
+                      solver::Pipeline::parse("gradient").run(problem, {}));
+  EXPECT_EQ(result.status, solver::Status::kFailed);
+}
+
+// An unbounded-in-practice instance: a linear utility with weight 1e200 on
+// an offered load of 1e200 makes the first admitted trickle evaluate
+// utility - cost = inf - inf = NaN.
+stream::StreamNetwork overflow_network() {
+  stream::StreamNetwork net;
+  const auto a = net.add_server("a", 10.0);
+  const auto sink = net.add_sink("t");
+  const auto l = net.add_link(a, sink, 10.0);
+  const auto j = net.add_commodity("hot", a, sink, 1e200,
+                                   stream::Utility::linear(1e200));
+  net.enable_link(j, l, 1.0);
+  return net;
+}
+
+TEST(SolverBoundary, DivergenceSurfacesAsFailedWithTheIterationNote) {
+  const auto net = overflow_network();
+  const solver::Problem problem(net);
+  solver::SolveOptions options;
+  options.eta = 0.1;
+  options.max_iterations = 50;
+  const auto result =
+      solver::SolverRegistry::instance().solve("gradient", problem, options);
+  EXPECT_EQ(result.status, solver::Status::kFailed);
+  EXPECT_NE(result.message.find("gradient diverged"), std::string::npos)
+      << result.message;
+  bool noted = false;
+  for (const auto& note : result.notes) {
+    noted = noted || note.rfind("divergence_iteration=", 0) == 0;
+  }
+  EXPECT_TRUE(noted);
 }
 
 }  // namespace

@@ -74,6 +74,120 @@ TEST(Surgery, PreservesParametersOfSurvivors) {
   EXPECT_NEAR(out.delivery_gain(s1), net.delivery_gain(ids.s1), 1e-12);
 }
 
+TEST(Surgery, EmptyRebuildIsTheIdentity) {
+  // The churn controller's restore path depends on this: rebuilding the
+  // pristine baseline under an empty edit set must reproduce it exactly.
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  const auto result = maxutil::stream::rebuild(net, {});
+  EXPECT_TRUE(maxutil::stream::validate(result.network).ok());
+  ASSERT_EQ(result.network.node_count(), net.node_count());
+  ASSERT_EQ(result.network.link_count(), net.link_count());
+  ASSERT_EQ(result.network.commodity_count(), net.commodity_count());
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    EXPECT_EQ(result.node_map[n], n);
+    if (!net.is_sink(n)) {
+      EXPECT_DOUBLE_EQ(result.network.capacity(n), net.capacity(n));
+    }
+  }
+  for (std::size_t l = 0; l < net.link_count(); ++l) {
+    EXPECT_EQ(result.link_map[l], l);
+    EXPECT_DOUBLE_EQ(result.network.bandwidth(l), net.bandwidth(l));
+  }
+  for (std::size_t j = 0; j < net.commodity_count(); ++j) {
+    EXPECT_EQ(result.commodity_map[j], j);
+    EXPECT_DOUBLE_EQ(result.network.lambda(j), net.lambda(j));
+  }
+}
+
+TEST(Surgery, SeveredLinkDropsOnlyTheStrandedStream) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  // The 3->5 link carries all of S2 (7->3->5->8); S1 detours via 2->4.
+  const auto link = net.graph().find_edge(ids.server[2], ids.server[4]);
+  const auto result = maxutil::stream::without_link(net, link);
+  EXPECT_TRUE(maxutil::stream::validate(result.network).ok());
+  EXPECT_EQ(result.network.commodity_count(), 1u);
+  EXPECT_EQ(result.commodity_map[ids.s2], kRemovedEntity);
+  ASSERT_NE(result.commodity_map[ids.s1], kRemovedEntity);
+  EXPECT_EQ(result.link_map[link], kRemovedEntity);
+  // Unlike a crash, both endpoints stay up.
+  EXPECT_NE(result.node_map[ids.server[2]], kRemovedEntity);
+  EXPECT_NE(result.node_map[ids.server[4]], kRemovedEntity);
+}
+
+TEST(Surgery, ScalingKeepsIdentityMapsAndScalesOnlyTheTarget) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+
+  const auto capped =
+      maxutil::stream::with_capacity_scaled(net, ids.server[2], 0.5);
+  EXPECT_TRUE(maxutil::stream::validate(capped.network).ok());
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    EXPECT_EQ(capped.node_map[n], n);
+    if (net.is_sink(n)) continue;
+    const double expect =
+        n == ids.server[2] ? 0.5 * net.capacity(n) : net.capacity(n);
+    EXPECT_DOUBLE_EQ(capped.network.capacity(n), expect);
+  }
+  for (std::size_t l = 0; l < net.link_count(); ++l) {
+    EXPECT_EQ(capped.link_map[l], l);
+  }
+  for (std::size_t j = 0; j < net.commodity_count(); ++j) {
+    EXPECT_EQ(capped.commodity_map[j], j);
+  }
+
+  const auto link = net.graph().find_edge(ids.server[2], ids.server[4]);
+  const auto widened = maxutil::stream::with_bandwidth_scaled(net, link, 1.5);
+  EXPECT_TRUE(maxutil::stream::validate(widened.network).ok());
+  for (std::size_t l = 0; l < net.link_count(); ++l) {
+    EXPECT_EQ(widened.link_map[l], l);
+    const double expect =
+        l == link ? 1.5 * net.bandwidth(l) : net.bandwidth(l);
+    EXPECT_DOUBLE_EQ(widened.network.bandwidth(l), expect);
+  }
+
+  EXPECT_THROW(maxutil::stream::with_capacity_scaled(net, ids.server[0], 0.0),
+               CheckError);
+  EXPECT_THROW(maxutil::stream::with_bandwidth_scaled(net, link, -1.0),
+               CheckError);
+}
+
+TEST(Surgery, ComposeMapsThreadsThroughTheSharedBaseline) {
+  maxutil::gen::Figure1Ids ids;
+  const StreamNetwork net = maxutil::gen::figure1_example({}, &ids);
+  // A: server 2 crashed (both streams survive). B: identity structure.
+  const auto a = maxutil::stream::without_server(net, ids.server[1]);
+  const auto b =
+      maxutil::stream::with_capacity_scaled(net, ids.server[3], 0.5);
+
+  const auto ab = maxutil::stream::compose_maps(a, b);
+  ASSERT_EQ(ab.node_map.size(), a.network.node_count());
+  ASSERT_EQ(ab.link_map.size(), a.network.link_count());
+  ASSERT_EQ(ab.commodity_map.size(), a.network.commodity_count());
+  // Every survivor of A maps to its baseline id, since B is the identity.
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    if (a.node_map[n] == kRemovedEntity) continue;
+    EXPECT_EQ(ab.node_map[a.node_map[n]], n);
+  }
+  for (std::size_t l = 0; l < net.link_count(); ++l) {
+    if (a.link_map[l] == kRemovedEntity) continue;
+    EXPECT_EQ(ab.link_map[a.link_map[l]], l);
+  }
+  for (std::size_t j = 0; j < net.commodity_count(); ++j) {
+    if (a.commodity_map[j] == kRemovedEntity) continue;
+    EXPECT_EQ(ab.commodity_map[a.commodity_map[j]], j);
+  }
+  // The reverse composition maps the crashed server to kRemovedEntity —
+  // how the controller learns a warm start cannot carry flow through it.
+  const auto ba = maxutil::stream::compose_maps(b, a);
+  EXPECT_EQ(ba.node_map[ids.server[1]], kRemovedEntity);
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    if (n == ids.server[1]) continue;
+    EXPECT_EQ(ba.node_map[n], a.node_map[n]);
+  }
+}
+
 TEST(Surgery, RandomInstancesStayValidAndSolvable) {
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     Rng rng(seed + 100);

@@ -4,9 +4,17 @@
 //   maxutil_cli validate <file>
 //   maxutil_cli solve <file> [--algo NAME[,NAME...]|help] [--compare]
 //                            [--eta X] [--eps X] [--iters N] [--tol X]
+//   maxutil_cli churn <file> --plan SPEC [--algo NAME[,...]] [--policy P]
+//                            [--budget N] [--report] [--trace FILE]
+//                            [--metrics FILE]
 //   maxutil_cli dot <file> [--extended]
 //   maxutil_cli generate [--servers N] [--commodities J] [--stages K]
 //                        [--lambda X] [--seed S]
+//
+// `churn` replays a scripted topology-churn plan (docs/CONTROLLER.md) through
+// ctrl::Controller, re-optimizing after every event with warm-started
+// re-solves, and reports per-event recovery SLOs. Exit 1 when any event's
+// re-solve failed.
 //
 // `solve` dispatches every algorithm through solver::SolverRegistry —
 // `--algo help` prints the live backend list (gradient, distributed,
@@ -25,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "ctrl/churn_plan.hpp"
+#include "ctrl/controller.hpp"
 #include "gen/random_instance.hpp"
 #include "scenario/scenario.hpp"
 #include "solver/pipeline.hpp"
@@ -64,6 +74,18 @@ int usage() {
       " write a chrome://tracing JSON (or CSV if FILE ends\n"
       "          in .csv); --metrics-report: print the metric catalog —"
       " all three imply observation)\n"
+      "       maxutil_cli churn <file> --plan SPEC [--algo NAME[,...]]"
+      " [--policy proportional|priority|freeze]\n"
+      "                            [--eps X] [--eta X] [--iters N] [--tol X]"
+      " [--threads T] [--budget N] [--report]\n"
+      "                            [--trace FILE] [--metrics FILE]\n"
+      "         (--plan: comma list of crash=NODE@T, restore=NODE@T,"
+      " cap=NODE*F@T, bw=FROM-TO*F@T,\n"
+      "          arrive=COMMODITY[*F]@T, depart=COMMODITY@T — scripted"
+      " topology churn replayed in time order\n"
+      "          with a warm-started re-solve per event; --budget caps"
+      " iterations per re-solve; --policy picks the\n"
+      "          admission-degradation transient; see docs/CONTROLLER.md)\n"
       "       maxutil_cli dot <file> [--extended]\n"
       "       maxutil_cli generate [--servers N] [--commodities J]"
       " [--stages K] [--lambda X] [--seed S]\n",
@@ -325,6 +347,77 @@ int cmd_solve(const std::string& path,
   return 0;
 }
 
+int cmd_churn(const std::string& path,
+              const std::map<std::string, std::string>& flags) {
+  util::ensure(flags.count("plan") != 0,
+               "churn needs --plan SPEC (see docs/CONTROLLER.md)");
+  const ctrl::ChurnPlan plan = ctrl::parse_churn_plan(flags.at("plan"));
+  const auto net = scenario::load_file(path);
+  stream::validate_or_throw(net);
+
+  ctrl::ControllerOptions options;
+  options.pipeline = flags.count("algo") != 0 ? flags.at("algo") : "gradient";
+  if (flags.count("policy") != 0) {
+    options.policy = ctrl::parse_policy(flags.at("policy"));
+  }
+  options.penalty.epsilon = flag_number(flags, "eps", 0.1);
+  options.solve.eta = flag_number(flags, "eta", 0.0);
+  options.solve.max_iterations =
+      static_cast<std::size_t>(flag_number(flags, "iters", 0));
+  options.solve.tolerance = flag_number(flags, "tol", 0.0);
+  const double threads = flag_number(flags, "threads", 1);
+  options.solve.threads = threads <= 0 ? 0 : static_cast<std::size_t>(threads);
+  options.watchdog_iterations =
+      static_cast<std::size_t>(flag_number(flags, "budget", 4000));
+  options.record_trace = flags.count("trace") != 0;
+
+  ctrl::Controller controller(net, options);
+  const ctrl::ChurnReport report = controller.run(plan);
+
+  for (const ctrl::EventOutcome& outcome : report.events) {
+    if (!solver::is_usable(outcome.status)) {
+      std::fprintf(stderr, "warning: event '%s' failed: %s\n",
+                   outcome.event.describe().c_str(),
+                   outcome.message.empty() ? solver::to_string(outcome.status)
+                                           : outcome.message.c_str());
+    }
+  }
+  if (flags.count("report") != 0) {
+    std::fputs(report.summary().c_str(), stdout);
+  } else {
+    std::printf("%zu events: %zu warm, %zu cold, %zu exact restores, "
+                "%zu retries, %zu failures\n",
+                report.events.size(), report.warm_starts, report.cold_starts,
+                report.exact_restores, report.watchdog_retries,
+                report.failures);
+    std::printf("utility %.6f -> %.6f\n", report.initial_utility,
+                report.final_utility);
+  }
+  if (flags.count("metrics") != 0) {
+    const std::string& file = flags.at("metrics");
+    std::ofstream out(file);
+    util::ensure(out.good(), "cannot open --metrics file " + file);
+    controller.metrics().write_csv(out);
+    std::fprintf(stderr, "wrote churn metrics CSV to %s\n", file.c_str());
+  }
+  if (flags.count("trace") != 0) {
+    const std::string& file = flags.at("trace");
+    std::ofstream out(file);
+    util::ensure(out.good(), "cannot open --trace file " + file);
+    const bool csv =
+        file.size() >= 4 && file.compare(file.size() - 4, 4, ".csv") == 0;
+    if (csv) {
+      controller.tracer().write_csv(out);
+    } else {
+      controller.tracer().write_chrome_json(out);
+    }
+    std::fprintf(stderr, "wrote churn %s trace (%zu events) to %s\n",
+                 csv ? "CSV" : "chrome://tracing",
+                 controller.tracer().events().size(), file.c_str());
+  }
+  return report.failures > 0 ? 1 : 0;
+}
+
 int cmd_dot(const std::string& path,
             const std::map<std::string, std::string>& flags) {
   const auto net = scenario::load_file(path);
@@ -371,6 +464,9 @@ int main(int argc, char** argv) {
     }
     if (command == "solve" && argc >= 3) {
       return cmd_solve(argv[2], parse_flags(argc, argv, 3));
+    }
+    if (command == "churn" && argc >= 3) {
+      return cmd_churn(argv[2], parse_flags(argc, argv, 3));
     }
     if (command == "dot" && argc >= 3) {
       return cmd_dot(argv[2], parse_flags(argc, argv, 3));
