@@ -113,25 +113,12 @@ BENCHMARK(BM_BackPressureRound);
 
 /// One distributed-gradient iteration (two message waves) with the
 /// observability layer compiled in but switched off — the baseline for the
-/// "<2% overhead when disabled" budget of docs/OBSERVABILITY.md.
+/// "<2% overhead when disabled" budget of docs/OBSERVABILITY.md. The arg is
+/// the runtime thread count (1 = serial sweep, >1 = shard-partitioned).
 void BM_DistributedIterate(benchmark::State& state) {
   const auto& xg = shared_xg();
-  sim::DistributedGradientSystem system(xg);
-  for (auto _ : state) {
-    system.iterate();
-    benchmark::DoNotOptimize(system.utility());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_DistributedIterate);
-
-/// Same iteration with RuntimeOptions::observe on: full metric counters,
-/// per-round spans, and wave latency histograms. Compare against
-/// BM_DistributedIterate for the observe-on cost.
-void BM_DistributedIterateObserved(benchmark::State& state) {
-  const auto& xg = shared_xg();
   sim::RuntimeOptions options;
-  options.observe = true;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
   sim::DistributedGradientSystem system(xg, {}, options);
   for (auto _ : state) {
     system.iterate();
@@ -139,7 +126,25 @@ void BM_DistributedIterateObserved(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_DistributedIterateObserved);
+BENCHMARK(BM_DistributedIterate)->Arg(1)->Arg(2)->Arg(4);
+
+/// Same iteration with RuntimeOptions::observe on: full metric counters,
+/// per-round spans, and wave latency histograms — staged in per-thread
+/// rings, drained at the serial merge point. Compare against the matching
+/// BM_DistributedIterate arg for the observe-on cost at each thread count.
+void BM_DistributedIterateObserved(benchmark::State& state) {
+  const auto& xg = shared_xg();
+  sim::RuntimeOptions options;
+  options.observe = true;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  sim::DistributedGradientSystem system(xg, {}, options);
+  for (auto _ : state) {
+    system.iterate();
+    benchmark::DoNotOptimize(system.utility());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DistributedIterateObserved)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_LpReferenceSolve(benchmark::State& state) {
   const auto& xg = shared_xg();

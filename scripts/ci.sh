@@ -10,9 +10,11 @@
 # isolation, so a parity break is named in the CI log even when earlier
 # phases fail for unrelated reasons. Phase 5: churn-controller leg — the
 # ctrl/churn suites re-run in isolation, plus a bench_churn smoke run whose
-# JSON artifact must parse. Phase 6: the CLI's --trace and --compare-json
-# exports must be valid JSON — checked with python's strict parser when
-# available. Sanitizers exit non-zero on any report, which set -e turns
+# JSON artifact must parse. Phase 6: perf-smoke leg — bench_runtime_scaling
+# --smoke, whose shape checks gate the runtime's determinism and zero
+# steady-state-allocation contracts at threads 1/2/4. Phase 7: the CLI's
+# --trace and --compare-json exports must be valid JSON — checked with
+# python's strict parser when available. Sanitizers exit non-zero on any report, which set -e turns
 # into a CI failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,11 +27,14 @@ ctest --preset default
 
 cmake --preset tsan
 cmake --build --preset tsan -j"${jobs}" \
-  --target runtime_parallel_test fault_test ctrl_test
+  --target runtime_parallel_test fault_test ctrl_test partition_test
 ./build-tsan/tests/runtime_parallel_test
 ./build-tsan/tests/fault_test
 # The churn controller drives the threaded distributed pipeline per event.
 ./build-tsan/tests/ctrl_test
+# The partitioner itself is serial, but its assignments gate every
+# cross-shard handoff the runtime tests race-check above.
+./build-tsan/tests/partition_test
 
 cmake --preset asan
 cmake --build --preset asan -j"${jobs}" --target obs_test property_test
@@ -51,6 +56,20 @@ if command -v python3 >/dev/null 2>&1; then
   echo "ci.sh: BENCH_churn.json parses as strict JSON"
 fi
 rm -rf "${churn_dir}"
+
+# Perf-smoke leg: the E15 runtime-scaling bench in smoke mode. Its shape
+# checks fail the run on any correctness regression (bit-identity across
+# modes and thread counts, zero steady-state payload allocations, the shard
+# path actually engaging); wall-clock checks are skipped in smoke mode so
+# this stays green on loaded single-core CI hosts. The artifact must parse.
+cmake --build --preset default -j"${jobs}" --target bench_runtime_scaling
+scaling_dir=$(mktemp -d /tmp/maxutil_scaling.XXXXXX)
+MAXUTIL_RESULTS_DIR="${scaling_dir}" ./build/bench/bench_runtime_scaling --smoke
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${scaling_dir}/BENCH_runtime_scaling.json" >/dev/null
+  echo "ci.sh: BENCH_runtime_scaling.json parses as strict JSON"
+fi
+rm -rf "${scaling_dir}"
 
 if command -v python3 >/dev/null 2>&1; then
   trace_file=$(mktemp /tmp/maxutil_trace.XXXXXX.json)

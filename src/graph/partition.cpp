@@ -1,0 +1,229 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace maxutil::graph {
+namespace {
+
+double weight_of(std::span<const double> edge_weight, EdgeId e) {
+  return edge_weight.empty() ? 1.0 : edge_weight[e];
+}
+
+/// Splitmix64 step — the only randomness source in the partitioner. Used to
+/// perturb seed selection so distinct PartitionOptions::seed values explore
+/// different grow orders while staying fully reproducible.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void finalize_cut(const Digraph& g, std::span<const double> edge_weight,
+                  Partition& p) {
+  p.edge_cut = 0;
+  p.weighted_cut = 0.0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (p.shard_of[g.tail(e)] != p.shard_of[g.head(e)]) {
+      ++p.edge_cut;
+      p.weighted_cut += weight_of(edge_weight, e);
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t Partition::shard_size(ShardId s) const {
+  return static_cast<std::size_t>(
+      std::count(shard_of.begin(), shard_of.end(), s));
+}
+
+std::size_t edge_cut(const Digraph& g, std::span<const ShardId> shard_of) {
+  util::ensure(shard_of.size() == g.node_count(),
+               "edge_cut: shard_of size must match node count");
+  std::size_t cut = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (shard_of[g.tail(e)] != shard_of[g.head(e)]) ++cut;
+  }
+  return cut;
+}
+
+double weighted_edge_cut(const Digraph& g, std::span<const ShardId> shard_of,
+                         std::span<const double> edge_weight) {
+  util::ensure(shard_of.size() == g.node_count(),
+               "weighted_edge_cut: shard_of size must match node count");
+  util::ensure(edge_weight.empty() || edge_weight.size() == g.edge_count(),
+               "weighted_edge_cut: edge_weight must be empty or per-edge");
+  double cut = 0.0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (shard_of[g.tail(e)] != shard_of[g.head(e)]) {
+      cut += weight_of(edge_weight, e);
+    }
+  }
+  return cut;
+}
+
+Partition partition_contiguous(std::size_t nodes, std::size_t shards) {
+  util::ensure(shards >= 1, "partition_contiguous: shards must be >= 1");
+  Partition p;
+  p.shards = shards;
+  p.shard_of.resize(nodes);
+  if (nodes == 0) return p;
+  const std::size_t chunk = (nodes + shards - 1) / shards;
+  for (std::size_t v = 0; v < nodes; ++v) {
+    p.shard_of[v] = static_cast<ShardId>(std::min(v / chunk, shards - 1));
+  }
+  return p;
+}
+
+Partition partition_bfs_grow(const Digraph& g, std::size_t shards,
+                             std::span<const double> edge_weight,
+                             const PartitionOptions& options) {
+  util::ensure(shards >= 1, "partition_bfs_grow: shards must be >= 1");
+  util::ensure(edge_weight.empty() || edge_weight.size() == g.edge_count(),
+               "partition_bfs_grow: edge_weight must be empty or per-edge");
+  const std::size_t n = g.node_count();
+
+  Partition p;
+  p.shards = shards;
+  p.shard_of.assign(n, 0);
+  if (n == 0 || shards == 1) {
+    finalize_cut(g, edge_weight, p);
+    return p;
+  }
+  if (shards >= n) {
+    // Degenerate split: one node per shard, extra shards empty. No cut to
+    // optimize — every edge is cross-shard regardless of labeling.
+    for (NodeId v = 0; v < n; ++v) p.shard_of[v] = static_cast<ShardId>(v);
+    finalize_cut(g, edge_weight, p);
+    return p;
+  }
+
+  constexpr ShardId kUnassigned = std::numeric_limits<ShardId>::max();
+  std::vector<ShardId> shard_of(n, kUnassigned);
+  const std::size_t target = (n + shards - 1) / shards;
+
+  // Seed priority: weighted degree perturbed by the seed. High-degree nodes
+  // make good BFS roots (their neighborhoods fill a shard with few cut
+  // edges); the perturbation is < 1 ulp of separation between distinct
+  // degrees only in pathological cases, so it mostly breaks exact ties.
+  std::vector<double> seed_score(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    double deg = 0.0;
+    for (EdgeId e : g.out_edges(v)) deg += weight_of(edge_weight, e);
+    for (EdgeId e : g.in_edges(v)) deg += weight_of(edge_weight, e);
+    const std::uint64_t h = mix(options.seed ^ (0x51ed2701ull * (v + 1)));
+    seed_score[v] = deg + static_cast<double>(h % 1024) / 4096.0;
+  }
+  auto pick_seed = [&]() -> NodeId {
+    NodeId best = kNoNode;
+    for (NodeId v = 0; v < n; ++v) {
+      if (shard_of[v] != kUnassigned) continue;
+      if (best == kNoNode || seed_score[v] > seed_score[best]) best = v;
+    }
+    return best;
+  };
+
+  std::size_t assigned = 0;
+  std::deque<NodeId> frontier;
+  for (ShardId s = 0; s < shards && assigned < n; ++s) {
+    // Last shard absorbs the remainder so every node lands somewhere even
+    // when earlier frontiers ran dry.
+    const std::size_t want =
+        (s + 1 == shards) ? (n - assigned) : std::min(target, n - assigned);
+    std::size_t got = 0;
+    frontier.clear();
+    while (got < want) {
+      if (frontier.empty()) {
+        const NodeId seed = pick_seed();
+        shard_of[seed] = s;
+        frontier.push_back(seed);
+        ++got;
+        ++assigned;
+        continue;
+      }
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      // Undirected view: absorb both out- and in-neighbors, in edge-id
+      // order, so the traversal is a pure function of the graph.
+      for (EdgeId e : g.out_edges(v)) {
+        const NodeId w = g.head(e);
+        if (got < want && shard_of[w] == kUnassigned) {
+          shard_of[w] = s;
+          frontier.push_back(w);
+          ++got;
+          ++assigned;
+        }
+      }
+      for (EdgeId e : g.in_edges(v)) {
+        const NodeId w = g.tail(e);
+        if (got < want && shard_of[w] == kUnassigned) {
+          shard_of[w] = s;
+          frontier.push_back(w);
+          ++got;
+          ++assigned;
+        }
+      }
+    }
+  }
+
+  // Greedy refinement: move a node to the adjacent shard with the largest
+  // weighted-cut gain, bounded by the slack ceiling and a non-empty floor.
+  std::vector<std::size_t> size(shards, 0);
+  for (NodeId v = 0; v < n; ++v) ++size[shard_of[v]];
+  const std::size_t ceiling = std::max<std::size_t>(
+      target,
+      static_cast<std::size_t>(std::ceil(static_cast<double>(target) *
+                                         (1.0 + options.balance_slack))));
+  std::vector<double> affinity(shards, 0.0);
+  std::vector<ShardId> touched;
+  for (std::size_t pass = 0; pass < options.refinement_passes; ++pass) {
+    bool moved = false;
+    for (NodeId v = 0; v < n; ++v) {
+      const ShardId home = shard_of[v];
+      if (size[home] <= 1) continue;
+      touched.clear();
+      auto note = [&](ShardId s, double w) {
+        if (affinity[s] == 0.0) touched.push_back(s);
+        affinity[s] += w;
+      };
+      for (EdgeId e : g.out_edges(v)) {
+        note(shard_of[g.head(e)], weight_of(edge_weight, e));
+      }
+      for (EdgeId e : g.in_edges(v)) {
+        note(shard_of[g.tail(e)], weight_of(edge_weight, e));
+      }
+      ShardId best = home;
+      double best_gain = 0.0;
+      for (ShardId s : touched) {
+        if (s == home || size[s] >= ceiling) continue;
+        const double gain = affinity[s] - affinity[home];
+        // Strict improvement plus lowest-shard-id tie-break keeps the sweep
+        // deterministic and guarantees termination (cut strictly decreases).
+        if (gain > best_gain || (gain == best_gain && gain > 0.0 && s < best)) {
+          best = s;
+          best_gain = gain;
+        }
+      }
+      for (ShardId s : touched) affinity[s] = 0.0;
+      if (best != home) {
+        shard_of[v] = best;
+        --size[home];
+        ++size[best];
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  p.shard_of = std::move(shard_of);
+  finalize_cut(g, edge_weight, p);
+  return p;
+}
+
+}  // namespace maxutil::graph

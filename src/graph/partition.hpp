@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace maxutil::graph {
+
+/// Shard index within a Partition (dense, 0..shards-1).
+using ShardId = std::uint32_t;
+
+/// Knobs for partition_bfs_grow. Defaults favor balanced shards with a
+/// light refinement pass; all choices are deterministic for a fixed
+/// (graph, shards, options) triple — the property the deterministic runtime
+/// depends on (see docs/RUNTIME.md §6).
+struct PartitionOptions {
+  /// Seed for the grow-order tie-breaks. Two runs with equal seeds produce
+  /// identical partitions; changing the seed explores a different (equally
+  /// valid) grow order.
+  std::uint64_t seed = 2007;
+
+  /// Greedy move passes after the BFS growth. Each pass sweeps nodes in id
+  /// order and moves a node to the neighboring shard with the largest
+  /// weighted-cut gain, subject to the balance bound. 0 disables refinement.
+  std::size_t refinement_passes = 2;
+
+  /// Shard size ceiling as a fraction above perfect balance:
+  /// max size = ceil(n / shards) * (1 + balance_slack). The BFS growth
+  /// respects ceil(n / shards) exactly; only refinement uses the slack.
+  double balance_slack = 0.10;
+};
+
+/// A shard assignment of a graph's nodes. `shard_of[v]` is the shard of
+/// node v; shards are dense 0..shards-1 and every shard is non-empty when
+/// nodes >= shards (extra shards stay empty when shards > nodes).
+struct Partition {
+  std::vector<ShardId> shard_of;
+  std::size_t shards = 1;
+
+  /// Edges whose endpoints land in different shards (structural cut).
+  std::size_t edge_cut = 0;
+
+  /// Same cut weighted by the caller's per-edge weights (== edge_cut when
+  /// no weights were supplied).
+  double weighted_cut = 0.0;
+
+  std::size_t shard_size(ShardId s) const;
+};
+
+/// Structural edge cut of an assignment: number of edges with endpoints in
+/// different shards. `shard_of.size()` must equal `g.node_count()`.
+std::size_t edge_cut(const Digraph& g, std::span<const ShardId> shard_of);
+
+/// Weighted edge cut; `edge_weight` is parallel to the graph's edge ids
+/// (empty = unit weights).
+double weighted_edge_cut(const Digraph& g, std::span<const ShardId> shard_of,
+                         std::span<const double> edge_weight);
+
+/// The baseline assignment the pre-partitioned runtime effectively used:
+/// contiguous id ranges of ceil(nodes / shards) (round-robin over chunk
+/// boundaries, ignoring adjacency entirely). Kept as the A/B reference the
+/// partitioner must beat on edge cut.
+Partition partition_contiguous(std::size_t nodes, std::size_t shards);
+
+/// Edge-cut-minimizing shard partition by deterministic BFS growth plus
+/// greedy refinement.
+///
+/// Growth: shards are grown one at a time to the exact balance target
+/// ceil(n / shards). Each shard seeds at the unassigned node with the
+/// highest weighted degree (ties to the lowest id) and absorbs a BFS
+/// frontier over the graph viewed as undirected — neighbors enqueue in
+/// ascending edge-id order, so the frontier order is a pure function of the
+/// graph. When the frontier empties (disconnected remainder), the next
+/// seed is chosen the same way. Refinement: `refinement_passes` greedy
+/// sweeps move nodes to the adjacent shard with the largest reduction of
+/// the weighted cut, subject to the `balance_slack` size ceiling and to
+/// never emptying a shard.
+///
+/// `edge_weight` (optional, parallel to edge ids) biases both the seed
+/// choice and the refinement gains — the extended-graph caller passes the
+/// number of commodities able to use each edge, making the cut a proxy for
+/// cross-shard messages per protocol wave (the commodity-DAG-aware cut).
+///
+/// Deterministic: equal (g, shards, edge_weight, options) inputs produce
+/// identical partitions on every run, platform, and thread count.
+Partition partition_bfs_grow(const Digraph& g, std::size_t shards,
+                             std::span<const double> edge_weight = {},
+                             const PartitionOptions& options = {});
+
+}  // namespace maxutil::graph

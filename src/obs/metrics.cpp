@@ -88,9 +88,10 @@ MetricId MetricsRegistry::histogram(std::string name,
 
 const MetricsRegistry::Metric& MetricsRegistry::checked(MetricId id,
                                                         MetricKind kind) const {
+  // Literal messages only: this guard runs on every add/observe, and a
+  // composed std::string would put a heap allocation on the hot path.
   ensure(id < metrics_.size(), "MetricsRegistry: unknown metric id");
-  ensure(metrics_[id].kind == kind,
-         "MetricsRegistry: wrong kind for metric '" + metrics_[id].name + "'");
+  ensure(metrics_[id].kind == kind, "MetricsRegistry: wrong kind for metric");
   return metrics_[id];
 }
 
@@ -119,6 +120,19 @@ void MetricsRegistry::observe(MetricId id, double value, std::size_t shard) {
   ++state.buckets[bucket_of(metric, value)];
   ++state.count;
   state.sum += value;
+  state.min = std::min(state.min, value);
+  state.max = std::max(state.max, value);
+}
+
+void MetricsRegistry::observe_n(MetricId id, double value, std::uint64_t count,
+                                std::size_t shard) {
+  if (count == 0) return;
+  const Metric& metric = checked(id, MetricKind::kHistogram);
+  ensure(shard < shards_.size(), "MetricsRegistry: shard out of range");
+  HistogramState& state = shards_[shard].histograms[metric.slot];
+  state.buckets[bucket_of(metric, value)] += count;
+  state.count += count;
+  state.sum += value * static_cast<double>(count);
   state.min = std::min(state.min, value);
   state.max = std::max(state.max, value);
 }

@@ -75,6 +75,13 @@ class MetricsRegistry {
   void add(MetricId id, std::uint64_t delta = 1, std::size_t shard = 0);
   void set(MetricId id, double value);  // gauges, serial-only
   void observe(MetricId id, double value, std::size_t shard = 0);
+  /// Records `count` identical samples with one bucket/count/sum update.
+  /// Bit-identical to calling observe(id, value) `count` times whenever
+  /// `value` and `value * count` are exactly representable (integer-valued
+  /// series like round latencies) — the bulk path exists so O(actors)
+  /// per-wave harvests collapse into one write per distinct value.
+  void observe_n(MetricId id, double value, std::uint64_t count,
+                 std::size_t shard = 0);
 
   /// Folds shards 1..N-1 into shard 0 (and zeroes them) — called at a serial
   /// merge point so subsequent reads walk only warm shard-0 memory.

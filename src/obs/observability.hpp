@@ -3,18 +3,23 @@
 #include <cstddef>
 
 #include "obs/metrics.hpp"
+#include "obs/ring.hpp"
 #include "obs/trace.hpp"
 
 namespace maxutil::obs {
 
-/// Bundle handed to an instrumented component: one metrics registry (sharded
-/// by worker) plus one tracer (serial control path only). sim::Runtime owns
-/// an Observability when RuntimeOptions::observe is set; other layers
+/// Bundle handed to an instrumented component: one metrics registry, one
+/// set of per-thread staging rings for parallel-region events (drained
+/// into the registry at serial merge points — see ring.hpp), and one
+/// tracer (serial control path only). sim::Runtime owns an Observability
+/// when RuntimeOptions::observe is set; other layers
 /// (DistributedGradientSystem, CLI, benches) borrow it via Runtime.
 struct Observability {
-  explicit Observability(std::size_t shards = 1) : metrics(shards) {}
+  explicit Observability(std::size_t shards = 1)
+      : metrics(shards), rings(shards) {}
 
   MetricsRegistry metrics;
+  MetricRingSet rings;
   Tracer tracer;
 };
 

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace maxutil::obs {
+
+/// One staged metric event. Counters interpret `value` as an integer delta,
+/// histograms as the observed sample, gauges as the new value.
+struct MetricEvent {
+  MetricId id = 0;
+  double value = 0.0;
+};
+
+/// Per-thread staging rings for metric events produced inside parallel
+/// regions, drained into a MetricsRegistry at a serial merge point.
+///
+/// Each ring is appended by exactly one worker at a time — a plain vector
+/// push with no locks and no atomics, so observing a parallel hot path
+/// costs two stores and a bounds check per event. drain() replays all
+/// staged events ring-by-ring in ascending ring index; because counter
+/// increments and histogram bucket counts are integers, that fold is
+/// exactly associative — the registry ends bit-identical to a serial run
+/// recording the same events, regardless of how they were spread across
+/// rings or threads (gauge events are last-write-wins in the same
+/// deterministic ring order). Buffers keep their high-water capacity
+/// across drains, so steady-state appends never allocate.
+///
+/// This is how sim::Runtime observes its parallel sections: workers stage
+/// into their ring, and the existing serial outbox-merge point drains —
+/// the registry itself is only ever touched serially.
+class MetricRingSet {
+ public:
+  explicit MetricRingSet(std::size_t rings) : rings_(rings ? rings : 1) {}
+
+  std::size_t ring_count() const { return rings_.size(); }
+
+  /// Grows to `rings` rings (never shrinks; existing staged events keep
+  /// their ring). Serial-only, like registration.
+  void grow(std::size_t rings) {
+    if (rings > rings_.size()) rings_.resize(rings);
+  }
+
+  /// Stages a counter increment on `ring` (owner thread only).
+  void add(std::size_t ring, MetricId id, std::uint64_t delta) {
+    rings_[ring].push_back({id, static_cast<double>(delta)});
+  }
+
+  /// Stages a histogram sample on `ring` (owner thread only).
+  void observe(std::size_t ring, MetricId id, double value) {
+    rings_[ring].push_back({id, value});
+  }
+
+  /// Stages a gauge write on `ring` (owner thread only).
+  void set(std::size_t ring, MetricId id, double value) {
+    rings_[ring].push_back({id, value});
+  }
+
+  /// Events staged and not yet drained, across all rings.
+  std::size_t pending() const {
+    std::size_t total = 0;
+    for (const auto& ring : rings_) total += ring.size();
+    return total;
+  }
+
+  /// Applies every staged event to `registry` in ascending ring order and
+  /// clears the rings. Serial merge point only.
+  void drain(MetricsRegistry& registry) {
+    for (auto& ring : rings_) {
+      for (const MetricEvent& event : ring) {
+        switch (registry.kind(event.id)) {
+          case MetricKind::kCounter:
+            registry.add(event.id, static_cast<std::uint64_t>(event.value));
+            break;
+          case MetricKind::kHistogram:
+            registry.observe(event.id, event.value);
+            break;
+          case MetricKind::kGauge:
+            registry.set(event.id, event.value);
+            break;
+        }
+      }
+      ring.clear();
+    }
+  }
+
+ private:
+  std::vector<std::vector<MetricEvent>> rings_;
+};
+
+}  // namespace maxutil::obs

@@ -7,6 +7,7 @@
 
 #include "core/flow.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/partition.hpp"
 #include "util/check.hpp"
 
 namespace maxutil::sim {
@@ -84,15 +85,22 @@ double NodeActor::kappa_via(CommodityId j, const PerCommodity& s,
 
 void NodeActor::begin_marginal(Outbox& out, std::size_t seq) {
   cur_mseq_ = seq;
-  for (CommodityId j = 0; j < commodities_.size(); ++j) {
-    if (!commodities_[j].has_value()) continue;
-    PerCommodity& s = *commodities_[j];
+  marginal_done_round_ = kWaveOpen;
+  // Reset every commodity before the first emission: emit_marginal stamps
+  // the completion round via marginal_complete(), which must not see a
+  // sibling commodity still carrying last wave's emitted flag.
+  for (auto& slot : commodities_) {
+    if (!slot.has_value()) continue;
+    PerCommodity& s = *slot;
     std::fill(s.head_received.begin(), s.head_received.end(), 0);
     s.heads_received = 0;
     s.marginal_emitted = false;
     s.marginal_wait = 0;
-    // Sinks (no usable out-edges) start the upstream wave immediately.
-    if (s.out_edges.empty()) emit_marginal(out, j);
+  }
+  // Sinks (no usable out-edges) start the upstream wave immediately.
+  for (CommodityId j = 0; j < commodities_.size(); ++j) {
+    if (!commodities_[j].has_value()) continue;
+    if (commodities_[j]->out_edges.empty()) emit_marginal(out, j);
   }
 }
 
@@ -102,6 +110,7 @@ void NodeActor::resync_marginal(std::size_t seq) {
   // begun; patience re-emits whatever we would have sent at the kickoff.
   ++resyncs_;
   cur_mseq_ = seq;
+  marginal_done_round_ = kWaveOpen;
   for (auto& slot : commodities_) {
     if (!slot.has_value()) continue;
     PerCommodity& s = *slot;
@@ -146,6 +155,11 @@ void NodeActor::emit_marginal(Outbox& out, CommodityId j) {
     }
   }
   s.marginal_emitted = true;
+  // First round in which every carried commodity has emitted: stamp it
+  // (corrective re-emissions keep the original completion round).
+  if (marginal_done_round_ == kWaveOpen && marginal_complete()) {
+    marginal_done_round_ = out.round();
+  }
   // Broadcast upstream along every usable in-edge (the curvature rides in
   // the same message, so the second-derivative step costs no extra rounds).
   for (std::size_t i = 0; i < s.in_edges.size(); ++i) {
@@ -234,21 +248,28 @@ void NodeActor::apply_update() {
 
 void NodeActor::begin_forecast(Outbox& out, std::size_t seq) {
   cur_fseq_ = seq;
-  for (CommodityId j = 0; j < commodities_.size(); ++j) {
-    if (!commodities_[j].has_value()) continue;
-    PerCommodity& s = *commodities_[j];
+  forecast_done_round_ = kWaveOpen;
+  // Two passes for the same reason as begin_marginal: the completion stamp
+  // in emit_forecast must see every commodity's flag already reset.
+  for (auto& slot : commodities_) {
+    if (!slot.has_value()) continue;
+    PerCommodity& s = *slot;
     std::fill(s.inflow_received.begin(), s.inflow_received.end(), 0);
     s.inflows_received = 0;
     s.forecast_emitted = false;
     s.forecast_wait = 0;
-    // Roots of the wave: nodes with no usable in-edges (the dummy sources).
-    if (s.in_edges.empty()) emit_forecast(out, j);
+  }
+  // Roots of the wave: nodes with no usable in-edges (the dummy sources).
+  for (CommodityId j = 0; j < commodities_.size(); ++j) {
+    if (!commodities_[j].has_value()) continue;
+    if (commodities_[j]->in_edges.empty()) emit_forecast(out, j);
   }
 }
 
 void NodeActor::resync_forecast(std::size_t seq) {
   ++resyncs_;
   cur_fseq_ = seq;
+  forecast_done_round_ = kWaveOpen;
   for (auto& slot : commodities_) {
     if (!slot.has_value()) continue;
     PerCommodity& s = *slot;
@@ -287,6 +308,9 @@ void NodeActor::emit_forecast(Outbox& out, CommodityId j) {
   }
   s.f_comm = f_comm;
   s.forecast_emitted = true;
+  if (forecast_done_round_ == kWaveOpen && forecast_complete()) {
+    forecast_done_round_ = out.round();
+  }
   refresh_node_usage();
 }
 
@@ -462,6 +486,7 @@ DistributedGradientSystem::DistributedGradientSystem(
     for (NodeActor* actor : actors_) actor->set_patience(patience);
   }
   for (NodeActor* actor : actors_) actor->set_max_staleness(max_staleness);
+  install_partition();
   if (runtime_.observing()) obs_register_metrics();
   // Install the starting routing (the paper's all-rejected state unless the
   // caller warm-starts) and bootstrap t/f with one forecast wave so the
@@ -477,6 +502,29 @@ DistributedGradientSystem::DistributedGradientSystem(
     }
   }
   forecast_wave();
+}
+
+void DistributedGradientSystem::install_partition() {
+  const RuntimeOptions& opts = runtime_.options();
+  if (opts.partition != PartitionMode::kShard || opts.num_threads <= 1 ||
+      !opts.pooled_delivery || opts.faults.link_faults()) {
+    return;
+  }
+  // Weight each extended edge by the commodities that can route over it —
+  // per wave, a node forwards one message per commodity per usable edge, so
+  // the weighted edge cut is exactly the cross-shard message rate the
+  // serial merge will have to absorb.
+  std::vector<double> weight(xg_->edge_count(), 0.0);
+  for (CommodityId j = 0; j < xg_->commodity_count(); ++j) {
+    for (const NodeId v : xg_->commodity_nodes(j)) {
+      for (const EdgeId e : xg_->graph().out_edges(v)) {
+        if (xg_->usable(j, e)) weight[e] += 1.0;
+      }
+    }
+  }
+  graph::Partition part =
+      graph::partition_bfs_grow(xg_->graph(), opts.num_threads, weight);
+  runtime_.set_partition(std::move(part.shard_of), part.shards);
 }
 
 void DistributedGradientSystem::obs_register_metrics() {
@@ -499,28 +547,43 @@ void DistributedGradientSystem::obs_register_metrics() {
                                                   "gradient waves");
 }
 
-void DistributedGradientSystem::obs_begin_wave() {
-  obs_wave_done_.assign(actors_.size(), 0);
-}
-
-void DistributedGradientSystem::obs_note_wave_completions(
+bool DistributedGradientSystem::obs_record_wave_latencies(
     bool marginal, std::size_t wave_start) {
   obs::MetricsRegistry& m = runtime_.observability()->metrics;
+  // Latencies are whole rounds in [0, span], so tally them into a dense
+  // local histogram first and flush one observe_n per distinct value —
+  // bit-identical to per-actor observes, without O(actors) registry writes.
+  const std::size_t span = runtime_.rounds() - wave_start;
+  obs_latency_tally_.assign(span + 1, 0);
+  std::size_t live = 0;
+  std::size_t fresh = 0;
   for (ActorId id = 0; id < actors_.size(); ++id) {
-    if (obs_wave_done_[id] != 0 || runtime_.is_failed(id)) continue;
+    if (runtime_.is_failed(id)) continue;
+    ++live;
     const NodeActor& actor = *actors_[id];
-    if (marginal ? actor.marginal_complete() : actor.forecast_complete()) {
-      obs_wave_done_[id] = 1;
-      m.observe(obs_ids_.node_latency,
-                static_cast<double>(runtime_.rounds() - wave_start));
-    }
+    const std::size_t done = marginal ? actor.marginal_done_round()
+                                      : actor.forecast_done_round();
+    // kWaveOpen = the node never completed this wave (crash/drop stall); a
+    // stamp before the kickoff is a stale wave a down node missed entirely.
+    if (done == NodeActor::kWaveOpen || done < wave_start) continue;
+    ++fresh;
+    ++obs_latency_tally_[done - wave_start];
   }
+  for (std::size_t latency = 0; latency <= span; ++latency) {
+    m.observe_n(obs_ids_.node_latency, static_cast<double>(latency),
+                obs_latency_tally_[latency]);
+  }
+  // A node's completion stamp is set the moment its last emission goes out
+  // and cleared only by the next kickoff/resync, so "every live node carries
+  // a fresh stamp" is exactly wave_complete() — computed here for free.
+  return fresh == live;
 }
 
 void DistributedGradientSystem::obs_finish_wave(bool marginal,
                                                 std::size_t wave_start,
                                                 std::size_t span) {
   obs::Observability& obs = *runtime_.observability();
+  const bool complete = obs_record_wave_latencies(marginal, wave_start);
   const std::size_t rounds = runtime_.rounds() - wave_start;
   obs.metrics.add(obs_ids_.waves);
   obs.metrics.observe(obs_ids_.wave_rounds, static_cast<double>(rounds));
@@ -533,7 +596,7 @@ void DistributedGradientSystem::obs_finish_wave(bool marginal,
       span,
       {{"rounds", static_cast<double>(rounds)},
        {"seq", static_cast<double>(marginal ? marginal_seq_ : forecast_seq_)},
-       {"complete", wave_complete(marginal) ? 1.0 : 0.0}});
+       {"complete", complete ? 1.0 : 0.0}});
 }
 
 bool DistributedGradientSystem::wave_complete(bool marginal) const {
@@ -552,21 +615,19 @@ void DistributedGradientSystem::drive_wave(bool marginal) {
   const std::size_t wave_start = runtime_.rounds();
   std::size_t span = obs::Tracer::kDroppedSpan;
   if (obs) {
-    obs_begin_wave();
     span = obs->tracer.begin_span(
         marginal ? "marginal_wave" : "forecast_wave", "wave",
         Runtime::kObsWaveTrack);
-    // The kickoff already ran (sinks/sources emit immediately): record
-    // zero-latency completions before the first round.
-    obs_note_wave_completions(marginal, wave_start);
   }
+  // Per-node wave latencies come from the actors' completion-round stamps,
+  // harvested once in obs_finish_wave — the round loops below are
+  // observation-free, so observe-on adds nothing per round here.
   if (!runtime_.options().faults.enabled()) {
     // Fault-free the wave completes exactly when the network quiesces.
     std::size_t used = 0;
     while (!runtime_.quiet() && used < kWaveRoundBudget) {
       runtime_.run_round();
       ++used;
-      if (obs) obs_note_wave_completions(marginal, wave_start);
     }
     last_converged_ = last_converged_ && runtime_.quiet();
     if (obs) obs_finish_wave(marginal, wave_start, span);
@@ -580,14 +641,12 @@ void DistributedGradientSystem::drive_wave(bool marginal) {
     while (!runtime_.quiet() && budget > 0) {
       runtime_.run_round();
       --budget;
-      if (obs) obs_note_wave_completions(marginal, wave_start);
     }
     if (!runtime_.quiet()) break;  // budget exhausted mid-flight
     if (wave_complete(marginal)) break;
     if (budget == 0) break;
     runtime_.run_round();
     --budget;
-    if (obs) obs_note_wave_completions(marginal, wave_start);
   }
   last_converged_ =
       last_converged_ && runtime_.quiet() && wave_complete(marginal);

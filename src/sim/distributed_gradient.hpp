@@ -75,6 +75,10 @@ class NodeActor : public Actor {
 
   static constexpr std::size_t kNoPatience = static_cast<std::size_t>(-1);
 
+  /// Sentinel for the wave-completion stamps below: the current wave has
+  /// not completed on this node (yet).
+  static constexpr std::size_t kWaveOpen = static_cast<std::size_t>(-1);
+
   /// True when every carried commodity has emitted in the current
   /// marginal/forecast wave — the system's wave-completion check.
   bool marginal_complete() const;
@@ -93,6 +97,16 @@ class NodeActor : public Actor {
   std::size_t resyncs() const { return resyncs_; }
   /// Age (in waves) of this node's oldest input right now.
   std::size_t max_input_staleness() const;
+
+  /// Runtime round in which the current marginal/forecast wave completed
+  /// on this node (every carried commodity emitted), or kWaveOpen while it
+  /// has not. Stamped in-protocol at emission time — O(1) per wave instead
+  /// of an observer rescanning every node every round — and maintained
+  /// unconditionally, so observed and unobserved runs execute identical
+  /// code. The system turns these into the wave_node_latency_rounds
+  /// histogram at wave end.
+  std::size_t marginal_done_round() const { return marginal_done_round_; }
+  std::size_t forecast_done_round() const { return forecast_done_round_; }
 
  private:
   struct PerCommodity {
@@ -160,6 +174,10 @@ class NodeActor : public Actor {
   std::size_t max_staleness_ = 8;
   std::size_t held_updates_ = 0;
   std::size_t resyncs_ = 0;
+  // Wave-completion stamps (see marginal_done_round()); reset by the wave
+  // kickoffs and by sequence resyncs.
+  std::size_t marginal_done_round_ = kWaveOpen;
+  std::size_t forecast_done_round_ = kWaveOpen;
 };
 
 /// The full distributed system: one NodeActor per extended node on a
@@ -244,6 +262,13 @@ class DistributedGradientSystem {
   /// path) rounds, and exhaustion marks the iteration non-converged.
   static constexpr std::size_t kWaveRoundBudget = 100000;
 
+  /// Installs a commodity-DAG-aware shard partition of the extended graph
+  /// into the runtime (one shard per worker thread, edges weighted by the
+  /// number of commodities that can route over them — a proxy for messages
+  /// per wave). No-op when the options rule sharding out (single thread,
+  /// chunked mode, legacy delivery, link faults); results are identical
+  /// either way.
+  void install_partition();
   void marginal_wave();
   void forecast_wave();
   /// Runs rounds until the wave completes on every live actor (fault-free
@@ -256,11 +281,13 @@ class DistributedGradientSystem {
 
   // --- Observability (active only while runtime_.observing()) ---
   void obs_register_metrics();
-  /// Resets per-wave completion tracking (per-node latency histogram).
-  void obs_begin_wave();
-  /// Marks nodes whose wave just completed; records their latency in
-  /// rounds since the wave kickoff.
-  void obs_note_wave_completions(bool marginal, std::size_t wave_start);
+  /// Records every live node's wave latency from its completion-round
+  /// stamp (NodeActor::marginal_done_round) — one scan at wave end, not
+  /// one per round, so observing adds O(n) per wave instead of
+  /// O(n * rounds * commodities). Latencies are tallied locally and flushed
+  /// as one observe_n per distinct value. Returns true when every live node
+  /// carries a fresh stamp, which is exactly wave_complete().
+  bool obs_record_wave_latencies(bool marginal, std::size_t wave_start);
   void obs_finish_wave(bool marginal, std::size_t wave_start,
                        std::size_t span);
 
@@ -280,8 +307,10 @@ class DistributedGradientSystem {
     obs::MetricId waves, wave_rounds, node_latency, resyncs, iterations,
         held_updates, staleness;
   } obs_ids_{};
-  std::vector<char> obs_wave_done_;  // per-node completion latch
   std::size_t obs_synced_resyncs_ = 0;
+  /// Scratch for obs_record_wave_latencies (index = latency in rounds);
+  /// a member so per-wave harvests reuse its high-water capacity.
+  std::vector<std::uint64_t> obs_latency_tally_;
 };
 
 }  // namespace maxutil::sim

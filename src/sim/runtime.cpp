@@ -25,6 +25,8 @@ void Outbox::send(ActorId to, int tag, std::size_t commodity,
   runtime_->record_send(*this, to, tag, commodity, payload);
 }
 
+std::size_t Outbox::round() const { return runtime_->rounds(); }
+
 Runtime::Runtime(RuntimeOptions options)
     : options_(std::move(options)), fault_rng_(options_.faults.seed) {
   ensure(options_.num_threads >= 1, "Runtime: num_threads must be >= 1");
@@ -44,7 +46,11 @@ Runtime::Runtime(RuntimeOptions options)
   crash_fired_.assign(options_.faults.crashes.size(), 0);
   restart_fired_.assign(options_.faults.crashes.size(), 0);
   if (options_.observe && obs::kObsEnabled) {
-    obs_ = std::make_unique<obs::Observability>(payload_shards_.size());
+    // One registry shard: parallel regions never touch the registry —
+    // they stage events into per-thread rings drained at the serial merge
+    // points (obs_sync_counters), so reads stay single-shard cheap.
+    obs_ = std::make_unique<obs::Observability>(1);
+    obs_->rings.grow(payload_shards_.size());
     obs_register_metrics();
   }
 }
@@ -69,7 +75,8 @@ void Runtime::obs_register_metrics() {
   obs_ids_.fault_restarts =
       m.counter("fault_restarts", "scheduled restarts triggered");
   obs_ids_.actor_steps = m.counter(
-      "actor_steps_total", "live-actor invocations (per-worker sharded)");
+      "actor_steps_total",
+      "live-actor invocations (staged in per-thread rings)");
   obs_ids_.queue_depth =
       m.gauge("queue_depth", "messages in flight after the last round");
   obs_ids_.round_delivered = m.histogram(
@@ -85,6 +92,9 @@ void Runtime::obs_register_metrics() {
 
 void Runtime::obs_sync_counters() {
   obs::MetricsRegistry& m = obs_->metrics;
+  // Replay events staged by parallel workers/shards (exactly associative —
+  // see obs/ring.hpp), then push the serial counter deltas.
+  obs_->rings.drain(m);
   const auto push = [&m](obs::MetricId id, std::size_t current,
                          std::size_t& synced) {
     if (current != synced) {
@@ -102,29 +112,66 @@ void Runtime::obs_sync_counters() {
   push(obs_ids_.fault_delayed, fault_delayed_, obs_synced_.fault_delayed);
   push(obs_ids_.fault_crashes, fault_crashes_, obs_synced_.fault_crashes);
   push(obs_ids_.fault_restarts, fault_restarts_, obs_synced_.fault_restarts);
-  m.merge_shards();
 }
 
 ActorId Runtime::add_actor(std::unique_ptr<Actor> actor) {
   ensure(actor != nullptr, "Runtime::add_actor: null actor");
+  ensure(!partition_active_,
+         "Runtime::add_actor: all actors must exist before set_partition");
+  actors_raw_.push_back(actor.get());
   actors_.push_back(std::move(actor));
-  failed_.push_back(false);
+  failed_.push_back(0);
   return actors_.size() - 1;
+}
+
+bool Runtime::set_partition(std::vector<std::uint32_t> shard_of,
+                            std::size_t shards) {
+  ensure(shards >= 1, "Runtime::set_partition: shards must be >= 1");
+  ensure(shard_of.size() == actors_.size(),
+         "Runtime::set_partition: assignment size must match actor count");
+  ensure(quiet(), "Runtime::set_partition: messages are in flight");
+  for (const std::uint32_t s : shard_of) {
+    ensure(s < shards, "Runtime::set_partition: shard id out of range");
+  }
+  if (options_.partition != PartitionMode::kShard ||
+      !options_.pooled_delivery || options_.faults.link_faults()) {
+    return false;
+  }
+  const std::size_t n = actors_.size();
+  shard_of_ = std::move(shard_of);
+  shards_.assign(shards, Shard{});
+  local_index_.resize(n);
+  inbox_ptr_.assign(n, nullptr);
+  inbox_len_.assign(n, 0);
+  for (std::size_t si = 0; si < shards; ++si) {
+    shards_[si].index = static_cast<std::uint32_t>(si);
+  }
+  for (ActorId id = 0; id < n; ++id) {
+    Shard& s = shards_[shard_of_[id]];
+    local_index_[id] = static_cast<std::uint32_t>(s.actors.size());
+    s.actors.push_back(id);
+  }
+  // One payload pool per shard (the chunked path sized these per worker),
+  // and one metric staging ring per shard to match.
+  if (payload_shards_.size() < shards) payload_shards_.resize(shards);
+  if (obs_) obs_->rings.grow(shards);
+  partition_active_ = true;
+  return true;
 }
 
 void Runtime::fail(ActorId id) {
   ensure(id < actors_.size(), "Runtime::fail: unknown actor");
-  failed_[id] = true;
+  failed_[id] = 1;
 }
 
 void Runtime::restore(ActorId id) {
   ensure(id < actors_.size(), "Runtime::restore: unknown actor");
-  failed_[id] = false;
+  failed_[id] = 0;
 }
 
 bool Runtime::is_failed(ActorId id) const {
   ensure(id < actors_.size(), "Runtime::is_failed: unknown actor");
-  return failed_[id];
+  return failed_[id] != 0;
 }
 
 void Runtime::set_delay_model(
@@ -235,6 +282,10 @@ void Runtime::enqueue_now(Message message) {
 void Runtime::record_send(const Outbox& outbox, ActorId to, int tag,
                           std::size_t commodity,
                           std::span<const double> payload) {
+  if (outbox.slot_ == kShardSlot) {
+    record_send_partitioned(outbox, to, tag, commodity, payload);
+    return;
+  }
   if (!options_.pooled_delivery) {
     // Legacy path: a fresh heap payload per send, queued immediately.
     enqueue_now({outbox.self_, to, tag, commodity,
@@ -253,6 +304,298 @@ void Runtime::record_send(const Outbox& outbox, ActorId to, int tag,
     // Parallel context: defer validation, failure filtering, and due
     // stamping to the serial merge — shard state is all this touches.
     outbox_shards_[outbox.slot_].sends.push_back(std::move(message));
+  }
+}
+
+void Runtime::record_send_partitioned(const Outbox& outbox, ActorId to,
+                                      int tag, std::size_t commodity,
+                                      std::span<const double> payload) {
+  ensure(to < actors_.size(), "Runtime: message to unknown actor");
+  const std::size_t src_shard = outbox.worker_;
+  Shard& s = shards_[src_shard];
+  Message message;
+  message.from = outbox.self_;
+  message.to = to;
+  message.tag = tag;
+  message.commodity = commodity;
+  message.payload = acquire_payload(src_shard, payload);
+  if (shard_of_[to] != src_shard) {
+    // Cross-shard: fate (count, failure filter, due stamp) is decided at
+    // the serial merge so the canonical global sender order is preserved.
+    s.cross.push_back(std::move(message));
+    return;
+  }
+  // Intra-shard: the whole send stays inside this shard's memory. failed_
+  // is stable for the duration of a sweep (crash windows fire at round
+  // start, fail()/restore() between rounds), so filtering here matches the
+  // serial fate exactly.
+  ++s.sent;
+  if (failed_[message.from] || failed_[message.to]) {
+    ++s.dropped;
+    payload_shards_[src_shard].free_list.push_back(std::move(message.payload));
+    return;
+  }
+  const std::size_t base =
+      delay_ ? std::max<std::size_t>(1, delay_(message.from, message.to)) : 1;
+  s.local.push_back({rounds_ + base, epoch_, std::move(message)});
+}
+
+void Runtime::release_payload(ActorId from, std::vector<double>&& payload,
+                              Shard& s) {
+  if (shard_of_[from] == s.index) {
+    payload_shards_[s.index].free_list.push_back(std::move(payload));
+  } else {
+    s.returns.push_back({from, std::move(payload)});
+  }
+}
+
+void Runtime::shard_deliver(Shard& s) {
+  const std::size_t owned = s.actors.size();
+  s.counts.assign(owned, 0);
+
+  // Pass 1 (order-free): count deliverable messages per owned recipient.
+  std::size_t total = 0;
+  const auto count_queue = [&](const std::vector<ShardPending>& q) {
+    for (const ShardPending& p : q) {
+      if (p.due > rounds_) continue;
+      if (failed_[p.message.from] || failed_[p.message.to]) continue;
+      ++s.counts[local_index_[p.message.to]];
+      ++total;
+    }
+  };
+  count_queue(s.local);
+  count_queue(s.handoff);
+
+  s.inbox.resize(total);
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < owned; ++i) {
+    const std::size_t c = s.counts[i];
+    const ActorId id = s.actors[i];
+    inbox_ptr_[id] = s.inbox.data() + acc;
+    inbox_len_[id] = static_cast<std::uint32_t>(c);
+    s.counts[i] = acc;  // becomes the scatter cursor
+    acc += c;
+  }
+
+  // Pass 2: ordered two-queue merge on (epoch, sender). Both queues are
+  // appended in that order, senders split by shard (so keys never tie
+  // across queues), and the serial runtime enqueued in exactly this
+  // sequence — hence each recipient sees the serial inbox, bit for bit.
+  // Not-yet-due messages are compacted in place; failed-endpoint ones are
+  // dropped here just as serial delivery would.
+  const auto advance = [&](std::vector<ShardPending>& q, std::size_t& r,
+                           std::size_t& w) -> bool {
+    while (r < q.size()) {
+      ShardPending& p = q[r];
+      if (p.due > rounds_) {
+        if (w != r) q[w] = std::move(p);
+        ++w;
+        ++r;
+        continue;
+      }
+      if (failed_[p.message.from] || failed_[p.message.to]) {
+        ++s.dropped;
+        release_payload(p.message.from, std::move(p.message.payload), s);
+        ++r;
+        continue;
+      }
+      return true;
+    }
+    return false;
+  };
+  std::size_t lr = 0, lw = 0, hr = 0, hw = 0;
+  bool lh = advance(s.local, lr, lw);
+  bool hh = advance(s.handoff, hr, hw);
+  while (lh || hh) {
+    bool take_local;
+    if (lh && hh) {
+      const ShardPending& a = s.local[lr];
+      const ShardPending& b = s.handoff[hr];
+      take_local = a.epoch < b.epoch ||
+                   (a.epoch == b.epoch && a.message.from < b.message.from);
+    } else {
+      take_local = lh;
+    }
+    Message& m = take_local ? s.local[lr].message : s.handoff[hr].message;
+    s.delivered_payload += m.payload.size();
+    s.inbox[s.counts[local_index_[m.to]]++] = std::move(m);
+    if (take_local) {
+      ++lr;
+      lh = advance(s.local, lr, lw);
+    } else {
+      ++hr;
+      hh = advance(s.handoff, hr, hw);
+    }
+  }
+  s.local.resize(lw);
+  s.handoff.resize(hw);
+  s.delivered += total;
+}
+
+void Runtime::shard_step_round(Shard& s) {
+  std::size_t steps = 0;
+  for (const ActorId id : s.actors) {
+    if (failed_[id]) continue;
+    Outbox out(*this, id, kShardSlot, s.index);
+    actors_raw_[id]->on_round(
+        out, std::span<const Message>(inbox_ptr_[id], inbox_len_[id]));
+    ++steps;
+  }
+  // One staged event per shard sweep, not one registry write per actor.
+  if (obs_ && steps != 0) obs_->rings.add(s.index, obs_ids_.actor_steps, steps);
+}
+
+void Runtime::shard_step_fn(
+    Shard& s, const std::function<void(ActorId, Actor&, Outbox&)>& fn) {
+  std::size_t steps = 0;
+  for (const ActorId id : s.actors) {
+    if (failed_[id]) continue;
+    Outbox out(*this, id, kShardSlot, s.index);
+    fn(id, *actors_raw_[id], out);
+    ++steps;
+  }
+  if (obs_ && steps != 0) obs_->rings.add(s.index, obs_ids_.actor_steps, steps);
+}
+
+void Runtime::shard_recycle(Shard& s) {
+  for (Message& m : s.inbox) {
+    release_payload(m.from, std::move(m.payload), s);
+  }
+  s.inbox.clear();
+}
+
+std::size_t Runtime::merge_cross_and_fold() {
+  // K-way merge of the cross buffers in ascending global sender order.
+  // Each buffer is already ascending (its shard stepped actors in id
+  // order) and a sender lives in exactly one shard, so repeatedly taking
+  // the minimal head replays the canonical serial enqueue order.
+  for (Shard& s : shards_) s.cross_read = 0;
+  for (;;) {
+    Shard* src = nullptr;
+    for (Shard& s : shards_) {
+      if (s.cross_read >= s.cross.size()) continue;
+      if (src == nullptr ||
+          s.cross[s.cross_read].from < src->cross[src->cross_read].from) {
+        src = &s;
+      }
+    }
+    if (src == nullptr) break;
+    Message m = std::move(src->cross[src->cross_read++]);
+    ++sent_messages_;
+    if (failed_[m.from] || failed_[m.to]) {
+      ++dropped_messages_;
+      payload_shards_[shard_of_[m.from]].free_list.push_back(
+          std::move(m.payload));
+      continue;
+    }
+    const std::size_t base =
+        delay_ ? std::max<std::size_t>(1, delay_(m.from, m.to)) : 1;
+    shards_[shard_of_[m.to]].handoff.push_back(
+        {rounds_ + base, epoch_, std::move(m)});
+  }
+
+  // Route cross-delivered payloads back to their home pools (exact
+  // conservation: every buffer returns to the pool that acquired it, so
+  // steady-state rounds never allocate) and fold the per-shard tallies.
+  std::size_t delivered = 0;
+  for (Shard& s : shards_) {
+    s.cross.clear();
+    for (PayloadReturn& r : s.returns) {
+      payload_shards_[shard_of_[r.from]].free_list.push_back(
+          std::move(r.payload));
+    }
+    s.returns.clear();
+    sent_messages_ += s.sent;
+    dropped_messages_ += s.dropped;
+    delivered += s.delivered;
+    delivered_payload_ += s.delivered_payload;
+    total_deliver_seconds_ += s.deliver_seconds;
+    total_step_seconds_ += s.step_seconds;
+    s.sent = 0;
+    s.dropped = 0;
+    s.delivered = 0;
+    s.delivered_payload = 0;
+    s.deliver_seconds = 0.0;
+    s.step_seconds = 0.0;
+  }
+  delivered_messages_ += delivered;
+  return delivered;
+}
+
+std::size_t Runtime::partitioned_queued() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) total += s.local.size() + s.handoff.size();
+  return total;
+}
+
+std::size_t Runtime::run_round_partitioned() {
+  const bool parallel = pool_ != nullptr && shards_.size() > 1 &&
+                        partitioned_queued() >= options_.serial_cutoff;
+  ++epoch_;
+  if (parallel) {
+    pool_->run_chunks(shards_.size(), [this](std::size_t, std::size_t si) {
+      Shard& s = shards_[si];
+      if (obs_) {
+        const auto t0 = std::chrono::steady_clock::now();
+        shard_deliver(s);
+        const auto t1 = std::chrono::steady_clock::now();
+        shard_step_round(s);
+        s.deliver_seconds += std::chrono::duration<double>(t1 - t0).count();
+        s.step_seconds += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t1)
+                              .count();
+      } else {
+        shard_deliver(s);
+        shard_step_round(s);
+      }
+      shard_recycle(s);
+    });
+  } else {
+    std::chrono::steady_clock::time_point t0, t1;
+    if (obs_) t0 = std::chrono::steady_clock::now();
+    for (Shard& s : shards_) shard_deliver(s);
+    if (obs_) t1 = std::chrono::steady_clock::now();
+    for (Shard& s : shards_) shard_step_round(s);
+    if (obs_) {
+      const auto t2 = std::chrono::steady_clock::now();
+      total_deliver_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+      total_step_seconds_ += std::chrono::duration<double>(t2 - t1).count();
+    }
+    for (Shard& s : shards_) shard_recycle(s);
+  }
+  std::chrono::steady_clock::time_point merge_start;
+  if (obs_) merge_start = std::chrono::steady_clock::now();
+  const std::size_t delivered = merge_cross_and_fold();
+  if (obs_) {
+    total_merge_seconds_ += std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - merge_start)
+                                .count();
+  }
+  return delivered;
+}
+
+void Runtime::step_partitioned(
+    const std::function<void(ActorId, Actor&, Outbox&)>& fn,
+    std::size_t work_hint) {
+  ++epoch_;
+  const bool parallel = pool_ != nullptr && shards_.size() > 1 &&
+                        work_hint >= options_.serial_cutoff;
+  if (parallel) {
+    pool_->run_chunks(shards_.size(),
+                      [this, &fn](std::size_t, std::size_t si) {
+                        shard_step_fn(shards_[si], fn);
+                      });
+  } else {
+    for (Shard& s : shards_) shard_step_fn(s, fn);
+  }
+  std::chrono::steady_clock::time_point merge_start;
+  if (obs_) merge_start = std::chrono::steady_clock::now();
+  merge_cross_and_fold();
+  if (obs_) {
+    total_merge_seconds_ += std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - merge_start)
+                                .count();
+    obs_sync_counters();
   }
 }
 
@@ -306,6 +649,9 @@ std::size_t Runtime::deliver_due() {
 }
 
 std::span<const Message> Runtime::inbox_of(ActorId id) const {
+  if (partition_active_) {
+    return {inbox_ptr_[id], inbox_len_[id]};
+  }
   const std::size_t begin = inbox_offsets_[id];
   const std::size_t end = inbox_offsets_[id + 1];
   return {inbox_messages_.data() + begin, end - begin};
@@ -314,17 +660,25 @@ std::span<const Message> Runtime::inbox_of(ActorId id) const {
 void Runtime::step_live_actors(
     const std::function<void(ActorId, Actor&, Outbox&)>& fn,
     std::size_t work_hint) {
+  if (partition_active_) {
+    step_partitioned(fn, work_hint);
+    return;
+  }
   const std::size_t n = actors_.size();
   const bool parallel = pool_ != nullptr && n > 1 &&
                         work_hint >= options_.serial_cutoff;
   if (!parallel) {
+    std::size_t steps = 0;
     for (ActorId id = 0; id < n; ++id) {
       if (failed_[id]) continue;
       Outbox out(*this, id, kDirectSlot, 0);
       fn(id, *actors_[id], out);
-      if (obs_) obs_->metrics.add(obs_ids_.actor_steps);
+      ++steps;
     }
-    if (obs_) obs_sync_counters();
+    if (obs_) {
+      if (steps != 0) obs_->metrics.add(obs_ids_.actor_steps, steps);
+      obs_sync_counters();
+    }
     return;
   }
 
@@ -339,12 +693,17 @@ void Runtime::step_live_actors(
     const ActorId begin = c * chunk;
     const ActorId end = std::min<ActorId>(n, begin + chunk);
     const std::size_t slot = options_.deterministic ? c : worker;
+    std::size_t steps = 0;
     for (ActorId id = begin; id < end; ++id) {
       if (failed_[id]) continue;
       Outbox out(*this, id, slot, worker);
       fn(id, *actors_[id], out);
-      // Worker-sharded write; folded below at the serial merge point.
-      if (obs_) obs_->metrics.add(obs_ids_.actor_steps, 1, worker);
+      ++steps;
+    }
+    // One event staged on this worker's ring per chunk; drained below at
+    // the serial merge point.
+    if (obs_ && steps != 0) {
+      obs_->rings.add(worker, obs_ids_.actor_steps, steps);
     }
   });
 
@@ -493,24 +852,25 @@ std::size_t Runtime::run_round() {
            : obs::Tracer::kDroppedSpan;
   if (!options_.faults.crashes.empty()) apply_crash_schedule();
   release_fault_deferred();
-  const std::size_t delivered =
-      options_.pooled_delivery ? run_round_pooled() : run_round_legacy();
+  const std::size_t delivered = !options_.pooled_delivery
+                                    ? run_round_legacy()
+                                : partition_active_ ? run_round_partitioned()
+                                                    : run_round_pooled();
   last_round_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   total_round_seconds_ += last_round_seconds_;
   if (obs_) {
     obs::MetricsRegistry& m = obs_->metrics;
-    m.set(obs_ids_.queue_depth,
-          static_cast<double>(pending_.size() + fault_deferred_.size()));
+    const std::size_t depth = in_flight_messages();
+    m.set(obs_ids_.queue_depth, static_cast<double>(depth));
     m.observe(obs_ids_.round_delivered, static_cast<double>(delivered));
     m.observe(obs_ids_.round_us, last_round_seconds_ * 1e6);
     obs_sync_counters();
-    obs_->tracer.end_span(
-        span, {{"round", static_cast<double>(rounds_)},
-               {"delivered", static_cast<double>(delivered)},
-               {"queue_depth", static_cast<double>(pending_.size() +
-                                                   fault_deferred_.size())}});
+    obs_->tracer.end_span(span,
+                          {{"round", static_cast<double>(rounds_)},
+                           {"delivered", static_cast<double>(delivered)},
+                           {"queue_depth", static_cast<double>(depth)}});
   }
   return delivered;
 }

@@ -33,6 +33,20 @@ struct Message {
   std::vector<double> payload;
 };
 
+/// How parallel rounds divide actors across workers.
+enum class PartitionMode {
+  /// Contiguous actor-id chunks claimed dynamically (the pre-sharding
+  /// behavior). Every send crosses the serial merge point and every round
+  /// rebuilds one global inbox — kept as the A/B reference.
+  kChunked,
+  /// Graph-aware shards installed via Runtime::set_partition: one task per
+  /// shard, per-shard inboxes, queues, and payload pools. Intra-shard
+  /// messages never cross a lock or touch another shard's memory; only the
+  /// (edge-cut-minimized) cross-shard traffic goes through the serial
+  /// merge. Falls back to kChunked until a partition is installed.
+  kShard,
+};
+
 /// Execution knobs for the runtime. The default is the fully serial,
 /// pooled-delivery path; benches and large instances raise `num_threads`.
 struct RuntimeOptions {
@@ -61,6 +75,13 @@ struct RuntimeOptions {
   /// skips dispatch overhead on near-empty wave-tail rounds).
   std::size_t serial_cutoff = 64;
 
+  /// Partitioning strategy for parallel rounds; see PartitionMode. The
+  /// shard mode only takes effect once a caller installs an assignment via
+  /// set_partition (DistributedGradientSystem does, from an edge-cut
+  /// partition of the extended graph); results are bit-identical either
+  /// way and across shard counts — only throughput changes.
+  PartitionMode partition = PartitionMode::kShard;
+
   /// Seeded fault-injection plan (drop/delay/duplicate/crash — see
   /// sim/fault.hpp and docs/RUNTIME.md). Default-constructed = no faults;
   /// the runtime then takes its fault-free fast path untouched. Faults are
@@ -72,7 +93,8 @@ struct RuntimeOptions {
   /// When true (and the build did not define MAXUTIL_OBS_OFF), the runtime
   /// allocates an obs::Observability and records metrics (message/fault
   /// counters, queue depth, per-round delivery and wall-time histograms,
-  /// per-worker actor-step shards) plus trace spans (one per round, fault
+  /// actor steps staged in per-thread rings) plus trace spans (one per
+  /// round, fault
   /// instants for crash/restart). Observation is read-only: the computed
   /// messages and actor states are bit-identical with it on or off, for
   /// every thread count (tests/property_test.cpp pins this). Off (the
@@ -112,6 +134,11 @@ class Outbox {
     send(to, tag, commodity,
          std::span<const double>(payload.begin(), payload.size()));
   }
+
+  /// Current round counter of the owning runtime. Lets an actor stamp
+  /// events with the round they happened in (e.g. wave-completion rounds
+  /// for latency accounting) without holding a runtime back-pointer.
+  std::size_t round() const;
 
  private:
   friend class Runtime;
@@ -155,8 +182,24 @@ class Runtime {
   Runtime() : Runtime(RuntimeOptions{}) {}
   explicit Runtime(RuntimeOptions options);
 
-  /// Registers an actor; returns its id (dense, in add order).
+  /// Registers an actor; returns its id (dense, in add order). Must precede
+  /// set_partition.
   ActorId add_actor(std::unique_ptr<Actor> actor);
+
+  /// Installs a shard assignment (`shard_of[id]` = owning shard of actor
+  /// id, values < `shards`) and switches the runtime to the partitioned
+  /// execution path: per-shard pending queues, inboxes, and payload pools,
+  /// with cross-shard sends batched and merged serially in canonical sender
+  /// order (see docs/RUNTIME.md). Requires quiescence (install before the
+  /// first send). Returns false — leaving the chunked path active — when
+  /// the options rule sharding out: PartitionMode::kChunked, legacy
+  /// delivery, or link-fault injection (whose RNG draws need the single
+  /// serial enqueue stream). Delivery order, results, and counters are
+  /// bit-identical for every assignment and shard count.
+  bool set_partition(std::vector<std::uint32_t> shard_of, std::size_t shards);
+
+  /// True once set_partition has installed an assignment.
+  bool partitioned() const { return partition_active_; }
 
   /// Installs a heterogeneous link-delay model: a message from `a` to `b`
   /// takes `delay(a, b)` rounds (values < 1 are clamped to 1). Default is a
@@ -194,16 +237,21 @@ class Runtime {
   QuietResult run_until_quiet(std::size_t max_rounds = 100000,
                               bool strict = true);
 
-  /// True when no messages are in flight — neither queued for delivery nor
-  /// parked in the fault injector's delay buffer. Counting the delayed
-  /// messages matters: without them, run_until_quiet(strict=false) could
-  /// report quiescence while a fault-delayed message was still due to
-  /// arrive, and its late delivery would silently restart the protocol.
-  bool quiet() const { return pending_.empty() && fault_deferred_.empty(); }
+  /// True when no messages are in flight — neither queued for delivery
+  /// (globally or in any shard) nor parked in the fault injector's delay
+  /// buffer. Counting the delayed messages matters: without them,
+  /// run_until_quiet(strict=false) could report quiescence while a
+  /// fault-delayed message was still due to arrive, and its late delivery
+  /// would silently restart the protocol.
+  bool quiet() const { return in_flight_messages() == 0; }
 
   /// Messages currently in flight (queued + fault-delayed).
   std::size_t in_flight_messages() const {
-    return pending_.size() + fault_deferred_.size();
+    std::size_t total = pending_.size() + fault_deferred_.size();
+    for (const Shard& s : shards_) {
+      total += s.local.size() + s.handoff.size();
+    }
+    return total;
   }
 
   /// Runs `fn` once for every live actor with a connected outbox — the hook
@@ -258,8 +306,8 @@ class Runtime {
 
   /// Non-null iff RuntimeOptions::observe was set and the build has the
   /// layer compiled in. The registry's counters mirror the accessor values
-  /// above; merge shards are folded at every serial merge point, so reads
-  /// between rounds are always current.
+  /// above; the staging rings are drained at every serial merge point, so
+  /// reads between rounds are always current.
   obs::Observability* observability() { return obs_.get(); }
   const obs::Observability* observability() const { return obs_.get(); }
   bool observing() const { return obs_ != nullptr; }
@@ -277,6 +325,58 @@ class Runtime {
     Message message;
   };
 
+  /// A queued message in partitioned mode. `epoch` is the stepping sweep
+  /// that produced it: sweeps are serially numbered, and within a sweep
+  /// every queue receives sends in ascending sender order, so each shard
+  /// queue is totally ordered by (epoch, message.from). Delivery is a
+  /// two-way merge of the shard's queues on that key — which replays the
+  /// serial runtime's global enqueue order exactly (the two queues split
+  /// senders by shard, so keys never tie across them).
+  struct ShardPending {
+    std::size_t due;
+    std::size_t epoch;
+    Message message;
+  };
+
+  /// A payload buffer recycled by a shard that did not acquire it (a
+  /// cross-shard delivery). Routed back to the sender's shard pool at the
+  /// serial merge point, so every pool's level is conserved and steady
+  /// state allocates nothing — the exact-balance fix for the threads>1
+  /// pool leak.
+  struct PayloadReturn {
+    ActorId from;
+    std::vector<double> payload;
+  };
+
+  /// All state owned by one shard. During a parallel round exactly one
+  /// pool task touches a given shard (reads of shared state — failed_,
+  /// epoch_, rounds_, delay_ — are const for the whole sweep), so the hot
+  /// path needs no locks and no atomics.
+  struct Shard {
+    std::uint32_t index = 0;
+    std::vector<ActorId> actors;  // owned actor ids, ascending
+
+    // Pending queues, both (epoch, sender)-ordered: `local` is fed by this
+    // shard's own stepping, `handoff` by the serial cross-shard merge.
+    std::vector<ShardPending> local;
+    std::vector<ShardPending> handoff;
+
+    std::vector<Message> inbox;  // this round's deliveries, counting-sorted
+    std::vector<Message> cross;  // outgoing cross-shard sends (asc. sender)
+    std::size_t cross_read = 0;  // k-way merge cursor into `cross`
+    std::vector<PayloadReturn> returns;
+    std::vector<std::size_t> counts;  // delivery scratch, |actors| entries
+
+    // Round-local tallies, folded into the global counters at the serial
+    // merge point (so parallel tasks never touch shared counters).
+    std::size_t delivered = 0;
+    std::size_t delivered_payload = 0;
+    std::size_t sent = 0;
+    std::size_t dropped = 0;
+    double deliver_seconds = 0.0;  // accumulated only while observing
+    double step_seconds = 0.0;
+  };
+
   /// Per-worker recycle pool for payload vectors. Touched by exactly one
   /// worker during parallel stepping; refilled round-robin in the serial
   /// recycle phase at the end of each round.
@@ -292,6 +392,9 @@ class Runtime {
   };
 
   static constexpr std::size_t kDirectSlot = static_cast<std::size_t>(-1);
+  /// Outbox slot marking the partitioned send path; the outbox's `worker_`
+  /// then carries the sender's shard index.
+  static constexpr std::size_t kShardSlot = static_cast<std::size_t>(-2);
 
   void record_send(const Outbox& outbox, ActorId to, int tag,
                    std::size_t commodity, std::span<const double> payload);
@@ -325,17 +428,57 @@ class Runtime {
       std::size_t work_hint);
   std::size_t run_round_pooled();
   std::size_t run_round_legacy();
+
+  // --- Partitioned path (active iff partition_active_) ---
+  /// Routes one send from the partitioned stepping path: intra-shard sends
+  /// are filtered, due-stamped, and queued entirely within the sender's
+  /// shard; cross-shard sends are buffered for the serial merge.
+  void record_send_partitioned(const Outbox& outbox, ActorId to, int tag,
+                               std::size_t commodity,
+                               std::span<const double> payload);
+  /// Returns a delivered payload to its home pool: the sender's own shard
+  /// pool directly, or `s.returns` when the sender lives elsewhere.
+  void release_payload(ActorId from, std::vector<double>&& payload, Shard& s);
+  /// Two-queue ordered merge delivery into the shard's inbox (counting
+  /// sort per owned actor), compacting not-yet-due messages in place.
+  void shard_deliver(Shard& s);
+  /// Steps the shard's live actors in ascending id order (the hot round
+  /// loop — no std::function).
+  void shard_step_round(Shard& s);
+  /// Generic sweep over the shard's live actors (kickoff path).
+  void shard_step_fn(Shard& s,
+                     const std::function<void(ActorId, Actor&, Outbox&)>& fn);
+  /// Recycles the shard's dead inbox payloads after stepping.
+  void shard_recycle(Shard& s);
+  /// Serial tail of every partitioned sweep: k-way merges the cross-shard
+  /// buffers in ascending global sender order into the destination handoff
+  /// queues (counting + failure-filtering each message exactly as the
+  /// serial enqueue would), routes payload returns home, and folds the
+  /// per-shard tallies into the global counters. Returns messages
+  /// delivered this sweep (from the folded tallies).
+  std::size_t merge_cross_and_fold();
+  /// Queued messages across all shard queues (the parallel-cutoff hint).
+  std::size_t partitioned_queued() const;
+  std::size_t run_round_partitioned();
+  void step_partitioned(const std::function<void(ActorId, Actor&, Outbox&)>& fn,
+                        std::size_t work_hint);
+
   /// Registers the runtime's metric catalog (ctor, observe path only).
   void obs_register_metrics();
-  /// Pushes counter deltas into the registry and folds worker shards —
-  /// called at the serial merge points (end of step_live_actors / round).
+  /// Pushes counter deltas into the registry and drains the per-thread
+  /// staging rings — called at the serial merge points (end of
+  /// step_live_actors / round).
   void obs_sync_counters();
 
   RuntimeOptions options_;
   std::unique_ptr<util::ThreadPool> pool_;
 
   std::vector<std::unique_ptr<Actor>> actors_;
-  std::vector<bool> failed_;
+  // SoA mirrors of the per-actor hot state: raw actor pointers (skips the
+  // unique_ptr indirection in the step loop) and byte-wide failure flags
+  // (vector<bool> bit ops are too slow for the per-message filter).
+  std::vector<Actor*> actors_raw_;
+  std::vector<std::uint8_t> failed_;
   std::vector<Pending> pending_;
   /// Fault-delayed messages not yet due; kept out of pending_ so the
   /// per-round delivery scan stays proportional to near-term traffic.
@@ -354,6 +497,19 @@ class Runtime {
   std::vector<OutboxShard> outbox_shards_;
   std::vector<PayloadShard> payload_shards_;
   std::size_t recycle_cursor_ = 0;
+
+  // Partitioned-mode state (empty/inactive until set_partition).
+  std::vector<Shard> shards_;
+  std::vector<std::uint32_t> shard_of_;     // actor id -> shard
+  std::vector<std::uint32_t> local_index_;  // actor id -> index in its shard
+  // SoA inbox views for partitioned delivery: per-actor span into the
+  // owning shard's inbox buffer, rewritten by that shard every round.
+  std::vector<Message*> inbox_ptr_;
+  std::vector<std::uint32_t> inbox_len_;
+  /// Serial number of the current stepping sweep (rounds and kickoffs);
+  /// bumped at the start of each sweep, it is the major delivery-order key.
+  std::size_t epoch_ = 0;
+  bool partition_active_ = false;
 
   std::size_t rounds_ = 0;
   std::size_t sent_messages_ = 0;

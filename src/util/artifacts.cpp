@@ -65,9 +65,9 @@ std::string json_number(double value) {
 
 }  // namespace
 
-std::string write_bench_json(
-    const std::string& bench, const std::vector<BenchRecord>& records,
-    const std::vector<std::pair<std::string, std::string>>& meta) {
+std::string write_bench_json(const std::string& bench,
+                             const std::vector<BenchRecord>& records,
+                             const std::vector<BenchMeta>& meta) {
   ensure(bench.find('/') == std::string::npos,
          "write_bench_json: bench name must not contain path separators");
   const std::string path =
@@ -78,8 +78,13 @@ std::string write_bench_json(
   out << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n";
   out << "  \"meta\": {";
   for (std::size_t i = 0; i < meta.size(); ++i) {
-    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(meta[i].first)
-        << "\": \"" << json_escape(meta[i].second) << "\"";
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(meta[i].key)
+        << "\": ";
+    if (meta[i].raw) {
+      out << meta[i].value;  // pre-validated JSON literal (number/boolean)
+    } else {
+      out << "\"" << json_escape(meta[i].value) << "\"";
+    }
   }
   out << (meta.empty() ? "" : "\n  ") << "},\n";
   out << "  \"records\": [";
@@ -88,6 +93,9 @@ std::string write_bench_json(
         << json_escape(records[r].name) << "\"";
     for (const auto& [key, value] : records[r].metrics) {
       out << ", \"" << json_escape(key) << "\": " << json_number(value);
+    }
+    for (const auto& [key, value] : records[r].flags) {
+      out << ", \"" << json_escape(key) << "\": " << (value ? "true" : "false");
     }
     out << "}";
   }

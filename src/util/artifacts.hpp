@@ -22,10 +22,23 @@ std::optional<std::string> save_series(const TimeSeries& series,
                                        const std::string& name);
 
 /// One named measurement row of a bench run: a label plus numeric metrics
-/// (e.g. {"servers=400/threads=4", {{"seconds", 1.23}, {"speedup", 2.4}}}).
+/// (e.g. {"servers=400/threads=4", {{"seconds", 1.23}, {"speedup", 2.4}}})
+/// and optional boolean flags emitted as JSON booleans (e.g.
+/// {"oversubscribed", true} on records where threads exceed host cores).
 struct BenchRecord {
   std::string name;
   std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, bool>> flags;
+};
+
+/// One "meta" entry of a bench artifact. `raw` emits the value verbatim as
+/// a JSON literal (number/boolean) instead of a quoted string — e.g.
+/// {"hardware_concurrency", "4", true} records an integer a consumer can
+/// compare against the per-record thread counts without parsing strings.
+struct BenchMeta {
+  std::string key;
+  std::string value;
+  bool raw = false;
 };
 
 /// Writes the machine-readable perf artifact "BENCH_<bench>.json" — the
@@ -33,10 +46,10 @@ struct BenchRecord {
 /// Unlike save_series this always writes: into MAXUTIL_RESULTS_DIR when set,
 /// else the current working directory (benches are run from the repo root to
 /// refresh the tracked BENCH_*.json files). `meta` holds free-form context
-/// strings (host cores, instance shape, ...). Throws util::CheckError on
-/// write failure.
-std::string write_bench_json(
-    const std::string& bench, const std::vector<BenchRecord>& records,
-    const std::vector<std::pair<std::string, std::string>>& meta = {});
+/// (host cores, instance shape, ...). Throws util::CheckError on write
+/// failure.
+std::string write_bench_json(const std::string& bench,
+                             const std::vector<BenchRecord>& records,
+                             const std::vector<BenchMeta>& meta = {});
 
 }  // namespace maxutil::util

@@ -1,7 +1,7 @@
 // Unit tests for the observability layer (src/obs): metrics registry
-// semantics, shard-merge determinism, tracer span nesting, and golden-file
-// checks of the Chrome-JSON and CSV exports (via the explicit-timestamp
-// complete() path, so the expected bytes are exact).
+// semantics, shard-merge determinism, staging-ring drains, tracer span
+// nesting, and golden-file checks of the Chrome-JSON and CSV exports (via
+// the explicit-timestamp complete() path, so the expected bytes are exact).
 
 #include <gtest/gtest.h>
 
@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/ring.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -18,6 +19,7 @@ namespace {
 using maxutil::obs::HistogramSnapshot;
 using maxutil::obs::MetricId;
 using maxutil::obs::MetricKind;
+using maxutil::obs::MetricRingSet;
 using maxutil::obs::MetricsRegistry;
 using maxutil::obs::Tracer;
 using maxutil::obs::TraceArg;
@@ -149,6 +151,107 @@ TEST(Metrics, ReportListsEveryMetricWithHelp) {
   EXPECT_NE(report.find("rounds = 3"), std::string::npos);
   EXPECT_NE(report.find("(rounds executed)"), std::string::npos);
   EXPECT_NE(report.find("depth = 2"), std::string::npos);
+}
+
+// observe_n is the bulk path behind per-wave latency harvests: for
+// integer-valued samples it must be bit-identical to the same number of
+// individual observes, including sum/min/max and the CSV rendering.
+TEST(Metrics, ObserveNMatchesRepeatedObserves) {
+  MetricsRegistry bulk;
+  MetricsRegistry loop;
+  const MetricId hb = bulk.histogram("lat", {1.0, 4.0, 16.0});
+  const MetricId hl = loop.histogram("lat", {1.0, 4.0, 16.0});
+  const std::uint64_t counts[] = {3, 0, 117, 1, 42};
+  for (std::size_t value = 0; value < 5; ++value) {
+    bulk.observe_n(hb, static_cast<double>(value), counts[value]);
+    for (std::uint64_t i = 0; i < counts[value]; ++i) {
+      loop.observe(hl, static_cast<double>(value));
+    }
+  }
+  std::ostringstream bulk_csv;
+  std::ostringstream loop_csv;
+  bulk.write_csv(bulk_csv);
+  loop.write_csv(loop_csv);
+  EXPECT_EQ(bulk_csv.str(), loop_csv.str());
+  // A zero count is a no-op and must not disturb min/max.
+  const HistogramSnapshot before = bulk.histogram_snapshot(hb);
+  bulk.observe_n(hb, 1000.0, 0);
+  const HistogramSnapshot after = bulk.histogram_snapshot(hb);
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_DOUBLE_EQ(after.max, before.max);
+}
+
+// --- Staging rings ---
+
+TEST(Rings, DrainAppliesEveryEventKindAndClears) {
+  MetricsRegistry m;
+  const MetricId c = m.counter("steps");
+  const MetricId h = m.histogram("work", {1.0, 10.0});
+  const MetricId g = m.gauge("depth");
+  MetricRingSet rings(2);
+  EXPECT_EQ(rings.ring_count(), 2u);
+  rings.add(0, c, 3);
+  rings.add(1, c, 4);
+  rings.observe(1, h, 0.5);
+  rings.observe(0, h, 20.0);
+  rings.set(0, g, 7.0);
+  EXPECT_EQ(rings.pending(), 5u);
+  // Nothing reaches the registry until the serial drain.
+  EXPECT_EQ(m.counter_value(c), 0u);
+  rings.drain(m);
+  EXPECT_EQ(rings.pending(), 0u);
+  EXPECT_EQ(m.counter_value(c), 7u);
+  EXPECT_EQ(m.gauge_value(g), 7.0);
+  const HistogramSnapshot s = m.histogram_snapshot(h);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 20.0);
+  // A second drain with nothing staged is a no-op.
+  rings.drain(m);
+  EXPECT_EQ(m.counter_value(c), 7u);
+}
+
+// The property the runtime's parallel sections lean on: for integer counter
+// increments and histogram samples, the drained registry is bit-identical
+// no matter how the same events were spread across rings.
+TEST(Rings, DrainIsExactlyAssociativeAcrossRingSpreads) {
+  std::string baseline_csv;
+  for (const std::size_t ring_count : {1u, 2u, 8u}) {
+    MetricsRegistry m;
+    const MetricId c = m.counter("steps");
+    const MetricId h = m.histogram("work", {2.0, 8.0, 32.0});
+    MetricRingSet rings(ring_count);
+    for (std::size_t i = 0; i < 1000; ++i) {
+      const std::size_t ring = i % ring_count;
+      rings.add(ring, c, 1 + i % 3);
+      rings.observe(ring, h, static_cast<double>(i % 40));
+      if (i % 100 == 0) rings.drain(m);  // interleaved drains fold the same
+    }
+    rings.drain(m);
+    std::ostringstream csv;
+    m.write_csv(csv);
+    if (baseline_csv.empty()) {
+      baseline_csv = csv.str();
+    } else {
+      EXPECT_EQ(csv.str(), baseline_csv) << ring_count << " rings";
+    }
+  }
+  EXPECT_FALSE(baseline_csv.empty());
+}
+
+TEST(Rings, GrowKeepsStagedEventsAndNeverShrinks) {
+  MetricsRegistry m;
+  const MetricId c = m.counter("steps");
+  MetricRingSet rings(1);
+  rings.add(0, c, 5);
+  rings.grow(4);
+  EXPECT_EQ(rings.ring_count(), 4u);
+  rings.add(3, c, 2);
+  rings.grow(2);  // never shrinks
+  EXPECT_EQ(rings.ring_count(), 4u);
+  EXPECT_EQ(rings.pending(), 2u);
+  rings.drain(m);
+  EXPECT_EQ(m.counter_value(c), 7u);
 }
 
 // --- Tracer ---

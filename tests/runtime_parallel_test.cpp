@@ -25,6 +25,7 @@ using maxutil::sim::ActorId;
 using maxutil::sim::DistributedGradientSystem;
 using maxutil::sim::Message;
 using maxutil::sim::Outbox;
+using maxutil::sim::PartitionMode;
 using maxutil::sim::QuietResult;
 using maxutil::sim::QuietStatus;
 using maxutil::sim::Runtime;
@@ -216,21 +217,35 @@ TEST(ParallelRuntime, DeterministicAcrossThreadCountsAndSeeds) {
                   reference_routing),
               0.0);
 
+    // Both partitioning strategies, at both thread counts, must replay the
+    // serial trajectory exactly — the partition must be invisible in every
+    // output.
     for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
-      DistributedGradientSystem parallel(xg, {}, threaded(threads));
-      for (std::size_t i = 0; i < kIterations; ++i) {
-        parallel.iterate();
-        EXPECT_EQ(parallel.utility(), reference_utilities[i])
-            << threads << " threads diverged at iteration " << i << ", seed "
-            << seed;
+      for (const PartitionMode mode :
+           {PartitionMode::kShard, PartitionMode::kChunked}) {
+        RuntimeOptions options = threaded(threads);
+        options.partition = mode;
+        DistributedGradientSystem parallel(xg, {}, options);
+        const char* mode_name =
+            mode == PartitionMode::kShard ? "shard" : "chunked";
+        for (std::size_t i = 0; i < kIterations; ++i) {
+          parallel.iterate();
+          EXPECT_EQ(parallel.utility(), reference_utilities[i])
+              << threads << " threads (" << mode_name
+              << ") diverged at iteration " << i << ", seed " << seed;
+        }
+        EXPECT_EQ(
+            parallel.routing_snapshot().max_difference(reference_routing),
+            0.0)
+            << threads << " threads (" << mode_name << "), seed " << seed;
+        EXPECT_EQ(parallel.runtime().delivered_messages(),
+                  reference.runtime().delivered_messages());
+        EXPECT_EQ(parallel.runtime().delivered_payload_doubles(),
+                  reference.runtime().delivered_payload_doubles());
+        EXPECT_EQ(parallel.runtime().partitioned(),
+                  mode == PartitionMode::kShard)
+            << "shard mode must actually install a partition";
       }
-      EXPECT_EQ(
-          parallel.routing_snapshot().max_difference(reference_routing), 0.0)
-          << threads << " threads, seed " << seed;
-      EXPECT_EQ(parallel.runtime().delivered_messages(),
-                reference.runtime().delivered_messages());
-      EXPECT_EQ(parallel.runtime().delivered_payload_doubles(),
-                reference.runtime().delivered_payload_doubles());
     }
   }
 }
@@ -255,29 +270,38 @@ TEST(ParallelRuntime, NonDeterministicModeStillConverges) {
 }
 
 /// After warmup, every payload buffer must come from the recycle free list:
-/// steady-state rounds perform zero per-message heap allocations.
+/// steady-state rounds perform zero per-message heap allocations — at every
+/// thread count, not just serially. Cross-shard sends return each buffer to
+/// the pool that issued it (exact conservation), so the shard path has no
+/// warmup-resistant leak.
 TEST(ParallelRuntime, PayloadPoolRecyclesInSteadyState) {
   Rng rng(2007);
   const auto net = maxutil::gen::random_instance({}, rng);
   const ExtendedGraph xg(net);
-  DistributedGradientSystem system(xg);
-  system.run(4);  // warmup: free lists grow to the per-round working set
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    maxutil::sim::RuntimeOptions options;
+    options.num_threads = threads;
+    DistributedGradientSystem system(xg, {}, options);
+    system.run(4);  // warmup: free lists grow to the per-round working set
 
-  const std::size_t allocations_after_warmup =
-      system.runtime().payload_pool_allocations();
-  const std::size_t reuses_after_warmup =
-      system.runtime().payload_pool_reuses();
-  EXPECT_GT(allocations_after_warmup, 0u);
+    const std::size_t allocations_after_warmup =
+        system.runtime().payload_pool_allocations();
+    const std::size_t reuses_after_warmup =
+        system.runtime().payload_pool_reuses();
+    EXPECT_GT(allocations_after_warmup, 0u);
 
-  system.run(6);
-  EXPECT_EQ(system.runtime().payload_pool_allocations(),
-            allocations_after_warmup)
-      << "steady-state iterations must not allocate payload buffers";
-  EXPECT_GT(system.runtime().payload_pool_reuses(), reuses_after_warmup);
-  // Every send was served by the pool: acquisitions == reuses + allocations
-  // and the overwhelming majority are reuses by now.
-  EXPECT_GT(system.runtime().payload_pool_reuses(),
-            10 * allocations_after_warmup);
+    system.run(6);
+    EXPECT_EQ(system.runtime().payload_pool_allocations(),
+              allocations_after_warmup)
+        << "steady-state iterations must not allocate payload buffers at "
+        << threads << " thread(s)";
+    EXPECT_GT(system.runtime().payload_pool_reuses(), reuses_after_warmup);
+    // Every send was served by the pool: acquisitions == reuses +
+    // allocations and the overwhelming majority are reuses by now.
+    EXPECT_GT(system.runtime().payload_pool_reuses(),
+              10 * allocations_after_warmup);
+  }
 }
 
 /// The pool also recycles under threads, and failure drops recycle rather

@@ -56,8 +56,9 @@ int usage() {
       "       maxutil_cli solve <file> [--algo NAME[,NAME...]|help]"
       " [--compare] [--compare-json FILE]\n"
       "                            [--eta X] [--eps X] [--iters N] [--tol X]"
-      " [--threads T] [--faults SPEC] [--newton] [--report]\n"
-      "                            [--metrics FILE] [--trace FILE]"
+      " [--threads T] [--partition shard|chunked]\n"
+      "                            [--faults SPEC] [--newton] [--report]"
+      " [--metrics FILE] [--trace FILE]"
       " [--metrics-report]\n"
       "         (--algo: a registered solver — one of %s —\n"
       "          or a comma-separated warm-start pipeline such as"
@@ -67,6 +68,10 @@ int usage() {
       "          --compare-json FILE additionally writes the table as JSON)\n"
       "         (--threads: actor-runtime workers for solvers with a"
       " parallel engine; 0 = all hardware threads)\n"
+      "         (--partition: how parallel rounds split actors — 'shard'"
+      " (graph-aware shards, default) or 'chunked'\n"
+      "          (contiguous id chunks, the A/B reference); results are"
+      " bit-identical either way)\n"
       "         (--faults: inject message faults into the distributed"
       " runtime; SPEC is a comma list of drop=P, delay=A-B,\n"
       "          dup=P, seed=S, crash=NODE@BEGIN-END, link=FROM-TO@P)\n"
@@ -258,6 +263,9 @@ int cmd_solve(const std::string& path,
   const double threads = flag_number(flags, "threads", 1);
   options.threads =
       threads <= 0 ? 0 : static_cast<std::size_t>(threads);
+  if (flags.count("partition") != 0) {
+    options.partition = flags.at("partition");
+  }
   options.report = flags.count("report") != 0;
   options.observe = want_obs;
   if (flags.count("faults") != 0) options.extra["faults"] = flags.at("faults");
@@ -367,6 +375,9 @@ int cmd_churn(const std::string& path,
   options.solve.tolerance = flag_number(flags, "tol", 0.0);
   const double threads = flag_number(flags, "threads", 1);
   options.solve.threads = threads <= 0 ? 0 : static_cast<std::size_t>(threads);
+  if (flags.count("partition") != 0) {
+    options.solve.partition = flags.at("partition");
+  }
   options.watchdog_iterations =
       static_cast<std::size_t>(flag_number(flags, "budget", 4000));
   options.record_trace = flags.count("trace") != 0;
