@@ -325,6 +325,11 @@ int main(int argc, char** argv) {
   const std::string path = util::write_bench_json(
       "runtime_scaling", records,
       {{"hardware_concurrency", std::to_string(hw), /*raw=*/true},
+       // Speedup claims are vacuous when the host cannot actually run the
+       // measured thread counts in parallel (docs/RUNTIME.md §7): every
+       // multi-thread rung is oversubscribed on a 1-core box, so treat the
+       // wall-clock ratios as scheduling noise, not scaling evidence.
+       {"insufficient_cores", hw < 2 ? "true" : "false", /*raw=*/true},
        {"smoke", smoke ? "true" : "false", /*raw=*/true},
        {"instance",
         "gen::random_instance ladder, top rung 16 commodities, 10 stages, "

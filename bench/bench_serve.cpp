@@ -1,0 +1,200 @@
+// E18 — online admission serving (extension): decision latency vs. request
+// rate for the serve daemon (docs/SERVE.md). On the canonical Section-6
+// instance we synthesize a cyclic request stream (query, depart, half-rate
+// re-admit, query, capacity dip, capacity repair) at a fixed inter-request
+// gap and replay it through serve::Daemon across a ladder of gap x
+// coalescing-window points. Measures wall p50/p99 decision latency,
+// sustained decisions/sec, batches, re-solves, and mean batch size. Writes
+// BENCH_serve.json.
+//
+// Shape checks (the acceptance criteria):
+//   * every run answers every request (decisions == stream length),
+//   * virtual decision latency p99 <= the coalescing window on every run,
+//   * widening the window at fixed gap never increases batches or solves,
+//   * a distributed-backend replay is bit-identical across 1/2/8 threads
+//     (identical decision logs and final utility).
+//
+// `--smoke` shortens the stream and ladder (the CI leg).
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "util/artifacts.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace maxutil;
+
+/// A closed 6-request cycle against the instance's first two commodities
+/// and one interior server: each full cycle returns the topology to its
+/// starting configuration (cap factors 0.8 * 1.25 = 1, the departed
+/// commodity re-admitted), so the stream sustains arbitrary length.
+std::string make_stream(const stream::StreamNetwork& net,
+                        std::size_t requests, std::size_t gap) {
+  const std::string c0 = net.commodity_name(0);
+  const std::string c1 = net.commodity_name(1);
+  std::string victim;
+  for (stream::NodeId n = 0; n < net.node_count(); ++n) {
+    if (net.is_sink(n)) continue;
+    bool is_source = false;
+    for (std::size_t j = 0; j < net.commodity_count(); ++j) {
+      is_source = is_source || net.source(j) == n;
+    }
+    if (!is_source) {
+      victim = net.node_name(n);
+      break;
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const std::string at = "@" + std::to_string(i * gap) + "\n";
+    switch (i % 6) {
+      case 0: out += "query=" + c0 + at; break;
+      case 1: out += "depart=" + c1 + at; break;
+      case 2: out += "admit=" + c1 + "*0.5" + at; break;
+      case 3: out += "query=" + c1 + at; break;
+      case 4: out += "cap=" + victim + "*0.8" + at; break;
+      case 5: out += "cap=" + victim + "*1.25" + at; break;
+    }
+  }
+  return out;
+}
+
+serve::ServeOptions ladder_options(std::size_t window) {
+  serve::ServeOptions options;
+  options.controller.solve.eta = 0.1;
+  options.controller.solve.tolerance = 1e-6;
+  options.controller.watchdog_iterations = 1500;
+  options.window = window;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+  }
+  const std::size_t requests = smoke ? 12 : 36;
+  const std::vector<std::size_t> gaps = smoke ? std::vector<std::size_t>{1, 4}
+                                              : std::vector<std::size_t>{1, 2, 8};
+  const std::vector<std::size_t> windows =
+      smoke ? std::vector<std::size_t>{0, 8} : std::vector<std::size_t>{0, 4, 16};
+  std::printf("E18: serve decision latency vs request rate, %zu requests%s\n",
+              requests, smoke ? " [smoke]" : "");
+
+  const stream::StreamNetwork net = bench::paper_instance();
+  std::vector<util::BenchRecord> records;
+  util::Table table({"gap", "window", "batches", "solves", "mean batch",
+                     "wall p50 ms", "wall p99 ms", "dec/s"});
+  bool ok = true;
+
+  for (const std::size_t gap : gaps) {
+    const std::string stream = make_stream(net, requests, gap);
+    std::size_t prev_batches = 0, prev_solves = 0;
+    bool first_window = true;
+    for (const std::size_t window : windows) {
+      serve::Daemon daemon(net, ladder_options(window));
+      const serve::ServeReport& report =
+          daemon.run(serve::parse_script_text(stream));
+
+      const double mean_batch =
+          report.batches == 0
+              ? 0.0
+              : static_cast<double>(report.decisions.size()) /
+                    static_cast<double>(report.batches);
+      const std::string name =
+          "gap=" + std::to_string(gap) + "/window=" + std::to_string(window);
+      table.add_row({std::to_string(gap), std::to_string(window),
+                     std::to_string(report.batches),
+                     std::to_string(report.solves),
+                     util::Table::cell(mean_batch, 2),
+                     util::Table::cell(report.wall_p50 * 1e3, 3),
+                     util::Table::cell(report.wall_p99 * 1e3, 3),
+                     util::Table::cell(report.decisions_per_second(), 1)});
+      records.push_back(
+          {name,
+           {{"requests", static_cast<double>(report.decisions.size())},
+            {"batches", static_cast<double>(report.batches)},
+            {"solves", static_cast<double>(report.solves)},
+            {"mean_batch_size", mean_batch},
+            {"virtual_latency_p50", report.virtual_p50},
+            {"virtual_latency_p99", report.virtual_p99},
+            {"wall_latency_p50_seconds", report.wall_p50},
+            {"wall_latency_p99_seconds", report.wall_p99},
+            {"decisions_per_second", report.decisions_per_second()},
+            {"final_utility", report.final_utility}},
+           {}});
+
+      ok &= bench::shape_check(
+          ("every request answered (" + name + ")").c_str(),
+          report.decisions.size() == requests);
+      ok &= bench::shape_check(
+          ("virtual p99 within the window (" + name + ")").c_str(),
+          report.virtual_p99 <= static_cast<double>(window));
+      if (!first_window) {
+        ok &= bench::shape_check(
+            ("wider window never adds batches (" + name + ")").c_str(),
+            report.batches <= prev_batches && report.solves <= prev_solves);
+      }
+      prev_batches = report.batches;
+      prev_solves = report.solves;
+      first_window = false;
+    }
+  }
+  table.print(std::cout);
+
+  // Determinism across thread counts: the distributed backend's decision
+  // log must be bit-identical at 1/2/8 workers.
+  {
+    const std::string stream = make_stream(net, smoke ? 6 : 12, 2);
+    std::string log1;
+    double utility1 = 0.0;
+    bool identical = true;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      serve::ServeOptions options = ladder_options(4);
+      options.controller.pipeline = "distributed";
+      options.controller.solve.threads = threads;
+      options.controller.watchdog_iterations = 400;
+      serve::Daemon daemon(net, options);
+      const serve::ServeReport& report =
+          daemon.run(serve::parse_script_text(stream));
+      if (threads == 1) {
+        log1 = report.decision_log();
+        utility1 = report.final_utility;
+      } else {
+        identical = identical && report.decision_log() == log1 &&
+                    report.final_utility == utility1;
+      }
+    }
+    ok &= bench::shape_check("decision log bit-identical across 1/2/8 threads",
+                             identical);
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::string path = util::write_bench_json(
+      "serve", records,
+      {{"hardware_concurrency", std::to_string(hw), /*raw=*/true},
+       {"insufficient_cores", hw < 2 ? "true" : "false", /*raw=*/true},
+       {"requests_per_run", std::to_string(requests), /*raw=*/true},
+       {"instance", "paper_instance(seed=2007)"},
+       {"pipeline", "gradient (ladder), distributed (determinism check)"},
+       {"mode", smoke ? "smoke" : "full"}});
+  std::printf("wrote %s\n", path.c_str());
+
+  if (!ok) {
+    std::fprintf(stderr, "shape checks FAILED\n");
+    return 1;
+  }
+  std::printf("shape checks passed\n");
+  return 0;
+}

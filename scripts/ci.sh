@@ -14,8 +14,11 @@
 # --smoke, whose shape checks gate the runtime's determinism and zero
 # steady-state-allocation contracts at threads 1/2/4. Phase 7: the CLI's
 # --trace and --compare-json exports must be valid JSON — checked with
-# python's strict parser when available. Sanitizers exit non-zero on any report, which set -e turns
-# into a CI failure.
+# python's strict parser when available. Phase 8: serve leg — `maxutil_cli
+# serve` replays the canned demo stream (its --json summary must parse as
+# strict JSON), then bench_serve --smoke gates the serve determinism and
+# batching shape checks. Sanitizers exit non-zero on any report, which
+# set -e turns into a CI failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,11 +30,14 @@ ctest --preset default
 
 cmake --preset tsan
 cmake --build --preset tsan -j"${jobs}" \
-  --target runtime_parallel_test fault_test ctrl_test partition_test
+  --target runtime_parallel_test fault_test ctrl_test serve_test \
+  partition_test
 ./build-tsan/tests/runtime_parallel_test
 ./build-tsan/tests/fault_test
 # The churn controller drives the threaded distributed pipeline per event.
 ./build-tsan/tests/ctrl_test
+# The serve daemon batches requests into threaded re-solves.
+./build-tsan/tests/serve_test
 # The partitioner itself is serial, but its assignments gate every
 # cross-shard handoff the runtime tests race-check above.
 ./build-tsan/tests/partition_test
@@ -88,5 +94,27 @@ if command -v python3 >/dev/null 2>&1; then
 else
   echo "ci.sh: python3 not found; skipping --trace/--compare-json JSON checks"
 fi
+
+# Serve leg: replay the canned demo stream through the admission-serving
+# daemon (the decision log is deterministic; a failed re-solve exits
+# non-zero), json.tool-check its --json metrics export, then the E18 smoke
+# bench — its shape checks gate replay determinism across 1/2/8 threads.
+serve_json=$(mktemp /tmp/maxutil_serve.XXXXXX.json)
+./build/tools/maxutil_cli serve examples/scenarios/fair_share.maxutil \
+  --input examples/serve_demo.events --window 2 --json "${serve_json}" \
+  >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${serve_json}" >/dev/null
+  echo "ci.sh: serve --json export parses as strict JSON"
+fi
+rm -f "${serve_json}"
+cmake --build --preset default -j"${jobs}" --target bench_serve
+serve_dir=$(mktemp -d /tmp/maxutil_serve.XXXXXX)
+MAXUTIL_RESULTS_DIR="${serve_dir}" ./build/bench/bench_serve --smoke
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${serve_dir}/BENCH_serve.json" >/dev/null
+  echo "ci.sh: BENCH_serve.json parses as strict JSON"
+fi
+rm -rf "${serve_dir}"
 
 echo "ci.sh: all checks passed"

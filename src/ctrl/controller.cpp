@@ -305,43 +305,32 @@ solver::SolveResult Controller::watchdogged_solve(
   return result;
 }
 
-EventOutcome Controller::apply(const ChurnEvent& event) {
-  ensure(routing_.has_value(), "Controller: not initialized");
-  EventOutcome outcome;
-  outcome.event = event;
-  Config next = config_;
+std::optional<std::pair<char, std::size_t>> Controller::stage_event(
+    const ChurnEvent& event, Config& config) const {
   std::optional<std::pair<char, std::size_t>> restore_key;
-
   switch (event.kind) {
     case ChurnEventKind::kCrash: {
       const NodeId u = resolve_node(event.node, "crash");
-      ensure(!config_.node_down[u],
+      ensure(!config.node_down[u],
              "churn crash: node '" + event.node + "' is already down");
-      // Snapshot the pre-crash state so a restore that returns the
-      // configuration here is served exactly, with no re-solve.
-      snapshots_.insert_or_assign(
-          {'n', u}, Snapshot{config_, *routing_, admitted_, utility_});
-      next.node_down[u] = 1;
-      metrics_.add(m_crashes_);
+      config.node_down[u] = 1;
       break;
     }
     case ChurnEventKind::kRestore: {
       const NodeId u = resolve_node(event.node, "restore");
-      ensure(config_.node_down[u],
+      ensure(config.node_down[u],
              "churn restore: node '" + event.node + "' is not down");
-      next.node_down[u] = 0;
+      config.node_down[u] = 0;
       restore_key = {'n', u};
-      metrics_.add(m_restores_);
       break;
     }
     case ChurnEventKind::kCapScale: {
       const NodeId u = resolve_node(event.node, "cap");
       ensure(!baseline_.is_sink(u),
              "churn cap: sink '" + event.node + "' has no computing power");
-      ensure(!config_.node_down[u],
+      ensure(!config.node_down[u],
              "churn cap: node '" + event.node + "' is down");
-      next.cap_factor[u] *= event.factor;
-      metrics_.add(m_cap_scales_);
+      config.cap_factor[u] *= event.factor;
       break;
     }
     case ChurnEventKind::kBwScale: {
@@ -351,37 +340,84 @@ EventOutcome Controller::apply(const ChurnEvent& event) {
       const auto& g = baseline_.graph();
       for (stream::LinkId l = 0; l < baseline_.link_count(); ++l) {
         if (g.tail(l) != from || g.head(l) != to) continue;
-        next.bw_factor[l] *= event.factor;
+        config.bw_factor[l] *= event.factor;
         any = true;
       }
       ensure(any, "churn bw: no baseline link " + event.from + "-" + event.to);
-      metrics_.add(m_bw_scales_);
       break;
     }
     case ChurnEventKind::kArrive: {
       const stream::CommodityId j = resolve_commodity(event.commodity, "arrive");
-      ensure(config_.commodity_absent[j], "churn arrive: commodity '" +
-                                              event.commodity +
-                                              "' is already present");
-      next.commodity_absent[j] = 0;
-      next.lambda_factor[j] *= event.factor;
+      ensure(config.commodity_absent[j], "churn arrive: commodity '" +
+                                             event.commodity +
+                                             "' is already present");
+      config.commodity_absent[j] = 0;
+      config.lambda_factor[j] *= event.factor;
       restore_key = {'c', j};
-      metrics_.add(m_arrivals_);
       break;
     }
     case ChurnEventKind::kDepart: {
       const stream::CommodityId j = resolve_commodity(event.commodity, "depart");
-      ensure(!config_.commodity_absent[j],
+      ensure(!config.commodity_absent[j],
              "churn depart: commodity '" + event.commodity + "' is absent");
-      // Like a crash, a departure is reversible: snapshot so a re-arrival
-      // at the same rate restores the pre-departure state exactly.
-      snapshots_.insert_or_assign(
-          {'c', j}, Snapshot{config_, *routing_, admitted_, utility_});
-      next.commodity_absent[j] = 1;
-      metrics_.add(m_departures_);
+      config.commodity_absent[j] = 1;
       break;
     }
   }
+  return restore_key;
+}
+
+obs::MetricId Controller::kind_metric(ChurnEventKind kind) const {
+  switch (kind) {
+    case ChurnEventKind::kCrash: return m_crashes_;
+    case ChurnEventKind::kRestore: return m_restores_;
+    case ChurnEventKind::kCapScale: return m_cap_scales_;
+    case ChurnEventKind::kBwScale: return m_bw_scales_;
+    case ChurnEventKind::kArrive: return m_arrivals_;
+    case ChurnEventKind::kDepart: return m_departures_;
+  }
+  return m_events_;
+}
+
+std::string Controller::check_event(
+    const ChurnEvent& event, const std::vector<ChurnEvent>& staged) const {
+  try {
+    Config scratch = config_;
+    for (const ChurnEvent& prior : staged) stage_event(prior, scratch);
+    stage_event(event, scratch);
+  } catch (const util::CheckError& e) {
+    // Strip the "<file>:<line>: check failed: " preamble — callers embed
+    // the reason in operator-facing decision logs that must not depend on
+    // the build tree's absolute paths.
+    std::string message = e.what();
+    const std::string marker = "check failed: ";
+    const std::size_t at = message.find(marker);
+    if (at != std::string::npos) message.erase(0, at + marker.size());
+    return message;
+  }
+  return {};
+}
+
+EventOutcome Controller::apply(const ChurnEvent& event) {
+  ensure(routing_.has_value(), "Controller: not initialized");
+  EventOutcome outcome;
+  outcome.event = event;
+  Config next = config_;
+  const std::optional<std::pair<char, std::size_t>> restore_key =
+      stage_event(event, next);
+  // Crashes and departures are reversible: snapshot the pre-event state so
+  // a restore (or re-arrival) that returns the configuration exactly here
+  // is served from the snapshot, with no re-solve.
+  if (event.kind == ChurnEventKind::kCrash) {
+    snapshots_.insert_or_assign(
+        {'n', resolve_node(event.node, "crash")},
+        Snapshot{config_, *routing_, admitted_, utility_});
+  } else if (event.kind == ChurnEventKind::kDepart) {
+    snapshots_.insert_or_assign(
+        {'c', resolve_commodity(event.commodity, "depart")},
+        Snapshot{config_, *routing_, admitted_, utility_});
+  }
+  metrics_.add(kind_metric(event.kind));
   metrics_.add(m_events_);
   const std::size_t event_index = events_applied_++;
 
@@ -576,6 +612,146 @@ EventOutcome Controller::apply(const ChurnEvent& event) {
   if (outcome.warm_started) report_.warm_starts += 1;
   if (outcome.cold_started) report_.cold_starts += 1;
   if (outcome.watchdog_retry) report_.watchdog_retries += 1;
+  if (!usable) report_.failures += 1;
+  report_.final_utility = utility_;
+  return outcome;
+}
+
+BatchOutcome Controller::apply_batch(const std::vector<ChurnEvent>& events) {
+  ensure(routing_.has_value(), "Controller: not initialized");
+  ensure(!events.empty(), "Controller::apply_batch: empty batch");
+
+  // A singleton batch goes through the full per-event path — snapshots,
+  // exact restores, recovery SLOs — so batching degenerates gracefully.
+  if (events.size() == 1) {
+    const EventOutcome one = apply(events.front());
+    BatchOutcome outcome;
+    outcome.events = events;
+    outcome.status = one.status;
+    outcome.warm_started = one.warm_started;
+    outcome.cold_started = one.cold_started;
+    outcome.exact_restore = one.exact_restore;
+    outcome.watchdog_retry = one.watchdog_retry;
+    outcome.degraded_infeasible = one.degraded_infeasible;
+    outcome.iterations = one.iterations;
+    outcome.utility_before = one.utility_before;
+    outcome.utility_after = one.utility_after;
+    outcome.warm_start_violation = one.warm_start_violation;
+    outcome.wall_seconds = one.wall_seconds;
+    outcome.message = one.message;
+    return outcome;
+  }
+
+  BatchOutcome outcome;
+  outcome.events = events;
+
+  // Validate and stage every delta before touching any state: either the
+  // whole batch applies, or nothing does.
+  Config next = config_;
+  for (const ChurnEvent& event : events) stage_event(event, next);
+  for (const ChurnEvent& event : events) {
+    metrics_.add(kind_metric(event.kind));
+    metrics_.add(m_events_);
+  }
+  const std::size_t event_index = events_applied_;
+  events_applied_ += events.size();
+
+  std::unique_ptr<State> next_state = build_state(next);
+  const xform::ExtendedGraph& new_xg = next_state->problem->extended();
+  const stream::EntityMaps maps = stream::compose_maps(
+      static_cast<const stream::EntityMaps&>(state_->surgery),
+      static_cast<const stream::EntityMaps&>(next_state->surgery));
+
+  // Same warm-start + degradation shaping as the per-event path, applied
+  // once across the combined surgery.
+  std::optional<core::RoutingState> warm;
+  if (options_.use_warm_start) {
+    warm = core::remap_routing(state_->problem->extended(), *routing_, new_xg,
+                               maps, kGuard, /*repair=*/false);
+  }
+  if (warm.has_value()) {
+    const core::FlowState raw_flows = core::compute_flows(new_xg, *warm);
+    const double raw_violation = guard_violation(new_xg, raw_flows);
+    switch (options_.policy) {
+      case DegradationPolicy::kProportional:
+        if (raw_violation >= 0.0) {
+          warm = core::repair_capacity_feasibility(new_xg, std::move(*warm),
+                                                   kRepairHeadroom);
+        }
+        break;
+      case DegradationPolicy::kPriority:
+        if (raw_violation >= 0.0) {
+          warm = priority_shed(new_xg, std::move(*warm), kRepairHeadroom);
+        }
+        break;
+      case DegradationPolicy::kFreeze:
+        if (raw_violation >= 0.0) {
+          outcome.degraded_infeasible = true;
+          outcome.message = "freeze policy: carried-over point violates "
+                            "capacity; cold start";
+          warm.reset();
+        }
+        break;
+    }
+  }
+  if (warm.has_value()) {
+    const core::FlowState warm_flows = core::compute_flows(new_xg, *warm);
+    outcome.warm_start_violation = guard_violation(new_xg, warm_flows);
+    outcome.utility_before = core::total_utility(new_xg, warm_flows);
+    outcome.warm_started = true;
+  } else {
+    const core::RoutingState initial = core::RoutingState::initial(new_xg);
+    outcome.utility_before =
+        core::total_utility(new_xg, core::compute_flows(new_xg, initial));
+    outcome.cold_started = true;
+  }
+  metrics_.add(outcome.warm_started ? m_warm_starts_ : m_cold_starts_);
+
+  EventOutcome solve_fields;  // watchdogged_solve reports through this shape
+  const core::RoutingState interim =
+      warm.has_value() ? *warm : core::RoutingState::initial(new_xg);
+  const solver::SolveResult result =
+      watchdogged_solve(*next_state->problem, warm, solve_fields);
+  outcome.status = solve_fields.status;
+  outcome.watchdog_retry = solve_fields.watchdog_retry;
+  outcome.iterations = solve_fields.iterations;
+  outcome.wall_seconds = solve_fields.wall_seconds;
+  if (outcome.message.empty()) outcome.message = solve_fields.message;
+
+  const bool usable = solver::is_usable(result.status);
+  state_ = std::move(next_state);
+  config_ = std::move(next);
+  if (usable) {
+    ensure(result.routing.has_value(),
+           "Controller: pipeline emitted no routing");
+    routing_ = result.routing;
+    admitted_ = result.admitted;
+    utility_ = result.utility;
+  } else {
+    routing_ = interim;
+    const core::FlowState flows = core::compute_flows(new_xg, interim);
+    admitted_.assign(new_xg.commodity_count(), 0.0);
+    for (stream::CommodityId j = 0; j < new_xg.commodity_count(); ++j) {
+      admitted_[j] = core::admitted_rate(new_xg, flows, j);
+    }
+    utility_ = core::total_utility(new_xg, flows);
+    metrics_.add(m_failures_);
+  }
+  outcome.utility_after = utility_;
+
+  metrics_.set(m_utility_, utility_);
+  metrics_.set(m_commodities_,
+               static_cast<double>(network().commodity_count()));
+  if (options_.record_trace) {
+    tracer_.complete(
+        "batch[" + std::to_string(events.size()) + "]", "churn", 0,
+        1000.0 * static_cast<double>(events.front().time) +
+            static_cast<double>(event_index),
+        std::max(1.0, static_cast<double>(outcome.iterations)),
+        {{"events", static_cast<double>(events.size())},
+         {"iterations", static_cast<double>(outcome.iterations)},
+         {"utility", utility_}});
+  }
   if (!usable) report_.failures += 1;
   report_.final_utility = utility_;
   return outcome;

@@ -111,6 +111,29 @@ struct EventOutcome {
   std::string message;  // failure cause when status is not usable
 };
 
+/// Outcome of a coalesced batch of events applied with a *single* re-solve
+/// (Controller::apply_batch — the serve daemon's path, docs/SERVE.md §3).
+/// Mirrors the solve-related fields of EventOutcome; the per-event recovery
+/// SLOs (recovery_iterations, utility_deficit) are the per-event path's job
+/// and are not computed here.
+struct BatchOutcome {
+  std::vector<ChurnEvent> events;
+  solver::Status status = solver::Status::kFailed;
+
+  bool warm_started = false;
+  bool cold_started = false;
+  bool exact_restore = false;   // singleton batch served from a snapshot
+  bool watchdog_retry = false;
+  bool degraded_infeasible = false;
+
+  std::size_t iterations = 0;
+  double utility_before = 0.0;  // interim (degraded) utility after surgery
+  double utility_after = 0.0;
+  double warm_start_violation = 0.0;
+  double wall_seconds = 0.0;
+  std::string message;
+};
+
 /// Whole-run aggregate returned by Controller::run.
 struct ChurnReport {
   std::vector<EventOutcome> events;
@@ -166,11 +189,32 @@ class Controller {
   /// are *recorded* in the outcome, never thrown.
   EventOutcome apply(const ChurnEvent& event);
 
+  /// Applies a coalesced batch of events with ONE rebuild + ONE warm-started
+  /// re-solve (the serve daemon's load-shedding path: many topology changes
+  /// and admissions arriving inside a coalescing window cost one solve, not
+  /// one per event). Events are validated in order against the staged
+  /// configuration, exactly as if applied one by one; the whole batch throws
+  /// util::CheckError before any state changes when one is invalid — use
+  /// check_event to pre-screen a stream. A singleton batch delegates to
+  /// apply() (keeping the exact-restore snapshot machinery); multi-event
+  /// batches skip snapshots, so a restore cannot be served exactly across a
+  /// batched crash. Batch outcomes are not appended to report().events.
+  BatchOutcome apply_batch(const std::vector<ChurnEvent>& events);
+
+  /// Validates `event` against the configuration reached from the current
+  /// one by staging `staged` first (no state is modified). Returns the
+  /// failure message — naming the offending entity and value, the same text
+  /// apply() would throw — or an empty string when the event is applicable.
+  std::string check_event(const ChurnEvent& event,
+                          const std::vector<ChurnEvent>& staged = {}) const;
+
   /// Replays a whole plan (events already in time order) and returns the
   /// aggregate report, also kept in report().
   ChurnReport run(const ChurnPlan& plan);
 
   // --- Current state ---
+  /// The pristine baseline every event's entity names resolve against.
+  const stream::StreamNetwork& baseline() const { return baseline_; }
   const stream::StreamNetwork& network() const;
   const xform::ExtendedGraph& extended() const;
   const core::RoutingState& routing() const;
@@ -211,6 +255,14 @@ class Controller {
   };
 
   std::unique_ptr<State> build_state(const Config& config) const;
+  /// Validates `event` against `config` and applies its delta (pure with
+  /// respect to controller state — apply()/apply_batch record metrics and
+  /// snapshots themselves). Returns the snapshot key a restore/arrive
+  /// should be checked against, when applicable.
+  std::optional<std::pair<char, std::size_t>> stage_event(
+      const ChurnEvent& event, Config& config) const;
+  /// Per-kind event counter for stage_event's metrics recording.
+  obs::MetricId kind_metric(ChurnEventKind kind) const;
   NodeId resolve_node(const std::string& text, const char* what) const;
   stream::CommodityId resolve_commodity(const std::string& text,
                                         const char* what) const;

@@ -15,7 +15,7 @@ using ShardId = std::uint32_t;
 /// Knobs for partition_bfs_grow. Defaults favor balanced shards with a
 /// light refinement pass; all choices are deterministic for a fixed
 /// (graph, shards, options) triple — the property the deterministic runtime
-/// depends on (see docs/RUNTIME.md §6).
+/// depends on (see docs/RUNTIME.md §4).
 struct PartitionOptions {
   /// Seed for the grow-order tie-breaks. Two runs with equal seeds produce
   /// identical partitions; changing the seed explores a different (equally

@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ctrl/controller.hpp"
+#include "serve/protocol.hpp"
+
+namespace maxutil::serve {
+
+/// What the daemon answered for one request (docs/SERVE.md §3).
+enum class Outcome {
+  kAdmit,     // admit request: admitted share >= admit_share
+  kDegrade,   // admit request: between deny_share and admit_share
+  kDeny,      // admit request: share below deny_share (or batch solve failed);
+              // the commodity is reverted out of the plan
+  kApplied,   // topology event folded into the batch and applied
+  kRejected,  // request failed validation; state untouched
+  kReport,    // query answered from the post-batch standing plan
+};
+
+const char* to_string(Outcome outcome);
+
+/// One decided request. `decided_at` and `virtual_latency` come from the
+/// virtual clock (decided_at = batch open time + window), so the record —
+/// and the whole decision log — is a pure function of the input stream.
+/// `wall_seconds` is the real re-solve time of the request's batch and is
+/// reported only through the latency metrics, never in the log.
+struct DecisionRecord {
+  Request request;
+  Outcome outcome = Outcome::kRejected;
+  std::size_t batch = 0;        // 0-based batch ordinal
+  std::size_t decided_at = 0;   // virtual decision timestamp
+  double requested = 0.0;       // admit/query: the asked-for source rate
+  double admitted = 0.0;        // admit/query: rate the plan carries
+  double share = 0.0;           // admitted / requested (0 when requested 0)
+  double utility = 0.0;         // total utility after the batch settled
+  double wall_seconds = 0.0;    // the batch's re-solve wall time
+  std::string reason;           // rejection / denial cause
+
+  /// Canonical deterministic log line, e.g.
+  /// "t=12 batch=3 admit=video@12 -> admit share=1 utility=34.5".
+  std::string line() const;
+};
+
+struct ServeOptions {
+  ctrl::ControllerOptions controller;
+
+  /// Coalescing window in virtual time units: a batch opened by the first
+  /// pending request at time T flushes when a request arrives at or past
+  /// T + window (or when the stream ends). 0 = flush every request
+  /// individually (lowest latency, most re-solves).
+  std::size_t window = 0;
+
+  /// Admission thresholds on admitted/requested share.
+  double admit_share = 0.95;
+  double deny_share = 0.05;
+
+  /// Record one Chrome trace span per batch (deterministic timestamps).
+  bool record_trace = false;
+};
+
+/// Aggregate over a serve run (docs/SERVE.md §5).
+struct ServeReport {
+  std::vector<DecisionRecord> decisions;
+  std::size_t batches = 0;
+  std::size_t solves = 0;  // apply_batch calls (re-solves + revert solves)
+  std::size_t admits = 0;
+  std::size_t degrades = 0;
+  std::size_t denies = 0;
+  std::size_t applied = 0;
+  std::size_t rejected = 0;
+  std::size_t queries = 0;
+  double initial_utility = 0.0;
+  double final_utility = 0.0;
+  double solve_wall_seconds = 0.0;  // total wall spent inside re-solves
+
+  // Virtual decision latency (decided_at - request time, time units) and
+  // wall decision latency (the deciding batch's solve wall time, seconds).
+  double virtual_p50 = 0.0;
+  double virtual_p99 = 0.0;
+  double wall_p50 = 0.0;
+  double wall_p99 = 0.0;
+
+  /// Decisions per wall-second of solve time (0 when no solve ran).
+  double decisions_per_second() const;
+
+  /// The deterministic replay artifact: every DecisionRecord::line(),
+  /// newline-terminated. Bit-identical across thread counts.
+  std::string decision_log() const;
+
+  /// Human-readable aggregate (CLI --report).
+  std::string summary() const;
+
+  /// Machine-readable summary (CLI --json): counts, latency percentiles,
+  /// throughput, and the final utility. Valid JSON by construction.
+  void write_json(std::ostream& out) const;
+};
+
+/// The admission-serving event loop (ISSUE 7 tentpole, docs/SERVE.md).
+/// Wraps a ctrl::Controller: requests stream in via submit() in timestamp
+/// order, coalesce into batches under `window`, and each flush applies the
+/// batch's topology events plus staged admit arrivals through
+/// Controller::apply_batch — one rebuild, one warm-started re-solve —
+/// then answers every pending request from the updated plan. Denied
+/// admissions are reverted with a second (depart) batch, so a flush costs
+/// at most two solves regardless of batch size.
+///
+/// Deterministic by construction: decisions depend only on the request
+/// stream and the solver (bit-identical across thread counts with the
+/// distributed backend); wall time feeds metrics only.
+class Daemon {
+ public:
+  Daemon(const stream::StreamNetwork& baseline, ServeOptions options = {});
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Feeds one request. Throws util::CheckError if its timestamp precedes
+  /// an already-submitted one; any other validation failure becomes a
+  /// kRejected decision, not an exception — a live daemon must survive bad
+  /// input. May flush the pending batch first (window expiry).
+  void submit(const Request& request);
+
+  /// Flushes the pending batch (no-op when nothing is pending).
+  void flush();
+
+  /// Flushes and returns the final report. submit() after finish() throws.
+  const ServeReport& finish();
+
+  /// Replays a whole script: submit every request, then finish().
+  const ServeReport& run(const Script& script);
+
+  const ServeReport& report() const { return report_; }
+  const ctrl::Controller& controller() const { return *controller_; }
+  ctrl::Controller& controller() { return *controller_; }
+
+ private:
+  struct Pending {
+    Request request;
+    bool staged = false;          // accepted into the batch's event list
+    std::string reject_reason;    // non-empty => decided kRejected
+  };
+
+  void open_batch(std::size_t time);
+  void decide_batch();
+  DecisionRecord decide_admit(const Pending& pending,
+                              const ctrl::BatchOutcome& outcome,
+                              std::vector<ctrl::ChurnEvent>& reverts);
+  void finalize_record(DecisionRecord record);
+  void register_metrics();
+
+  ServeOptions options_;
+  std::unique_ptr<ctrl::Controller> controller_;
+  ServeReport report_;
+  std::vector<Pending> pending_;
+  std::vector<double> virtual_latencies_;
+  std::vector<double> wall_latencies_;
+  std::size_t open_time_ = 0;
+  std::size_t last_time_ = 0;
+  bool batch_open_ = false;
+  bool finished_ = false;
+
+  obs::MetricId m_requests_ = 0;
+  obs::MetricId m_admits_ = 0;
+  obs::MetricId m_degrades_ = 0;
+  obs::MetricId m_denies_ = 0;
+  obs::MetricId m_applied_ = 0;
+  obs::MetricId m_rejected_ = 0;
+  obs::MetricId m_queries_ = 0;
+  obs::MetricId m_batches_ = 0;
+  obs::MetricId m_solves_ = 0;
+  obs::MetricId m_batch_size_ = 0;
+  obs::MetricId m_virtual_latency_ = 0;
+  obs::MetricId m_wall_latency_us_ = 0;
+  obs::MetricId m_utility_ = 0;
+};
+
+}  // namespace maxutil::serve

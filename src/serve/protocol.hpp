@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ctrl/churn_plan.hpp"
+
+namespace maxutil::serve {
+
+/// What a serve-protocol line asks for (docs/SERVE.md §2). The line grammar
+/// extends the churn-plan event syntax with two request keys:
+///
+///   admit=COMMODITY[*F]@T   ask to admit (re-arrive) COMMODITY at lambda*F;
+///                           answered admit / degrade / deny
+///   query=COMMODITY@T       read back the commodity's standing admission
+///
+/// plus the six topology events (crash/restore/cap/bw/arrive/depart) exactly
+/// as in ctrl::parse_churn_plan. One request per line; '#' starts a comment;
+/// blank lines are skipped; timestamps must be non-decreasing (a live stream
+/// cannot be sorted after the fact, unlike a scripted ChurnPlan).
+enum class RequestKind {
+  kTopology,  // one ChurnEvent, applied (batched) through the controller
+  kAdmit,     // an admission request; the daemon answers a decision
+  kQuery,     // read-only; answered from the post-batch state
+};
+
+const char* to_string(RequestKind kind);
+
+/// One parsed line. `event` always carries the timestamp; for kAdmit it
+/// holds the commodity + lambda factor (kind kArrive), for kQuery the
+/// commodity alone.
+struct Request {
+  RequestKind kind = RequestKind::kTopology;
+  ctrl::ChurnEvent event;
+  std::size_t line = 0;  // 1-based source line, 0 when fed programmatically
+
+  std::size_t time() const { return event.time; }
+  std::string commodity() const { return event.commodity; }
+
+  /// The request in canonical line form, e.g. "admit=video*0.5@12".
+  std::string describe() const;
+};
+
+/// Parses one protocol line (no surrounding whitespace requirements, no
+/// comment handling — parse_script does both). Throws util::CheckError
+/// naming the offending entry on any malformed input: unknown key, missing
+/// @T, bad factor, a comma list (one request per line), or a factor on a
+/// query.
+Request parse_request(const std::string& line);
+
+/// A fully parsed replay script: requests in arrival order with their
+/// source line numbers.
+struct Script {
+  std::vector<Request> requests;
+
+  bool empty() const { return requests.empty(); }
+  std::string describe() const;  // canonical, one request per line
+};
+
+/// Parses a whole event stream: one request per line, '#' comments and
+/// blank lines skipped. Throws util::CheckError with "line N:" context on a
+/// malformed line or a timestamp that decreases.
+Script parse_script(std::istream& in);
+Script parse_script_text(const std::string& text);
+
+}  // namespace maxutil::serve

@@ -1,13 +1,17 @@
 # docs_lint: checks that every relative markdown link in the repo's
-# documentation points at a file that exists, and that every `examples/...`
-# or `docs/...` path cited in a src/ header comment still exists. Run as a
-# ctest:
+# documentation points at a file that exists, that every `examples/...`
+# or `docs/...` path cited in a src/ header comment still exists, and —
+# when -DCLI=<path to maxutil_cli> is passed — that the README's CLI flag
+# table and `maxutil_cli help` agree (every --flag in the help text appears
+# in README.md and vice versa, so CLI docs cannot drift). Run as a ctest:
 #
-#   cmake -DREPO=<source dir> -P docs_lint.cmake
+#   cmake -DREPO=<source dir> [-DCLI=<maxutil_cli>] -P docs_lint.cmake
 #
 # External links (http/https/mailto) and pure in-page anchors (#...) are
 # skipped; fragments on relative links are stripped before the existence
 # check. Exits non-zero (FATAL_ERROR) listing every broken link.
+
+cmake_policy(SET CMP0057 NEW)  # IN_LIST (script mode has no project() defaults)
 
 if(NOT DEFINED REPO)
   message(FATAL_ERROR "docs_lint: pass -DREPO=<repository root>")
@@ -82,10 +86,60 @@ foreach(header ${header_files})
   endforeach()
 endforeach()
 
+# CLI flag drift: the authoritative flag list is `maxutil_cli help`; the
+# README documents the same flags in its "## CLI" section. Compare the two
+# sets of "--flag" tokens in both directions. Only the CLI section of the
+# README is scanned — build instructions legitimately mention cmake/ctest
+# flags (--preset, --build, --test-dir) that maxutil_cli does not own.
+set(flags_checked 0)
+if(DEFINED CLI)
+  execute_process(COMMAND ${CLI} help
+                  OUTPUT_VARIABLE help_text
+                  RESULT_VARIABLE help_status)
+  if(NOT help_status EQUAL 0)
+    list(APPEND broken "maxutil_cli help exited with status ${help_status}")
+  endif()
+  file(READ ${REPO}/README.md readme_text)
+  string(FIND "${readme_text}" "\n## CLI" cli_begin)
+  if(cli_begin EQUAL -1)
+    list(APPEND broken "README.md: no '## CLI' section for the flag check")
+    set(readme_text "")
+  else()
+    string(SUBSTRING "${readme_text}" ${cli_begin} -1 readme_text)
+    string(SUBSTRING "${readme_text}" 1 -1 rest)  # past "\n## CLI" itself
+    string(FIND "${rest}" "\n## " cli_end)
+    if(NOT cli_end EQUAL -1)
+      math(EXPR cli_end "${cli_end} + 1")
+      string(SUBSTRING "${readme_text}" 0 ${cli_end} readme_text)
+    endif()
+  endif()
+
+  string(REGEX MATCHALL "--[a-z][a-z0-9-]*" help_flags "${help_text}")
+  list(REMOVE_DUPLICATES help_flags)
+  string(REGEX MATCHALL "--[a-z][a-z0-9-]*" readme_flags "${readme_text}")
+  list(REMOVE_DUPLICATES readme_flags)
+
+  foreach(flag ${help_flags})
+    math(EXPR flags_checked "${flags_checked} + 1")
+    if(NOT flag IN_LIST readme_flags)
+      list(APPEND broken
+           "README.md: flag '${flag}' from 'maxutil_cli help' is undocumented")
+    endif()
+  endforeach()
+  foreach(flag ${readme_flags})
+    if(NOT flag IN_LIST help_flags)
+      list(APPEND broken
+           "README.md: documents flag '${flag}' that 'maxutil_cli help' "
+           "does not mention")
+    endif()
+  endforeach()
+endif()
+
 if(NOT broken STREQUAL "")
   list(JOIN broken "\n  " report)
   message(FATAL_ERROR "docs_lint: broken relative links:\n  ${report}")
 endif()
 message(STATUS
         "docs_lint: ${checked} relative links OK, "
-        "${refs_checked} header citations OK")
+        "${refs_checked} header citations OK, "
+        "${flags_checked} CLI flags in sync")

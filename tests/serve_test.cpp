@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ctrl/churn_plan.hpp"
+#include "gen/figure1.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using maxutil::ctrl::ChurnEvent;
+using maxutil::ctrl::ChurnEventKind;
+using maxutil::serve::Daemon;
+using maxutil::serve::Outcome;
+using maxutil::serve::parse_request;
+using maxutil::serve::parse_script_text;
+using maxutil::serve::Request;
+using maxutil::serve::RequestKind;
+using maxutil::serve::Script;
+using maxutil::serve::ServeOptions;
+using maxutil::serve::ServeReport;
+using maxutil::util::CheckError;
+
+ServeOptions fast_options() {
+  ServeOptions options;
+  options.controller.solve.eta = 0.1;
+  options.controller.solve.tolerance = 1e-6;
+  options.controller.watchdog_iterations = 3000;
+  return options;
+}
+
+/// Expects `fn` to throw CheckError whose message contains `needle`.
+template <typename Fn>
+void expect_error(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected CheckError containing '" << needle << "'";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+// --- Request grammar ---
+
+TEST(ServeProtocol, ParsesAdmitQueryAndTopology) {
+  const Request admit = parse_request("admit=video*0.5@12");
+  EXPECT_EQ(admit.kind, RequestKind::kAdmit);
+  EXPECT_EQ(admit.commodity(), "video");
+  EXPECT_DOUBLE_EQ(admit.event.factor, 0.5);
+  EXPECT_EQ(admit.time(), 12u);
+  EXPECT_EQ(admit.describe(), "admit=video*0.5@12");
+
+  const Request query = parse_request("query=video@3");
+  EXPECT_EQ(query.kind, RequestKind::kQuery);
+  EXPECT_EQ(query.describe(), "query=video@3");
+
+  const Request crash = parse_request("crash=Server 2@7");
+  EXPECT_EQ(crash.kind, RequestKind::kTopology);
+  EXPECT_EQ(crash.event.kind, ChurnEventKind::kCrash);
+  EXPECT_EQ(crash.event.node, "Server 2");
+  EXPECT_EQ(crash.time(), 7u);
+}
+
+TEST(ServeProtocol, ErrorsNameTheOffendingLine) {
+  // Unknown key falls through to the churn grammar, which names the key.
+  expect_error([] { parse_request("evict=video@1"); }, "evict");
+  // Missing timestamp.
+  expect_error([] { parse_request("admit=video"); }, "admit=video");
+  // Bad factor: the message quotes the operator's line, not the internal
+  // arrive= alias the parser uses under the hood.
+  expect_error([] { parse_request("admit=video*x@3"); }, "'admit=video*x@3'");
+  // One request per line.
+  expect_error([] { parse_request("admit=a@1,admit=b@1"); }, "comma");
+  // Queries take no factor.
+  expect_error([] { parse_request("query=video*0.5@3"); }, "no *FACTOR");
+}
+
+TEST(ServeProtocol, ScriptSkipsCommentsAndTracksLineNumbers) {
+  const Script script = parse_script_text(
+      "# header comment\n"
+      "\n"
+      "admit=a@1   # trailing comment\n"
+      "  query=b@2\n");
+  ASSERT_EQ(script.requests.size(), 2u);
+  EXPECT_EQ(script.requests[0].line, 3u);
+  EXPECT_EQ(script.requests[0].describe(), "admit=a@1");
+  EXPECT_EQ(script.requests[1].line, 4u);
+
+  expect_error([] { parse_script_text("admit=a@1\nbogus line\n"); }, "line 2");
+}
+
+TEST(ServeProtocol, ScriptRejectsDecreasingTimestamps) {
+  expect_error([] { parse_script_text("admit=a@5\nquery=b@3\n"); },
+               "decreases");
+  expect_error([] { parse_script_text("admit=a@5\nquery=b@3\n"); }, "line 2");
+  // Equal timestamps are fine (they coalesce).
+  EXPECT_EQ(parse_script_text("admit=a@5\nquery=b@5\n").requests.size(), 2u);
+}
+
+// --- Batching window ---
+
+TEST(ServeDaemon, WindowCoalescesBurstIntoOneSolve) {
+  const auto net = maxutil::gen::figure1_example();
+  ServeOptions options = fast_options();
+  options.window = 10;
+  Daemon daemon(net, options);
+  const ServeReport& report = daemon.run(parse_script_text(
+      "depart=S2@1\n"
+      "cap=Server 3*0.5@2\n"
+      "query=S1@3\n"));
+  EXPECT_EQ(report.batches, 1u);
+  EXPECT_EQ(report.solves, 1u);
+  EXPECT_EQ(report.applied, 2u);
+  EXPECT_EQ(report.queries, 1u);
+  // Virtual decision time is batch open (1) + window (10).
+  for (const auto& decision : report.decisions) {
+    EXPECT_EQ(decision.decided_at, 11u);
+    EXPECT_EQ(decision.batch, 0u);
+  }
+}
+
+TEST(ServeDaemon, WindowZeroSolvesPerRequest) {
+  const auto net = maxutil::gen::figure1_example();
+  Daemon daemon(net, fast_options());  // window = 0
+  const ServeReport& report = daemon.run(parse_script_text(
+      "depart=S2@1\n"
+      "cap=Server 3*0.5@2\n"
+      "query=S1@3\n"));
+  EXPECT_EQ(report.batches, 3u);
+  EXPECT_EQ(report.solves, 2u);  // the query batch has nothing to solve
+  for (const auto& decision : report.decisions) {
+    // Zero window: decided at the request's own timestamp, zero latency.
+    EXPECT_EQ(decision.decided_at, decision.request.time());
+  }
+  EXPECT_EQ(report.virtual_p99, 0.0);
+}
+
+TEST(ServeDaemon, OutOfOrderSubmitThrows) {
+  const auto net = maxutil::gen::figure1_example();
+  Daemon daemon(net, fast_options());
+  daemon.submit(parse_request("query=S1@5"));
+  expect_error([&] { daemon.submit(parse_request("query=S1@3")); },
+               "time-ordered");
+}
+
+// --- Decisions ---
+
+TEST(ServeDaemon, AdmitDenyDegradeAndRejectOutcomes) {
+  const auto net = maxutil::gen::figure1_example();
+  ServeOptions options = fast_options();
+  Daemon daemon(net, options);
+  const ServeReport& report = daemon.run(parse_script_text(
+      "admit=S1@1\n"     // already present: validation rejects it
+      "depart=S2@2\n"
+      "admit=S2@3\n"     // exact snapshot restore: full rate back
+      "query=S2@4\n"
+      "query=nope@5\n"   // unknown commodity
+      ));
+  ASSERT_EQ(report.decisions.size(), 5u);
+  EXPECT_EQ(report.decisions[0].outcome, Outcome::kRejected);
+  EXPECT_NE(report.decisions[0].reason.find("already present"),
+            std::string::npos);
+  EXPECT_EQ(report.decisions[1].outcome, Outcome::kApplied);
+  EXPECT_EQ(report.decisions[2].outcome, Outcome::kAdmit);
+  EXPECT_DOUBLE_EQ(report.decisions[2].share, 1.0);
+  EXPECT_EQ(report.decisions[3].outcome, Outcome::kReport);
+  EXPECT_GT(report.decisions[3].admitted, 0.0);
+  EXPECT_EQ(report.decisions[4].outcome, Outcome::kRejected);
+  EXPECT_NE(report.decisions[4].reason.find("unknown commodity"),
+            std::string::npos);
+  EXPECT_EQ(report.admits, 1u);
+  EXPECT_EQ(report.rejected, 2u);
+  // Rejection reasons never leak build-tree paths into the decision log.
+  EXPECT_EQ(report.decision_log().find("/src/ctrl/"), std::string::npos);
+}
+
+TEST(ServeDaemon, ExactRestoreRoundTripReinstatesUtility) {
+  const auto net = maxutil::gen::figure1_example();
+  Daemon daemon(net, fast_options());
+  const double initial = daemon.report().initial_utility;
+  const ServeReport& report = daemon.run(parse_script_text(
+      "depart=S2@1\n"
+      "admit=S2@2\n"));
+  // A departure snapshot plus an identical re-arrival is an exact restore:
+  // the pre-departure plan comes back bit-for-bit.
+  EXPECT_DOUBLE_EQ(report.final_utility, initial);
+  EXPECT_EQ(report.decisions[1].outcome, Outcome::kAdmit);
+  EXPECT_DOUBLE_EQ(report.decisions[1].share, 1.0);
+}
+
+TEST(ServeDaemon, DenialRevertsTheCommodity) {
+  const auto net = maxutil::gen::figure1_example();
+  ServeOptions options = fast_options();
+  // Impossible threshold: every admit with share < 1.01 is denied, which
+  // must revert the commodity back out of the plan.
+  options.admit_share = 1.01;
+  options.deny_share = 1.01;
+  Daemon daemon(net, options);
+  const ServeReport& report = daemon.run(parse_script_text(
+      "depart=S2@1\n"
+      "admit=S2*0.5@2\n"  // half-rate re-arrival: no snapshot match, re-solve
+      "query=S2@3\n"));
+  EXPECT_EQ(report.decisions[1].outcome, Outcome::kDeny);
+  EXPECT_NE(report.decisions[1].reason.find("below deny_share"),
+            std::string::npos);
+  // The deny was reverted: the query sees the commodity absent.
+  EXPECT_EQ(report.decisions[2].outcome, Outcome::kReport);
+  EXPECT_EQ(report.decisions[2].reason, "absent");
+  EXPECT_DOUBLE_EQ(report.decisions[2].admitted, 0.0);
+}
+
+TEST(ServeDaemon, SubmitAfterFinishThrows) {
+  const auto net = maxutil::gen::figure1_example();
+  Daemon daemon(net, fast_options());
+  daemon.finish();
+  expect_error([&] { daemon.submit(parse_request("query=S1@1")); },
+               "after finish");
+}
+
+// --- Determinism ---
+
+std::string run_replay(const std::string& stream, std::size_t threads,
+                       double* final_utility) {
+  const auto net = maxutil::gen::figure1_example();
+  ServeOptions options;
+  options.controller.pipeline = "distributed";
+  options.controller.solve.threads = threads;
+  options.controller.solve.tolerance = 1e-6;
+  options.controller.watchdog_iterations = 400;
+  options.window = 2;
+  Daemon daemon(net, options);
+  const ServeReport& report = daemon.run(parse_script_text(stream));
+  *final_utility = report.final_utility;
+  return report.decision_log();
+}
+
+TEST(ServeDaemon, ReplayIsBitIdenticalAcross128Threads) {
+  const std::string stream =
+      "query=S1@0\n"
+      "depart=S2@1\n"
+      "cap=Server 3*0.5@2\n"
+      "admit=S2*0.5@5\n"
+      "query=S2@6\n"
+      "cap=Server 3*2@9\n"
+      "query=S1@12\n";
+  double u1 = 0.0, u2 = 0.0, u8 = 0.0;
+  const std::string log1 = run_replay(stream, 1, &u1);
+  const std::string log2 = run_replay(stream, 2, &u2);
+  const std::string log8 = run_replay(stream, 8, &u8);
+  EXPECT_EQ(log1, log2);
+  EXPECT_EQ(log1, log8);
+  EXPECT_DOUBLE_EQ(u1, u2);
+  EXPECT_DOUBLE_EQ(u1, u8);
+  EXPECT_FALSE(log1.empty());
+}
+
+TEST(ServeDaemon, ReplayTwiceIsBitIdentical) {
+  const std::string stream =
+      "depart=S2@1\n"
+      "admit=S2*0.5@4\n"
+      "query=S1@8\n";
+  double ua = 0.0, ub = 0.0;
+  const std::string a = run_replay(stream, 1, &ua);
+  const std::string b = run_replay(stream, 1, &ub);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(ua, ub);
+}
+
+// --- Batch path on the controller ---
+
+TEST(ServeDaemon, BatchValidationIsAllOrNothing) {
+  const auto net = maxutil::gen::figure1_example();
+  maxutil::ctrl::Controller controller(net, fast_options().controller);
+  const double utility = controller.utility();
+  std::vector<ChurnEvent> batch =
+      maxutil::ctrl::parse_churn_plan("depart=S2@1,depart=nope@1").events;
+  EXPECT_THROW(controller.apply_batch(batch), CheckError);
+  // The valid first event must not have been applied.
+  EXPECT_EQ(controller.network().commodity_count(), 2u);
+  EXPECT_DOUBLE_EQ(controller.utility(), utility);
+}
+
+TEST(ServeDaemon, CheckEventSeesStagedEvents) {
+  const auto net = maxutil::gen::figure1_example();
+  maxutil::ctrl::Controller controller(net, fast_options().controller);
+  const ChurnEvent depart =
+      maxutil::ctrl::parse_churn_plan("depart=S2@1").events[0];
+  EXPECT_EQ(controller.check_event(depart), "");
+  // With the same departure already staged, a second one must fail.
+  const std::string reason = controller.check_event(depart, {depart});
+  EXPECT_NE(reason.find("absent"), std::string::npos);
+  // And the reason carries no file:line preamble.
+  EXPECT_EQ(reason.find("check failed"), std::string::npos);
+}
+
+// --- Report export ---
+
+TEST(ServeReportJson, IsWellFormedAndCarriesLatencies) {
+  const auto net = maxutil::gen::figure1_example();
+  ServeOptions options = fast_options();
+  options.window = 3;
+  Daemon daemon(net, options);
+  const ServeReport& report = daemon.run(parse_script_text(
+      "depart=S2@1\n"
+      "query=S1@2\n"
+      "admit=S2@7\n"));
+  std::ostringstream out;
+  report.write_json(out);
+  const std::string json = out.str();
+  for (const char* key :
+       {"\"decisions\"", "\"batches\"", "\"solves\"", "\"admits\"",
+        "\"virtual_latency_p50\"", "\"virtual_latency_p99\"",
+        "\"wall_latency_p99_seconds\"", "\"decisions_per_second\"",
+        "\"final_utility\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');
+
+  // serve_* metrics landed in the shared registry.
+  const auto& metrics = daemon.controller().metrics();
+  ASSERT_TRUE(metrics.find("serve_requests_total").has_value());
+  EXPECT_EQ(metrics.counter_value(*metrics.find("serve_requests_total")), 3u);
+  ASSERT_TRUE(metrics.find("serve_batches_total").has_value());
+  EXPECT_EQ(metrics.counter_value(*metrics.find("serve_batches_total")),
+            report.batches);
+}
+
+}  // namespace

@@ -7,9 +7,19 @@
 //   maxutil_cli churn <file> --plan SPEC [--algo NAME[,...]] [--policy P]
 //                            [--budget N] [--report] [--trace FILE]
 //                            [--metrics FILE]
+//   maxutil_cli serve <file> [--input FILE|-|--listen SOCKET] [--window W]
+//                            [--admit-share X] [--deny-share X] [...solver
+//                            flags...] [--decisions FILE] [--json FILE]
 //   maxutil_cli dot <file> [--extended]
 //   maxutil_cli generate [--servers N] [--commodities J] [--stages K]
 //                        [--lambda X] [--seed S]
+//   maxutil_cli help | --help
+//
+// `serve` runs the online admission-serving loop (docs/SERVE.md): a stream
+// of admit=/query= requests and topology events, coalesced into batches of
+// at most one warm-started re-solve (plus one revert solve for denials),
+// answered admit/deny/degrade from the updated plan. Deterministic replay:
+// the decision log depends only on the input stream.
 //
 // `churn` replays a scripted topology-churn plan (docs/CONTROLLER.md) through
 // ctrl::Controller, re-optimizing after every event with warm-started
@@ -33,8 +43,14 @@
 #include <string>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include "ctrl/churn_plan.hpp"
 #include "ctrl/controller.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
 #include "gen/random_instance.hpp"
 #include "scenario/scenario.hpp"
 #include "solver/pipeline.hpp"
@@ -49,9 +65,9 @@ namespace {
 
 using namespace maxutil;
 
-int usage() {
+int usage_to(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: maxutil_cli validate <file>\n"
       "       maxutil_cli solve <file> [--algo NAME[,NAME...]|help]"
       " [--compare] [--compare-json FILE]\n"
@@ -91,12 +107,35 @@ int usage() {
       "          with a warm-started re-solve per event; --budget caps"
       " iterations per re-solve; --policy picks the\n"
       "          admission-degradation transient; see docs/CONTROLLER.md)\n"
+      "       maxutil_cli serve <file> [--input FILE|-] [--listen SOCKET]"
+      " [--window W]\n"
+      "                            [--algo NAME[,...]] [--policy P] [--eps X]"
+      " [--eta X] [--iters N] [--tol X]\n"
+      "                            [--threads T] [--partition shard|chunked]"
+      " [--budget N]\n"
+      "                            [--admit-share X] [--deny-share X]"
+      " [--decisions FILE] [--json FILE]\n"
+      "                            [--report] [--metrics FILE] [--trace FILE]\n"
+      "         (online admission serving, docs/SERVE.md: reads one request"
+      " per line — admit=COMMODITY[*F]@T,\n"
+      "          query=COMMODITY@T, or any churn event — from --input"
+      " (default '-' = stdin) or a Unix-domain\n"
+      "          socket via --listen; coalesces requests within --window"
+      " virtual time units into one re-solve;\n"
+      "          answers admit/degrade/deny at thresholds --admit-share/"
+      "--deny-share on the admitted share;\n"
+      "          --decisions writes the deterministic decision log"
+      " ('-' = stdout), --json a machine-readable\n"
+      "          summary with p50/p99 decision latency and decisions/sec)\n"
       "       maxutil_cli dot <file> [--extended]\n"
       "       maxutil_cli generate [--servers N] [--commodities J]"
-      " [--stages K] [--lambda X] [--seed S]\n",
+      " [--stages K] [--lambda X] [--seed S]\n"
+      "       maxutil_cli help   (this text; also --help)\n",
       solver::SolverRegistry::instance().names_joined().c_str());
-  return 1;
+  return out == stdout ? 0 : 1;
 }
+
+int usage() { return usage_to(stderr); }
 
 /// Parses "--key value" pairs after the subcommand/file arguments.
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
@@ -429,6 +468,164 @@ int cmd_churn(const std::string& path,
   return report.failures > 0 ? 1 : 0;
 }
 
+/// `--listen SOCKET`: accept one client on a Unix-domain stream socket,
+/// submit its lines as they arrive, and stream each decision back the
+/// moment its batch flushes. The serve run ends at client EOF.
+void serve_socket(serve::Daemon& daemon, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  util::ensure(listener >= 0, "serve: cannot create Unix socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  util::ensure(path.size() < sizeof(addr.sun_path),
+               "serve: socket path too long: " + path);
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  ::unlink(path.c_str());
+  util::ensure(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               "serve: cannot bind " + path);
+  util::ensure(::listen(listener, 1) == 0, "serve: cannot listen on " + path);
+  std::fprintf(stderr, "serving on %s (one client, ends at EOF)\n",
+               path.c_str());
+  const int client = ::accept(listener, nullptr, nullptr);
+  util::ensure(client >= 0, "serve: accept failed on " + path);
+
+  const auto drain = [&daemon, client](std::size_t& sent) {
+    const auto& decisions = daemon.report().decisions;
+    for (; sent < decisions.size(); ++sent) {
+      const std::string line = decisions[sent].line() + "\n";
+      (void)!::write(client, line.data(), line.size());
+    }
+  };
+
+  std::string buffer;
+  std::size_t sent = 0;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(client, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      try {
+        const serve::Script one = serve::parse_script_text(line);
+        for (const serve::Request& request : one.requests) {
+          daemon.submit(request);
+        }
+      } catch (const util::CheckError& e) {
+        const std::string err = std::string("error: ") + e.what() + "\n";
+        (void)!::write(client, err.data(), err.size());
+      }
+      drain(sent);
+    }
+  }
+  daemon.finish();
+  drain(sent);
+  ::close(client);
+  ::close(listener);
+  ::unlink(path.c_str());
+}
+
+int cmd_serve(const std::string& path,
+              const std::map<std::string, std::string>& flags) {
+  const auto net = scenario::load_file(path);
+  stream::validate_or_throw(net);
+
+  serve::ServeOptions options;
+  options.controller.pipeline =
+      flags.count("algo") != 0 ? flags.at("algo") : "gradient";
+  if (flags.count("policy") != 0) {
+    options.controller.policy = ctrl::parse_policy(flags.at("policy"));
+  }
+  options.controller.penalty.epsilon = flag_number(flags, "eps", 0.1);
+  options.controller.solve.eta = flag_number(flags, "eta", 0.0);
+  options.controller.solve.max_iterations =
+      static_cast<std::size_t>(flag_number(flags, "iters", 0));
+  options.controller.solve.tolerance = flag_number(flags, "tol", 0.0);
+  const double threads = flag_number(flags, "threads", 1);
+  options.controller.solve.threads =
+      threads <= 0 ? 0 : static_cast<std::size_t>(threads);
+  if (flags.count("partition") != 0) {
+    options.controller.solve.partition = flags.at("partition");
+  }
+  options.controller.watchdog_iterations =
+      static_cast<std::size_t>(flag_number(flags, "budget", 4000));
+  options.window = static_cast<std::size_t>(flag_number(flags, "window", 0));
+  options.admit_share = flag_number(flags, "admit-share", 0.95);
+  options.deny_share = flag_number(flags, "deny-share", 0.05);
+  options.record_trace = flags.count("trace") != 0;
+
+  serve::Daemon daemon(net, options);
+
+  if (flags.count("listen") != 0) {
+    serve_socket(daemon, flags.at("listen"));
+  } else {
+    const std::string input =
+        flags.count("input") != 0 ? flags.at("input") : "-";
+    serve::Script script;
+    if (input == "-") {
+      script = serve::parse_script(std::cin);
+    } else {
+      std::ifstream in(input);
+      util::ensure(in.good(), "cannot open --input file " + input);
+      script = serve::parse_script(in);
+    }
+    daemon.run(script);
+  }
+  const serve::ServeReport& report = daemon.finish();
+
+  if (flags.count("decisions") != 0 && flags.at("decisions") != "-") {
+    const std::string& file = flags.at("decisions");
+    std::ofstream out(file);
+    util::ensure(out.good(), "cannot open --decisions file " + file);
+    out << report.decision_log();
+    std::fprintf(stderr, "wrote decision log to %s\n", file.c_str());
+  } else {
+    std::fputs(report.decision_log().c_str(), stdout);
+  }
+  if (flags.count("report") != 0) {
+    std::fputs(report.summary().c_str(), stdout);
+  } else {
+    std::printf("%zu decisions, %zu batches, utility %.6f -> %.6f\n",
+                report.decisions.size(), report.batches,
+                report.initial_utility, report.final_utility);
+  }
+  if (flags.count("json") != 0) {
+    const std::string& file = flags.at("json");
+    std::ofstream out(file);
+    util::ensure(out.good(), "cannot open --json file " + file);
+    report.write_json(out);
+    std::fprintf(stderr, "wrote serve summary JSON to %s\n", file.c_str());
+  }
+  if (flags.count("metrics") != 0) {
+    const std::string& file = flags.at("metrics");
+    std::ofstream out(file);
+    util::ensure(out.good(), "cannot open --metrics file " + file);
+    daemon.controller().metrics().write_csv(out);
+    std::fprintf(stderr, "wrote serve metrics CSV to %s\n", file.c_str());
+  }
+  if (flags.count("trace") != 0) {
+    const std::string& file = flags.at("trace");
+    std::ofstream out(file);
+    util::ensure(out.good(), "cannot open --trace file " + file);
+    const bool csv =
+        file.size() >= 4 && file.compare(file.size() - 4, 4, ".csv") == 0;
+    if (csv) {
+      daemon.controller().tracer().write_csv(out);
+    } else {
+      daemon.controller().tracer().write_chrome_json(out);
+    }
+    std::fprintf(stderr, "wrote serve %s trace (%zu events) to %s\n",
+                 csv ? "CSV" : "chrome://tracing",
+                 daemon.controller().tracer().events().size(), file.c_str());
+  }
+  for (const serve::DecisionRecord& record : report.decisions) {
+    if (record.reason.rfind("re-solve failed", 0) == 0) return 1;
+  }
+  return 0;
+}
+
 int cmd_dot(const std::string& path,
             const std::map<std::string, std::string>& flags) {
   const auto net = scenario::load_file(path);
@@ -478,6 +675,12 @@ int main(int argc, char** argv) {
     }
     if (command == "churn" && argc >= 3) {
       return cmd_churn(argv[2], parse_flags(argc, argv, 3));
+    }
+    if (command == "serve" && argc >= 3) {
+      return cmd_serve(argv[2], parse_flags(argc, argv, 3));
+    }
+    if (command == "help" || command == "--help") {
+      return usage_to(stdout);
     }
     if (command == "dot" && argc >= 3) {
       return cmd_dot(argv[2], parse_flags(argc, argv, 3));
