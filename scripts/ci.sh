@@ -5,7 +5,9 @@
 # tests and the fault-injection tests (faulted runs exercise the
 # deterministic merge path under threads). Phase 3: AddressSanitizer pass
 # over the observability suites (metric shards + trace buffers are raw slot
-# arrays; ASan guards the indexing). Phase 4: solver-parity leg — the
+# arrays; ASan guards the indexing) plus the LP differential harness (the
+# sparse revised simplex indexes CSC/LU/eta arrays by hand; ASan guards
+# every pivot). Phase 4: solver-parity leg — the
 # unified solver layer's registry/adapter/pipeline suite re-run in
 # isolation, so a parity break is named in the CI log even when earlier
 # phases fail for unrelated reasons. Phase 5: churn-controller leg — the
@@ -43,13 +45,31 @@ cmake --build --preset tsan -j"${jobs}" \
 ./build-tsan/tests/partition_test
 
 cmake --preset asan
-cmake --build --preset asan -j"${jobs}" --target obs_test property_test
+cmake --build --preset asan -j"${jobs}" --target obs_test property_test \
+  lp_diff_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/property_test
+# The sparse LP backend under ASan: differential vs dense on ~300 cases.
+./build-asan/tests/lp_diff_test
 
 # Solver parity: every registry adapter bit-identical to its optimizer,
 # every backend within tolerance of the LP optimum (tests/solver_test.cpp).
 ctest --preset default -R "AdapterParity|CrossSolverParity|Pipeline"
+
+# LP-parity leg: the dense-vs-sparse differential harness and duality/
+# warm-start property suites in isolation (a simplex regression is named in
+# the CI log even when earlier phases fail for unrelated reasons), then the
+# E19 scaling bench in smoke mode — its shape checks gate backend agreement
+# on every rung and its JSON artifact must parse.
+ctest --preset default -R "LpDiff|LpDuality|LpWarmStart"
+cmake --build --preset default -j"${jobs}" --target bench_lp_scaling
+lp_dir=$(mktemp -d /tmp/maxutil_lp.XXXXXX)
+MAXUTIL_RESULTS_DIR="${lp_dir}" ./build/bench/bench_lp_scaling --smoke
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${lp_dir}/BENCH_lp_scaling.json" >/dev/null
+  echo "ci.sh: BENCH_lp_scaling.json parses as strict JSON"
+fi
+rm -rf "${lp_dir}"
 
 # Churn-controller leg: the plan/controller suites in isolation, then the
 # E17 smoke bench — its shape checks fail the run and its JSON must parse.

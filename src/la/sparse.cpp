@@ -82,6 +82,27 @@ std::vector<double> CsrMatrix::solve_fixed_point(std::span<const double> b,
       "solve_fixed_point: no convergence (spectral radius >= 1?)");
 }
 
+std::span<const std::size_t> CsrMatrix::row_columns(std::size_t r) const {
+  ensure(r < rows_, "CsrMatrix::row_columns: out of range");
+  return {col_index_.data() + row_starts_[r], row_starts_[r + 1] - row_starts_[r]};
+}
+
+std::span<const double> CsrMatrix::row_values(std::size_t r) const {
+  ensure(r < rows_, "CsrMatrix::row_values: out of range");
+  return {values_.data() + row_starts_[r], row_starts_[r + 1] - row_starts_[r]};
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  std::vector<Triplet> entries;
+  entries.reserve(values_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_starts_[r]; k < row_starts_[r + 1]; ++k) {
+      entries.push_back({col_index_[k], r, values_[k]});
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(entries));
+}
+
 std::vector<std::pair<std::size_t, double>> CsrMatrix::row_entries(
     std::size_t r) const {
   ensure(r < rows_, "CsrMatrix::row_entries: out of range");

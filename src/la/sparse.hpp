@@ -48,6 +48,16 @@ class CsrMatrix {
   /// Row r as (col, value) pairs, for inspection in tests.
   std::vector<std::pair<std::size_t, double>> row_entries(std::size_t r) const;
 
+  /// Zero-copy views of row r (parallel column-index / value spans) — the
+  /// hot-path accessors the revised simplex prices columns through (it
+  /// stores the constraint matrix as the CSR of A^T, i.e. CSC of A).
+  std::span<const std::size_t> row_columns(std::size_t r) const;
+  std::span<const double> row_values(std::size_t r) const;
+
+  /// A^T as a new CsrMatrix (the CSR of the transpose doubles as a CSC view
+  /// of this matrix; entries within each transposed row stay sorted).
+  CsrMatrix transposed() const;
+
  private:
   std::size_t rows_;
   std::size_t cols_;

@@ -1,0 +1,206 @@
+#include "la/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace maxutil::la {
+
+using maxutil::util::ensure;
+
+namespace {
+
+constexpr std::uint32_t kUnpivoted = ~std::uint32_t{0};
+
+}  // namespace
+
+SparseLu::SparseLu(std::size_t n, const std::vector<SparseColumnView>& columns,
+                   double pivot_tolerance) {
+  ensure(columns.size() == n, "SparseLu: column count mismatch");
+  n_ = n;
+  l_starts_.assign(1, 0);
+  u_starts_.assign(1, 0);
+  u_diag_.reserve(n);
+  perm_row_.assign(n, kUnpivoted);
+  perm_col_.resize(n);
+
+  // Column pre-order: ascending nonzero count, ties by position. Slack and
+  // near-singleton columns pivot first, which keeps network bases almost
+  // fill-free. Deterministic in the input columns alone (no dependence on
+  // how the caller happened to arrange the basis header).
+  std::iota(perm_col_.begin(), perm_col_.end(), 0u);
+  std::stable_sort(perm_col_.begin(), perm_col_.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return columns[a].rows.size() < columns[b].rows.size();
+                   });
+
+  // pinv[original row] = pivot position, or kUnpivoted.
+  std::vector<std::uint32_t> pinv(n, kUnpivoted);
+  std::vector<double> work(n, 0.0);          // scatter accumulator
+  std::vector<std::uint32_t> pattern;        // reach of the current column
+  std::vector<std::uint32_t> stack;          // DFS stack: column positions
+  std::vector<std::size_t> edge;             // DFS resume point per column
+  std::vector<unsigned char> visited(n, 0);  // per original row
+  pattern.reserve(64);
+  stack.reserve(64);
+  edge.assign(n, 0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const SparseColumnView& col = columns[perm_col_[k]];
+    ensure(col.rows.size() == col.values.size(),
+           "SparseLu: ragged column input");
+
+    // --- Symbolic: reach of the column pattern over the L pattern. ---
+    // DFS from every nonzero row; traversing a pivoted row i descends into
+    // L column pinv[i]. Emits `pattern` in reverse-topological order.
+    pattern.clear();
+    for (const std::uint32_t r0 : col.rows) {
+      if (visited[r0]) continue;
+      stack.clear();
+      stack.push_back(r0);
+      visited[r0] = 1;
+      while (!stack.empty()) {
+        const std::uint32_t r = stack.back();
+        const std::uint32_t piv = pinv[r];
+        bool descended = false;
+        if (piv != kUnpivoted) {
+          std::size_t& e = edge[r];
+          const std::size_t end = l_starts_[piv + 1];
+          while (l_starts_[piv] + e < end) {
+            const std::uint32_t child = l_rows_[l_starts_[piv] + e];
+            ++e;
+            if (!visited[child]) {
+              visited[child] = 1;
+              stack.push_back(child);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          edge[r] = 0;
+          stack.pop_back();
+          pattern.push_back(r);
+        }
+      }
+    }
+
+    // --- Numeric: solve L x = A(:, col) on the reach, topological order. ---
+    for (std::size_t i = 0; i < col.rows.size(); ++i) {
+      work[col.rows[i]] += col.values[i];  // += tolerates duplicate rows
+    }
+    for (std::size_t p = pattern.size(); p-- > 0;) {
+      const std::uint32_t r = pattern[p];
+      const std::uint32_t piv = pinv[r];
+      if (piv == kUnpivoted) continue;
+      const double xr = work[r];
+      if (xr == 0.0) continue;
+      for (std::size_t t = l_starts_[piv]; t < l_starts_[piv + 1]; ++t) {
+        work[l_rows_[t]] -= l_values_[t] * xr;
+      }
+    }
+
+    // --- Pivot: largest magnitude among unpivoted rows of the reach. ---
+    std::uint32_t pivot_row = kUnpivoted;
+    double pivot_value = 0.0;
+    for (const std::uint32_t r : pattern) {
+      if (pinv[r] != kUnpivoted) continue;
+      const double a = std::abs(work[r]);
+      if (a > std::abs(pivot_value)) {
+        pivot_value = work[r];
+        pivot_row = r;
+      }
+    }
+    if (pivot_row == kUnpivoted || std::abs(pivot_value) <= pivot_tolerance) {
+      singular_ = true;
+      for (const std::uint32_t r : pattern) {
+        work[r] = 0.0;
+        visited[r] = 0;
+      }
+      return;
+    }
+
+    // --- Store: U entries (pivoted rows), L entries (unpivoted, scaled). ---
+    for (const std::uint32_t r : pattern) {
+      const double v = work[r];
+      work[r] = 0.0;
+      visited[r] = 0;
+      if (r == pivot_row) continue;
+      if (pinv[r] != kUnpivoted) {
+        if (v != 0.0) {
+          u_rows_.push_back(pinv[r]);
+          u_values_.push_back(v);
+        }
+      } else if (v != 0.0) {
+        l_rows_.push_back(r);
+        l_values_.push_back(v / pivot_value);
+      }
+    }
+    u_diag_.push_back(pivot_value);
+    pinv[pivot_row] = static_cast<std::uint32_t>(k);
+    perm_row_[k] = pivot_row;
+    l_starts_.push_back(l_rows_.size());
+    u_starts_.push_back(u_rows_.size());
+  }
+
+  // Remap L row ids from original to pivot coordinates so the solves are
+  // plain triangular sweeps.
+  for (std::uint32_t& r : l_rows_) r = pinv[r];
+}
+
+void SparseLu::solve_in_place(std::vector<double>& b) const {
+  ensure(!singular_, "SparseLu::solve_in_place: singular factorization");
+  ensure(b.size() == n_, "SparseLu::solve_in_place: dimension mismatch");
+  // y = P b.
+  std::vector<double> y(n_);
+  for (std::size_t k = 0; k < n_; ++k) y[k] = b[perm_row_[k]];
+  // L y' = y (unit lower triangular, column sweep).
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double yk = y[k];
+    if (yk == 0.0) continue;
+    for (std::size_t t = l_starts_[k]; t < l_starts_[k + 1]; ++t) {
+      y[l_rows_[t]] -= l_values_[t] * yk;
+    }
+  }
+  // U z = y' (column back-substitution).
+  for (std::size_t k = n_; k-- > 0;) {
+    const double zk = y[k] / u_diag_[k];
+    y[k] = zk;
+    if (zk == 0.0) continue;
+    for (std::size_t t = u_starts_[k]; t < u_starts_[k + 1]; ++t) {
+      y[u_rows_[t]] -= u_values_[t] * zk;
+    }
+  }
+  // x = Q z.
+  for (std::size_t k = 0; k < n_; ++k) b[perm_col_[k]] = y[k];
+}
+
+void SparseLu::solve_transposed_in_place(std::vector<double>& b) const {
+  ensure(!singular_, "SparseLu::solve_transposed_in_place: singular");
+  ensure(b.size() == n_, "SparseLu::solve_transposed_in_place: size");
+  // w = Q^T b.
+  std::vector<double> w(n_);
+  for (std::size_t k = 0; k < n_; ++k) w[k] = b[perm_col_[k]];
+  // U^T w' = w (lower triangular in transpose: forward sweep with dots).
+  for (std::size_t k = 0; k < n_; ++k) {
+    double s = w[k];
+    for (std::size_t t = u_starts_[k]; t < u_starts_[k + 1]; ++t) {
+      s -= u_values_[t] * w[u_rows_[t]];
+    }
+    w[k] = s / u_diag_[k];
+  }
+  // L^T v = w' (upper triangular in transpose: backward sweep with dots).
+  for (std::size_t k = n_; k-- > 0;) {
+    double s = w[k];
+    for (std::size_t t = l_starts_[k]; t < l_starts_[k + 1]; ++t) {
+      s -= l_values_[t] * w[l_rows_[t]];
+    }
+    w[k] = s;
+  }
+  // x = P^T v.
+  for (std::size_t k = 0; k < n_; ++k) b[perm_row_[k]] = w[k];
+}
+
+}  // namespace maxutil::la

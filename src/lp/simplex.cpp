@@ -180,7 +180,9 @@ class Tableau {
     bool bland = options_.always_bland;
     double last_objective = std::numeric_limits<double>::infinity();
     std::size_t stall = 0;
-    const std::size_t stall_limit = 2 * (m_ + n_) + 100;
+    const std::size_t stall_limit = options_.stall_pivot_limit
+                                        ? options_.stall_pivot_limit
+                                        : 2 * (m_ + n_) + 100;
     while (true) {
       if (iters_ >= max_iters_) return LpStatus::kIterationLimit;
       const std::size_t entering = choose_entering(bland, allow_artificials);

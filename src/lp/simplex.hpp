@@ -40,6 +40,11 @@ struct SimplexOptions {
   /// guaranteed finite); otherwise Dantzig pricing with an automatic switch
   /// to Bland when the objective stalls.
   bool always_bland = false;
+  /// Pivots without objective progress before the automatic Dantzig->Bland
+  /// switch; 0 selects 2*(rows+cols) + 100. Exposed so anti-cycling
+  /// regression tests can force the switch after a deterministic number of
+  /// stalled pivots.
+  std::size_t stall_pivot_limit = 0;
 };
 
 /// Solves `problem` with a dense two-phase primal simplex.

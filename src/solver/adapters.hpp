@@ -13,6 +13,7 @@ void register_gradient_solver(SolverRegistry& registry);
 void register_distributed_solver(SolverRegistry& registry);
 void register_backpressure_solver(SolverRegistry& registry);
 void register_lp_solver(SolverRegistry& registry);
+void register_lp_sparse_solver(SolverRegistry& registry);
 void register_frank_wolfe_solver(SolverRegistry& registry);
 
 }  // namespace maxutil::solver

@@ -22,6 +22,7 @@ SolverRegistry& SolverRegistry::instance() {
     register_backpressure_solver(*r);
     register_lp_solver(*r);
     register_frank_wolfe_solver(*r);
+    register_lp_sparse_solver(*r);
     return r;
   }();
   return *registry;

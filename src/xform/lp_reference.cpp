@@ -108,7 +108,11 @@ ReferenceSolution solve_reference(const ExtendedGraph& xg,
     }
   }
 
-  const auto lp_solution = maxutil::lp::solve(problem, options.simplex);
+  const auto lp_solution =
+      options.backend == LpBackend::kSparse
+          ? maxutil::lp::solve_revised(problem, options.revised,
+                                       options.warm_basis)
+          : maxutil::lp::solve(problem, options.simplex);
 
   ReferenceSolution out;
   out.status = lp_solution.status;

@@ -4,10 +4,17 @@
 #include <utility>
 #include <vector>
 
+#include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
 #include "xform/extended_graph.hpp"
 
 namespace maxutil::xform {
+
+/// Which simplex implementation solves the reference LP.
+enum class LpBackend {
+  kDense,   // lp::solve — dense two-phase tableau (reference implementation)
+  kSparse,  // lp::solve_revised — sparse revised simplex, warm-startable
+};
 
 /// Options for the centralized LP reference solve.
 struct ReferenceOptions {
@@ -16,6 +23,19 @@ struct ReferenceOptions {
   /// gap at the cost of LP size.
   std::size_t pwl_segments = 200;
   lp::SimplexOptions simplex;
+  /// Backend selection. Both produce the same statuses, objectives (within
+  /// tolerance) and dual conventions; kSparse scales to instances whose
+  /// dense tableau would not fit in memory and supports warm starts.
+  LpBackend backend = LpBackend::kDense;
+  /// Knobs for the kSparse backend (ignored by kDense).
+  lp::RevisedSimplexOptions revised;
+  /// Optional warm-start basis for kSparse: when non-null, a previous basis
+  /// is adopted on entry and the final basis is written back, so repeated
+  /// solves of a drifting instance (churn, admission batches) re-pivot from
+  /// the last optimum. The basis is only portable across solves whose
+  /// polytope has identical variable/constraint layout; a mismatched basis
+  /// is ignored.
+  lp::SimplexBasis* warm_basis = nullptr;
 };
 
 /// The centralized optimum of the transformed problem — the paper's

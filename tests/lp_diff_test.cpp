@@ -1,0 +1,324 @@
+// Differential harness: the sparse revised simplex (lp::solve_revised) vs
+// the dense tableau (lp::solve) on the same LpProblem. Two generators feed
+// it — seeded random raw LPs that sweep the awkward corners of the
+// bounded-variable form (free/fixed/upper-only variables, equality rows,
+// infeasible and unbounded instances, degenerate vertices), and flow
+// polytopes of gen::random_instance networks (the LP family the solver
+// exists for). On every case the two backends must agree on status; on
+// optimal cases the objectives must match within 1e-6 * (1 + |obj|) and the
+// sparse x must be primal-feasible. Well over 200 cases total.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/random_instance.hpp"
+#include "lp/model.hpp"
+#include "lp/revised_simplex.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+#include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
+
+namespace {
+
+using namespace maxutil;
+using lp::LpProblem;
+using lp::LpStatus;
+using lp::Relation;
+using lp::Sense;
+
+/// Runs both backends and checks the differential contract. `tag` labels
+/// the failing case for reproduction.
+void expect_backends_agree(const LpProblem& problem, const std::string& tag) {
+  const auto dense = lp::solve(problem);
+  const auto sparse = lp::solve_revised(problem);
+
+  ASSERT_EQ(sparse.status, dense.status) << tag;
+  if (dense.status != LpStatus::kOptimal) return;
+
+  const double tol = 1e-6 * (1.0 + std::abs(dense.objective));
+  EXPECT_NEAR(sparse.objective, dense.objective, tol) << tag;
+  ASSERT_EQ(sparse.x.size(), problem.variable_count()) << tag;
+  EXPECT_LE(problem.max_violation(sparse.x), 1e-6) << tag;
+  // The claimed objective must be the objective of the returned point.
+  EXPECT_NEAR(problem.objective_value(sparse.x), sparse.objective, 1e-9) << tag;
+  // Duals must exist for every row under both backends.
+  EXPECT_EQ(sparse.duals.size(), problem.constraint_count()) << tag;
+  EXPECT_EQ(dense.duals.size(), problem.constraint_count()) << tag;
+}
+
+/// A random raw LP that deliberately hits every variable/row shape the
+/// bounded-variable simplex distinguishes. Integer-leaning coefficients
+/// keep the instances away from tolerance borderlines, so the two backends
+/// cannot legitimately disagree on status. `boxed` forces a finite box on
+/// every variable (boundedness guaranteed, so the sweep gets a healthy
+/// share of optimal cases alongside the wild infeasible/unbounded mix).
+LpProblem random_raw_lp(util::Rng& rng, bool boxed) {
+  LpProblem p;
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 10));
+  const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  p.set_sense(rng.chance(0.5) ? Sense::kMaximize : Sense::kMinimize);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const double c = static_cast<double>(rng.uniform_int(-5, 5));
+    double lower = 0.0, upper = lp::kInfinity;
+    switch (boxed ? 3 : rng.uniform_int(0, 9)) {
+      case 0:  // free
+        lower = -lp::kInfinity;
+        break;
+      case 1:  // upper-bounded only
+        lower = -lp::kInfinity;
+        upper = static_cast<double>(rng.uniform_int(0, 10));
+        break;
+      case 2: {  // fixed
+        const double v = static_cast<double>(rng.uniform_int(-3, 3));
+        lower = upper = v;
+        break;
+      }
+      case 3:  // boxed
+      case 4:
+        lower = static_cast<double>(rng.uniform_int(-5, 0));
+        upper = lower + static_cast<double>(rng.uniform_int(0, 10));
+        break;
+      default:  // standard [0, inf)
+        break;
+    }
+    p.add_variable("x" + std::to_string(j), lower, upper, c);
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<std::pair<lp::VarId, double>> terms;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!rng.chance(0.6)) continue;
+      const double a = static_cast<double>(rng.uniform_int(-4, 4));
+      if (a != 0.0) terms.emplace_back(j, a);
+    }
+    if (terms.empty()) terms.emplace_back(rng.index(n), 1.0);
+    const Relation rel = rng.chance(0.2)   ? Relation::kEq
+                         : rng.chance(0.5) ? Relation::kLessEq
+                                           : Relation::kGreaterEq;
+    const double rhs = static_cast<double>(rng.uniform_int(-10, 20));
+    p.add_constraint(std::move(terms), rel, rhs);
+  }
+  return p;
+}
+
+// ------------------------------------------------------------ raw LP sweep
+
+TEST(LpDiff, RandomRawLpsAgree) {
+  // 240 seeded random LPs: two thirds wild (every variable shape, all three
+  // relations — most come out infeasible or unbounded) and one third boxed
+  // (finite boxes guarantee boundedness, so plenty of optimal pivoting
+  // happens too). The mix is asserted below so the sweep cannot silently
+  // degenerate to a single status class.
+  std::size_t optimal = 0, infeasible = 0, unbounded = 0;
+  for (std::uint64_t seed = 1; seed <= 240; ++seed) {
+    util::Rng rng(seed * 7919);
+    const LpProblem p = random_raw_lp(rng, seed % 3 == 0);
+    expect_backends_agree(p, "raw seed " + std::to_string(seed));
+    switch (lp::solve(p).status) {
+      case LpStatus::kOptimal: ++optimal; break;
+      case LpStatus::kInfeasible: ++infeasible; break;
+      case LpStatus::kUnbounded: ++unbounded; break;
+      default: break;
+    }
+  }
+  EXPECT_GE(optimal, 40u);
+  EXPECT_GE(infeasible, 30u);
+  EXPECT_GE(unbounded, 10u);
+}
+
+// ------------------------------------------------------- structured corners
+
+TEST(LpDiff, InfeasibleByBoundsAndRows) {
+  {
+    LpProblem p;  // x <= 1 and x >= 2 cannot both hold
+    const auto x = p.add_variable("x", 0.0, 10.0, 1.0);
+    p.add_constraint({{x, 1.0}}, Relation::kLessEq, 1.0);
+    p.add_constraint({{x, 1.0}}, Relation::kGreaterEq, 2.0);
+    expect_backends_agree(p, "infeasible rows");
+  }
+  {
+    LpProblem p;  // equality out of reach of the variable box
+    const auto x = p.add_variable("x", 0.0, 1.0);
+    const auto y = p.add_variable("y", 0.0, 1.0);
+    p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 5.0);
+    expect_backends_agree(p, "infeasible eq");
+  }
+}
+
+TEST(LpDiff, UnboundedDirections) {
+  {
+    LpProblem p;  // max x with no upper limit
+    p.set_sense(Sense::kMaximize);
+    const auto x = p.add_variable("x", 0.0, lp::kInfinity, 1.0);
+    const auto y = p.add_variable("y");
+    p.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLessEq, 1.0);
+    expect_backends_agree(p, "unbounded ray");
+  }
+  {
+    LpProblem p;  // min over a free variable with no binding row
+    const auto f = p.add_variable("f", -lp::kInfinity, lp::kInfinity, 1.0);
+    const auto x = p.add_variable("x");
+    p.add_constraint({{x, 1.0}}, Relation::kLessEq, 4.0);
+    (void)f;
+    expect_backends_agree(p, "unbounded free");
+  }
+}
+
+TEST(LpDiff, FreeAndFixedVariables) {
+  {
+    LpProblem p;  // free variable pinned only by an equality
+    p.set_sense(Sense::kMaximize);
+    const auto f = p.add_variable("f", -lp::kInfinity, lp::kInfinity, 1.0);
+    const auto x = p.add_variable("x", 0.0, 3.0);
+    p.add_constraint({{f, 1.0}, {x, -2.0}}, Relation::kEq, -1.0);
+    expect_backends_agree(p, "free via eq");
+  }
+  {
+    LpProblem p;  // fixed variable shifts the effective rhs
+    const auto k = p.add_variable("k", 2.0, 2.0);
+    const auto x = p.add_variable("x", 0.0, lp::kInfinity, 1.0);
+    p.add_constraint({{k, 3.0}, {x, 1.0}}, Relation::kGreaterEq, 10.0);
+    expect_backends_agree(p, "fixed shift");
+  }
+  {
+    LpProblem p;  // all variables fixed: feasibility is a pure check
+    const auto a = p.add_variable("a", 1.0, 1.0, 5.0);
+    const auto b = p.add_variable("b", -2.0, -2.0, 1.0);
+    p.add_constraint({{a, 1.0}, {b, 1.0}}, Relation::kLessEq, 0.0);
+    expect_backends_agree(p, "all fixed");
+  }
+}
+
+TEST(LpDiff, DegenerateVertices) {
+  {
+    // Three redundant rows meet at the same vertex; the dense and sparse
+    // pivots walk different degenerate bases to the same objective.
+    LpProblem p;
+    p.set_sense(Sense::kMaximize);
+    const auto x = p.add_variable("x", 0.0, lp::kInfinity, 1.0);
+    const auto y = p.add_variable("y", 0.0, lp::kInfinity, 1.0);
+    p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEq, 4.0);
+    p.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::kLessEq, 8.0);
+    p.add_constraint({{x, 3.0}, {y, 3.0}}, Relation::kLessEq, 12.0);
+    expect_backends_agree(p, "redundant rows");
+  }
+  {
+    // Beale's classic cycling example: Dantzig pricing cycles without the
+    // stall watchdog; both backends must terminate at -0.05.
+    LpProblem p;
+    const auto x1 = p.add_variable("x1", 0.0, lp::kInfinity, -0.75);
+    const auto x2 = p.add_variable("x2", 0.0, lp::kInfinity, 150.0);
+    const auto x3 = p.add_variable("x3", 0.0, lp::kInfinity, -0.02);
+    const auto x4 = p.add_variable("x4", 0.0, lp::kInfinity, 6.0);
+    p.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                     Relation::kLessEq, 0.0);
+    p.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                     Relation::kLessEq, 0.0);
+    p.add_constraint({{x3, 1.0}}, Relation::kLessEq, 1.0);
+    expect_backends_agree(p, "beale");
+    const auto sparse = lp::solve_revised(p);
+    EXPECT_NEAR(sparse.objective, -0.05, 1e-9);
+  }
+}
+
+TEST(LpDiff, DualsAgreeOnTextbookInstances) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18: duals (0, 1.5, 1).
+  LpProblem p;
+  p.set_sense(Sense::kMaximize);
+  const auto x = p.add_variable("x", 0.0, lp::kInfinity, 3.0);
+  const auto y = p.add_variable("y", 0.0, lp::kInfinity, 5.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEq, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLessEq, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEq, 18.0);
+  const auto sparse = lp::solve_revised(p);
+  ASSERT_EQ(sparse.status, LpStatus::kOptimal);
+  ASSERT_EQ(sparse.duals.size(), 3u);
+  EXPECT_NEAR(sparse.duals[0], 0.0, 1e-9);
+  EXPECT_NEAR(sparse.duals[1], 1.5, 1e-9);
+  EXPECT_NEAR(sparse.duals[2], 1.0, 1e-9);
+
+  // min 2x s.t. x >= 3: tightening rhs by 1 costs 2.
+  LpProblem q;
+  const auto z = q.add_variable("z", 0.0, lp::kInfinity, 2.0);
+  q.add_constraint({{z, 1.0}}, Relation::kGreaterEq, 3.0);
+  const auto qsol = lp::solve_revised(q);
+  ASSERT_EQ(qsol.status, LpStatus::kOptimal);
+  ASSERT_EQ(qsol.duals.size(), 1u);
+  EXPECT_NEAR(qsol.duals[0], 2.0, 1e-9);
+}
+
+// -------------------------------------------------------- polytope LP sweep
+
+/// Builds the max-throughput LP of a random stream network: the flow
+/// polytope with the linear utility objective on the admitted rates.
+lp::LpProblem polytope_lp(const stream::StreamNetwork& net) {
+  const xform::ExtendedGraph xg(net);
+  xform::FlowPolytope polytope = xform::build_flow_polytope(xg);
+  polytope.problem.set_sense(Sense::kMaximize);
+  for (std::size_t j = 0; j < net.commodity_count(); ++j) {
+    polytope.problem.set_objective_coefficient(polytope.admitted_var[j],
+                                               net.utility(j).weight());
+  }
+  return std::move(polytope.problem);
+}
+
+TEST(LpDiff, FlowPolytopesAgree) {
+  // 48 network LPs: 16 seeds x 3 shapes (the instance family this backend
+  // was built for — equality flow-balance rows plus capacity rows).
+  struct Shape {
+    std::size_t servers, commodities, stages;
+  };
+  const Shape shapes[] = {{8, 1, 2}, {12, 2, 3}, {18, 3, 3}};
+  for (const Shape& shape : shapes) {
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+      util::Rng rng(seed * 104729 + shape.servers);
+      gen::RandomInstanceParams params;
+      params.servers = shape.servers;
+      params.commodities = shape.commodities;
+      params.stages = shape.stages;
+      const auto net = gen::random_instance(params, rng);
+      expect_backends_agree(
+          polytope_lp(net),
+          "polytope servers=" + std::to_string(shape.servers) +
+              " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(LpDiff, WarmStartReachesTheSameOptimum) {
+  // Solve a polytope LP cold, then re-solve warm from the returned basis
+  // after perturbing the objective: the warm solve must still match the
+  // dense answer on the perturbed problem, in (far) fewer pivots.
+  util::Rng rng(20260808);
+  gen::RandomInstanceParams params;
+  params.servers = 14;
+  params.commodities = 2;
+  params.stages = 3;
+  const auto net = gen::random_instance(params, rng);
+  lp::LpProblem p = polytope_lp(net);
+
+  lp::SimplexBasis basis;
+  const auto cold = lp::solve_revised(p, {}, &basis);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  ASSERT_FALSE(basis.empty());
+
+  // Nudge one commodity's weight: the previous basis stays near-optimal.
+  const xform::ExtendedGraph xg(net);
+  const auto polytope = xform::build_flow_polytope(xg);
+  p.set_objective_coefficient(polytope.admitted_var[0], 1.25);
+  const auto dense = lp::solve(p);
+  const auto warm = lp::solve_revised(p, {}, &basis);
+  ASSERT_EQ(warm.status, dense.status);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, dense.objective,
+              1e-6 * (1.0 + std::abs(dense.objective)));
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+}  // namespace

@@ -17,12 +17,14 @@
 #include "graph/digraph.hpp"
 #include "la/matrix.hpp"
 #include "lp/model.hpp"
+#include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
 #include "obs/observability.hpp"
 #include "sim/distributed_gradient.hpp"
 #include "stream/utility.hpp"
 #include "util/rng.hpp"
 #include "xform/extended_graph.hpp"
+#include "xform/lp_reference.hpp"
 
 namespace {
 
@@ -60,6 +62,200 @@ TEST(Property, SimplexSurvivesBealeCycling) {
   EXPECT_LT(p.max_violation(s.x), 1e-9);
   EXPECT_NEAR(s.x[x3], 1.0, 1e-9);
 }
+
+// --- Both simplex backends survive canned degenerate/cycling tableaus with
+// the Dantzig->Bland stall switch forced after a single stalled pivot. ---
+
+LpProblem beale_cycling_lp() {
+  LpProblem p;
+  const VarId x1 = p.add_variable("x1", 0.0, maxutil::lp::kInfinity, -0.75);
+  const VarId x2 = p.add_variable("x2", 0.0, maxutil::lp::kInfinity, 150.0);
+  const VarId x3 = p.add_variable("x3", 0.0, maxutil::lp::kInfinity, -0.02);
+  const VarId x4 = p.add_variable("x4", 0.0, maxutil::lp::kInfinity, 6.0);
+  p.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   Relation::kLessEq, 0.0);
+  p.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   Relation::kLessEq, 0.0);
+  p.add_constraint({{x3, 1.0}}, Relation::kLessEq, 1.0);
+  return p;
+}
+
+/// A heavily degenerate vertex: five rows all tight at the origin-adjacent
+/// optimum, so most pivots move nothing and stall the watchdog immediately.
+LpProblem degenerate_fan_lp() {
+  LpProblem p;
+  p.set_sense(maxutil::lp::Sense::kMaximize);
+  const VarId x = p.add_variable("x", 0.0, maxutil::lp::kInfinity, 2.0);
+  const VarId y = p.add_variable("y", 0.0, maxutil::lp::kInfinity, 1.0);
+  const VarId z = p.add_variable("z", 0.0, maxutil::lp::kInfinity, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEq, 0.0);
+  p.add_constraint({{x, 1.0}, {z, 1.0}}, Relation::kLessEq, 0.0);
+  p.add_constraint({{y, 1.0}, {z, 1.0}}, Relation::kLessEq, 0.0);
+  p.add_constraint({{x, 2.0}, {y, 1.0}, {z, 1.0}}, Relation::kLessEq, 0.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}, {z, 2.0}}, Relation::kLessEq, 0.0);
+  return p;
+}
+
+TEST(Property, DenseSimplexAntiCyclingUnderForcedStallSwitch) {
+  maxutil::lp::SimplexOptions options;
+  options.stall_pivot_limit = 1;  // first stalled pivot flips to Bland
+  options.max_iterations = 500;   // far below the automatic cap: must halt
+  const auto beale = maxutil::lp::solve(beale_cycling_lp(), options);
+  ASSERT_EQ(beale.status, LpStatus::kOptimal);
+  EXPECT_NEAR(beale.objective, -0.05, 1e-9);
+  EXPECT_LT(beale.iterations, 500u);
+
+  const auto fan = maxutil::lp::solve(degenerate_fan_lp(), options);
+  ASSERT_EQ(fan.status, LpStatus::kOptimal);
+  EXPECT_NEAR(fan.objective, 0.0, 1e-9);
+  EXPECT_LT(fan.iterations, 500u);
+}
+
+TEST(Property, SparseSimplexAntiCyclingUnderForcedStallSwitch) {
+  maxutil::lp::RevisedSimplexOptions options;
+  options.stall_pivot_limit = 1;
+  options.max_iterations = 500;
+  const auto beale = maxutil::lp::solve_revised(beale_cycling_lp(), options);
+  ASSERT_EQ(beale.status, LpStatus::kOptimal);
+  EXPECT_NEAR(beale.objective, -0.05, 1e-9);
+  EXPECT_LT(beale.iterations, 500u);
+
+  const auto fan = maxutil::lp::solve_revised(degenerate_fan_lp(), options);
+  ASSERT_EQ(fan.status, LpStatus::kOptimal);
+  EXPECT_NEAR(fan.objective, 0.0, 1e-9);
+  EXPECT_LT(fan.iterations, 500u);
+
+  // Permanently-Bland mode terminates too (slow but cycle-free).
+  maxutil::lp::RevisedSimplexOptions bland;
+  bland.always_bland = true;
+  const auto b = maxutil::lp::solve_revised(beale_cycling_lp(), bland);
+  ASSERT_EQ(b.status, LpStatus::kOptimal);
+  EXPECT_NEAR(b.objective, -0.05, 1e-9);
+}
+
+// --- LP duality: on a 50-seed sweep, both backends return duals that are
+// dual-feasible (correct sign per row relation and sense) and complementary
+// (positive price implies a tight row; slack row implies zero price). ---
+
+class LpDualityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpDualityProperty, DualsFeasibleAndComplementary) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 11);
+  // Generate around a random anchor point inside the boxes so every row is
+  // feasible by construction: the LP is bounded (finite boxes) and feasible
+  // (the anchor), hence optimal for both backends.
+  LpProblem p;
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 8));
+  const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  const bool maximize = rng.chance(0.5);
+  p.set_sense(maximize ? maxutil::lp::Sense::kMaximize
+                       : maxutil::lp::Sense::kMinimize);
+  std::vector<double> anchor(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double upper = static_cast<double>(rng.uniform_int(1, 10));
+    p.add_variable("x" + std::to_string(j), 0.0, upper,
+                   static_cast<double>(rng.uniform_int(-5, 5)));
+    anchor[j] = static_cast<double>(
+        rng.uniform_int(0, static_cast<std::int64_t>(upper)));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<std::pair<VarId, double>> terms;
+    double at_anchor = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!rng.chance(0.6)) continue;
+      const double a = static_cast<double>(rng.uniform_int(-4, 4));
+      if (a == 0.0) continue;
+      terms.emplace_back(j, a);
+      at_anchor += a * anchor[j];
+    }
+    if (terms.empty()) {
+      terms.emplace_back(rng.index(n), 1.0);
+      at_anchor = anchor[terms[0].first];
+    }
+    const double margin = static_cast<double>(rng.uniform_int(0, 6));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        p.add_constraint(std::move(terms), Relation::kLessEq,
+                         at_anchor + margin);
+        break;
+      case 1:
+        p.add_constraint(std::move(terms), Relation::kGreaterEq,
+                         at_anchor - margin);
+        break;
+      default:
+        p.add_constraint(std::move(terms), Relation::kEq, at_anchor);
+        break;
+    }
+  }
+
+  const auto check = [&](const maxutil::lp::LpSolution& s,
+                         const char* backend) {
+    ASSERT_EQ(s.status, LpStatus::kOptimal) << backend;
+    ASSERT_EQ(s.duals.size(), m) << backend;
+    // Sign factor: duals are d(objective-in-declared-sense)/d(rhs), so
+    // relaxing a <= row helps a maximization (dual >= 0) and cannot hurt a
+    // minimization from above (dual <= 0); >= rows mirror.
+    const double sense = maximize ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& row = p.row(i);
+      double activity = 0.0;
+      for (const auto& [v, c] : row.terms) activity += c * s.x[v];
+      const double gap = std::abs(activity - row.rhs);
+      if (row.rel == Relation::kLessEq) {
+        EXPECT_GE(sense * s.duals[i], -1e-7) << backend << " row " << i;
+      } else if (row.rel == Relation::kGreaterEq) {
+        EXPECT_LE(sense * s.duals[i], 1e-7) << backend << " row " << i;
+      }
+      // Complementary slackness: a slack row cannot carry a price.
+      if (row.rel != Relation::kEq && gap > 1e-6) {
+        EXPECT_NEAR(s.duals[i], 0.0, 1e-6)
+            << backend << " row " << i << " gap " << gap;
+      }
+    }
+  };
+  check(maxutil::lp::solve(p), "dense");
+  check(maxutil::lp::solve_revised(p), "sparse");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpDualityProperty, ::testing::Range(0, 50));
+
+// --- Warm-started re-solves reproduce the cold solve bit for bit. ---
+
+class LpWarmStartProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpWarmStartProperty, WarmResolveIsBitEqualToCold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 7);
+  maxutil::gen::RandomInstanceParams params;
+  params.servers = 10 + 2 * static_cast<std::size_t>(GetParam());
+  params.commodities = 1 + static_cast<std::size_t>(GetParam() % 3);
+  params.stages = 3;
+  const auto net = maxutil::gen::random_instance(params, rng);
+  const ExtendedGraph xg(net);
+  auto polytope = maxutil::xform::build_flow_polytope(xg);
+  polytope.problem.set_sense(maxutil::lp::Sense::kMaximize);
+  for (std::size_t j = 0; j < net.commodity_count(); ++j) {
+    polytope.problem.set_objective_coefficient(polytope.admitted_var[j], 1.0);
+  }
+
+  maxutil::lp::SimplexBasis basis;
+  const auto cold =
+      maxutil::lp::solve_revised(polytope.problem, {}, &basis);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  ASSERT_FALSE(basis.empty());
+
+  // Re-solving the identical problem from the final basis must do zero
+  // pivots and land on bit-identical primal, dual, and objective values:
+  // the terminal refactorization is canonical in the basis set.
+  const auto warm =
+      maxutil::lp::solve_revised(polytope.problem, {}, &basis);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_EQ(warm.iterations, 0u);
+  EXPECT_EQ(warm.objective, cold.objective);
+  EXPECT_EQ(warm.x, cold.x);
+  EXPECT_EQ(warm.duals, cold.duals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpWarmStartProperty, ::testing::Range(0, 6));
 
 // --- Graph: reachability cross-checked against boolean matrix closure. ---
 class GraphClosureProperty : public ::testing::TestWithParam<int> {};

@@ -39,13 +39,13 @@ stream::StreamNetwork figure1() {
 
 // ---------------------------------------------------------------- registry
 
-TEST(SolverRegistry, ListsTheFiveBuiltinsInOrder) {
+TEST(SolverRegistry, ListsTheSixBuiltinsInOrder) {
   const auto names = solver::SolverRegistry::instance().names();
-  const std::vector<std::string> expected = {"gradient", "distributed",
-                                             "backpressure", "lp", "fw"};
+  const std::vector<std::string> expected = {
+      "gradient", "distributed", "backpressure", "lp", "fw", "lp-sparse"};
   EXPECT_EQ(names, expected);
   EXPECT_EQ(solver::SolverRegistry::instance().names_joined(),
-            "gradient, distributed, backpressure, lp, fw");
+            "gradient, distributed, backpressure, lp, fw, lp-sparse");
 }
 
 TEST(SolverRegistry, CapabilityFlagsMatchTheBackends) {
@@ -58,6 +58,8 @@ TEST(SolverRegistry, CapabilityFlagsMatchTheBackends) {
   EXPECT_TRUE(registry.find("lp")->emits_routing);
   EXPECT_FALSE(registry.find("lp")->supports_warm_start);
   EXPECT_FALSE(registry.find("fw")->emits_routing);
+  EXPECT_TRUE(registry.find("lp-sparse")->emits_routing);
+  EXPECT_TRUE(registry.find("lp-sparse")->supports_warm_start);
 }
 
 TEST(SolverRegistry, UnknownSolverThrowsWithLiveNames) {
