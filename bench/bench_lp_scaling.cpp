@@ -115,6 +115,7 @@ int main(int argc, char** argv) {
 
   bool all_sparse_optimal = true;
   bool parity = true;
+  double top_rung_build_fraction = 0.0;
   bool dense_over_budget = false;
   std::size_t dense_completed = 0;
   std::size_t dense_skipped = 0;
@@ -135,6 +136,15 @@ int main(int argc, char** argv) {
     const double sparse_seconds = seconds_since(sparse_start);
     all_sparse_optimal =
         all_sparse_optimal && sparse.status == lp::LpStatus::kOptimal;
+
+    // Polytope assembly must stay a small fraction of the end-to-end rung:
+    // the CommodityIndex-backed builder is O(nnz), so if assembly ever rivals
+    // the solve again, a full-scan regression crept back in. The shape check
+    // reads the ladder's top rung only — that is where an asymptotic
+    // regression shows, and the millisecond rungs below are timing noise.
+    const double build_fraction =
+        build_seconds / (build_seconds + sparse_seconds);
+    top_rung_build_fraction = build_fraction;
 
     // --- Dense backend: gated by memory and carried time budget. ---
     const double tableau_bytes = 8.0 * static_cast<double>(rows + 1) *
@@ -184,6 +194,7 @@ int main(int argc, char** argv) {
          {"cols", static_cast<double>(cols)},
          {"nnz", static_cast<double>(nnz)},
          {"build_seconds", build_seconds},
+         {"build_fraction", build_fraction},
          {"sparse_seconds", sparse_seconds},
          {"sparse_iterations", static_cast<double>(sparse.iterations)},
          {"sparse_objective", sparse.objective},
@@ -225,6 +236,9 @@ int main(int argc, char** argv) {
       "backends agree (status + objective) on every rung both ran", parity);
   ok &= bench::shape_check("dense backend ran on at least the small rungs",
                            dense_completed >= 2);
+  ok &= bench::shape_check(
+      "polytope build stays under half of build+sparse-solve on the top rung",
+      top_rung_build_fraction < 0.5);
   if (!smoke) {
     ok &= bench::shape_check(
         "the dense backend dropped out before the ladder top (crossover)",

@@ -35,6 +35,12 @@ cmake --build --preset tsan -j"${jobs}" \
   --target runtime_parallel_test fault_test ctrl_test serve_test \
   partition_test
 ./build-tsan/tests/runtime_parallel_test
+# Re-run the cross-thread determinism contract by name: the CommodityIndex-
+# backed routing snapshots must stay bit-identical at 1/2/8 threads, and a
+# race there should be called out in the CI log even if an unrelated
+# runtime test breaks first.
+./build-tsan/tests/runtime_parallel_test \
+  --gtest_filter='ParallelRuntime.DeterministicAcrossThreadCountsAndSeeds'
 ./build-tsan/tests/fault_test
 # The churn controller drives the threaded distributed pipeline per event.
 ./build-tsan/tests/ctrl_test
@@ -46,11 +52,14 @@ cmake --build --preset tsan -j"${jobs}" \
 
 cmake --preset asan
 cmake --build --preset asan -j"${jobs}" --target obs_test property_test \
-  lp_diff_test
+  lp_diff_test index_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/property_test
 # The sparse LP backend under ASan: differential vs dense on ~300 cases.
 ./build-asan/tests/lp_diff_test
+# The CommodityIndex CSR/transpose/hash arrays are hand-indexed slot math;
+# ASan guards every lookup while the differential + golden parity tests run.
+./build-asan/tests/index_test
 
 # Solver parity: every registry adapter bit-identical to its optimizer,
 # every backend within tolerance of the LP optimum (tests/solver_test.cpp).

@@ -79,18 +79,23 @@ void BackPressureOptimizer::step() {
   };
   std::vector<Pair> pairs;
 
+  const auto& idx = xg_->index();
   for (NodeId v = 0; v < xg_->node_count(); ++v) {
     // Collect candidate (commodity, out-edge) pairs with positive pressure.
+    // The edge -> (commodity, slot) transpose enumerates each edge's usable
+    // commodities in ascending order, replacing the all-commodities scan.
     pairs.clear();
     for (const EdgeId e : g.out_edges(v)) {
       if (xg_->link_kind(e) == LinkKind::kDummyDifference) continue;
-      for (CommodityId j = 0; j < ncommodities; ++j) {
-        if (!xg_->usable(j, e)) continue;
+      for (std::size_t k = idx.edge_commodities_begin(e);
+           k < idx.edge_commodities_end(e); ++k) {
+        const CommodityId j = idx.edge_commodity(k);
         if (snapshot[j][v] <= 0.0) continue;
         const double pressure = pressure_score(j, e, snapshot, snapshot[j][v]);
         if (pressure <= 0.0) continue;
         const double weight = xg_->network().utility(j).weight();
-        pairs.push_back({j, e, weight * pressure / xg_->cost_rate(j, e)});
+        pairs.push_back(
+            {j, e, weight * pressure / idx.cost_rate(idx.edge_commodity_slot(k))});
       }
     }
     if (pairs.empty()) continue;

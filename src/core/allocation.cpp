@@ -43,12 +43,14 @@ PhysicalAllocation map_to_physical(const xform::ExtendedGraph& xg,
     out.link_usage[l] = flows.f_node[xg.bandwidth_node(l)];
   }
   // The processing edge i -> n_ik carries the commodity flow entering the
-  // physical link.
-  for (EdgeId e = 0; e < xg.edge_count(); ++e) {
-    if (xg.link_kind(e) != xform::LinkKind::kProcessing) continue;
-    const auto l = xg.physical_link(e);
-    for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-      out.link_flow[j][l] = flows.y[j][e];
+  // physical link. Walk each commodity's usable slots; links the commodity
+  // cannot use stay at the 0.0 the vectors were initialized with.
+  const auto& idx = xg.index();
+  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+    for (std::size_t s = idx.edge_begin(j); s < idx.edge_end(j); ++s) {
+      const EdgeId e = idx.edge(s);
+      if (xg.link_kind(e) != xform::LinkKind::kProcessing) continue;
+      out.link_flow[j][xg.physical_link(e)] = flows.y[s];
     }
   }
   out.utility = total_utility(xg, flows);

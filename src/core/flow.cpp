@@ -3,45 +3,44 @@
 #include <algorithm>
 #include <cmath>
 
-#include "graph/algorithms.hpp"
 #include "util/check.hpp"
 
 namespace maxutil::core {
 
 using maxutil::util::ensure;
+using maxutil::xform::CommodityIndex;
 
 FlowState compute_flows(const ExtendedGraph& xg, const RoutingState& routing) {
-  const auto& g = xg.graph();
+  const CommodityIndex& idx = xg.index();
+  ensure(routing.slot_count() == idx.slot_count(),
+         "compute_flows: routing shape does not match graph index");
   FlowState flows;
-  flows.t.assign(xg.commodity_count(),
-                 std::vector<double>(xg.node_count(), 0.0));
-  flows.y.assign(xg.commodity_count(),
-                 std::vector<double>(xg.edge_count(), 0.0));
+  flows.index = xg.index_ptr();
+  flows.t.assign(idx.local_node_count(), 0.0);
+  flows.y.assign(idx.slot_count(), 0.0);
   flows.f_edge.assign(xg.edge_count(), 0.0);
   flows.f_node.assign(xg.node_count(), 0.0);
 
-  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-    const auto order =
-        maxutil::graph::topological_sort(g, xg.commodity_filter(j));
-    ensure(order.has_value(), "compute_flows: usable subgraph has a cycle");
-    auto& t = flows.t[j];
-    t[xg.dummy_source(j)] = xg.lambda(j);
-    for (const NodeId v : *order) {
-      const double tv = t[v];
+  // One pass per commodity over the index's CSR slots: locals are stored in
+  // topological order, so every t[v] is final before v's out-slots run.
+  for (CommodityId j = 0; j < idx.commodity_count(); ++j) {
+    flows.t[idx.dummy_source_local(j)] = xg.lambda(j);
+    for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+         ++local) {
+      const double tv = flows.t[local];
       if (tv == 0.0) continue;
-      for (const EdgeId e : g.out_edges(v)) {
-        if (!xg.usable(j, e)) continue;
-        const double y = tv * routing.phi(j, e);
+      for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+        const double y = tv * routing.phi_slot(s);
         if (y == 0.0) continue;
-        flows.y[j][e] = y;
-        t[g.head(e)] += y * xg.beta(j, e);
-        flows.f_edge[e] += y * xg.cost_rate(j, e);
+        flows.y[s] = y;
+        flows.t[idx.head_local(s)] += y * idx.beta(s);
+        flows.f_edge[idx.edge(s)] += y * idx.cost_rate(s);
       }
     }
   }
 
   for (EdgeId e = 0; e < xg.edge_count(); ++e) {
-    flows.f_node[g.tail(e)] += flows.f_edge[e];
+    flows.f_node[xg.graph().tail(e)] += flows.f_edge[e];
     flows.utility_loss += xg.edge_cost(e, flows.f_edge[e]);
   }
   for (NodeId v = 0; v < xg.node_count(); ++v) {
@@ -52,7 +51,7 @@ FlowState compute_flows(const ExtendedGraph& xg, const RoutingState& routing) {
 
 double admitted_rate(const ExtendedGraph& xg, const FlowState& flows,
                      CommodityId j) {
-  return flows.y[j][xg.dummy_input_link(j)];
+  return flows.y[xg.index().dummy_input_slot(j)];
 }
 
 double total_utility(const ExtendedGraph& xg, const FlowState& flows) {
@@ -66,18 +65,20 @@ double total_utility(const ExtendedGraph& xg, const FlowState& flows) {
 }
 
 double max_balance_residual(const ExtendedGraph& xg, const FlowState& flows) {
-  const auto& g = xg.graph();
+  const CommodityIndex& idx = xg.index();
   double worst = 0.0;
-  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-    for (const NodeId v : xg.commodity_nodes(j)) {
-      if (v == xg.sink(j)) continue;
+  for (CommodityId j = 0; j < idx.commodity_count(); ++j) {
+    for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+         ++local) {
+      if (local == idx.sink_local(j)) continue;
       double out = 0.0;
-      for (const EdgeId e : g.out_edges(v)) {
-        if (xg.usable(j, e)) out += flows.y[j][e];
+      for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+        out += flows.y[s];
       }
-      double in = (v == xg.dummy_source(j)) ? xg.lambda(j) : 0.0;
-      for (const EdgeId e : g.in_edges(v)) {
-        if (xg.usable(j, e)) in += flows.y[j][e] * xg.beta(j, e);
+      double in = (local == idx.dummy_source_local(j)) ? xg.lambda(j) : 0.0;
+      for (std::size_t k = idx.in_begin(local); k < idx.in_end(local); ++k) {
+        const std::size_t s = idx.in_slot(k);
+        in += flows.y[s] * idx.beta(s);
       }
       worst = std::max(worst, std::abs(out - in));
     }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/routing.hpp"
@@ -11,16 +12,36 @@ namespace maxutil::core {
 /// node traffic t, per-(commodity, edge) flow y = t * phi, per-edge resource
 /// usage f_ik, per-node usage f_i, and the decomposed cost A = Y + eps*D
 /// (eq. 8 summed over nodes).
+///
+/// Per-commodity quantities are sparse SoA over the graph's CommodityIndex:
+/// `t` is indexed by flat local node, `y` by slot. The aggregate usages
+/// `f_edge`/`f_node` stay globally indexed (every consumer — capacity
+/// guards, penalties, allocation — wants them dense). Use `t_at`/`y_at` for
+/// (commodity, global id) lookups.
 struct FlowState {
-  std::vector<std::vector<double>> t;  // [commodity][node]: traffic rate
-  std::vector<std::vector<double>> y;  // [commodity][edge]: flow (tail units)
-  std::vector<double> f_edge;          // [edge]: resource usage rate f_ik
-  std::vector<double> f_node;          // [node]: total usage f_i
-  double utility_loss = 0.0;           // Y = sum of dummy difference costs
-  double penalty = 0.0;                // eps * D summed over nodes
+  std::shared_ptr<const xform::CommodityIndex> index;
+  std::vector<double> t;       // [flat local node]: traffic rate
+  std::vector<double> y;       // [slot]: flow (tail units)
+  std::vector<double> f_edge;  // [global edge]: resource usage rate f_ik
+  std::vector<double> f_node;  // [global node]: total usage f_i
+  double utility_loss = 0.0;   // Y = sum of dummy difference costs
+  double penalty = 0.0;        // eps * D summed over nodes
 
   /// Total transformed cost A = Y + eps*D that the algorithm minimizes.
   double cost() const { return utility_loss + penalty; }
+
+  /// Traffic rate t_v(j) by global node id; 0 when v is not a commodity-j
+  /// node. O(log |nodes(j)|).
+  double t_at(CommodityId j, NodeId v) const {
+    const std::size_t local = index->local_of(j, v);
+    return local == xform::CommodityIndex::kNoSlot ? 0.0 : t[local];
+  }
+
+  /// Flow y_e(j) by global edge id; 0 when e is not usable by j. O(1).
+  double y_at(CommodityId j, EdgeId e) const {
+    const std::size_t slot = index->slot_of(j, e);
+    return slot == xform::CommodityIndex::kNoSlot ? 0.0 : y[slot];
+  }
 };
 
 /// Solves the flow balance equations (3) by propagating in topological order

@@ -5,12 +5,12 @@
 #include <limits>
 #include <vector>
 
-#include "graph/algorithms.hpp"
 #include "util/check.hpp"
 
 namespace maxutil::core {
 
 using maxutil::util::ensure;
+using maxutil::xform::CommodityIndex;
 
 std::vector<bool> compute_blocked_tags(const ExtendedGraph& xg,
                                        const RoutingState& routing,
@@ -18,23 +18,20 @@ std::vector<bool> compute_blocked_tags(const ExtendedGraph& xg,
                                        const MarginalCosts& marginals,
                                        CommodityId j,
                                        const GammaOptions& options) {
-  const auto& g = xg.graph();
-  const auto order = maxutil::graph::topological_sort(g, xg.commodity_filter(j));
-  ensure(order.has_value(), "compute_blocked_tags: cyclic usable subgraph");
-  const auto& dr = marginals.d_cost_d_input[j];
+  const CommodityIndex& idx = xg.index();
   std::vector<bool> tagged(xg.node_count(), false);
   // Reverse topological order: downstream tags are final before v looks at
   // its neighbors — the sweep form of the paper's tag-in-broadcast protocol.
-  for (auto it = order->rbegin(); it != order->rend(); ++it) {
-    const NodeId v = *it;
-    if (v == xg.sink(j)) continue;
-    const double tv = flows.t[j][v];
-    for (const EdgeId e : g.out_edges(v)) {
-      if (!xg.usable(j, e)) continue;
-      const double phi = routing.phi(j, e);
+  for (std::size_t local = idx.node_end(j); local-- > idx.node_begin(j);) {
+    if (local == idx.sink_local(j)) continue;
+    const NodeId v = idx.node(local);
+    const double tv = flows.t[local];
+    const double dr_v = marginals.d_cost_d_input[local];
+    for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+      const double phi = routing.phi_slot(s);
       if (phi <= 0.0) continue;
-      const NodeId m = g.head(e);
-      if (tagged[m]) {
+      const std::size_t head = idx.head_local(s);
+      if (tagged[idx.node(head)]) {
         tagged[v] = true;
         break;
       }
@@ -46,10 +43,9 @@ std::vector<bool> compute_blocked_tags(const ExtendedGraph& xg,
       //    DESIGN.md);
       //  * multiplied through by t_v so a zero-traffic node needs no special
       //    casing: phi * t_v >= eta * (marginal via e - dA/dr_v).
-      if (dr[v] <= xg.beta(j, e) * dr[m] &&
+      if (dr_v <= idx.beta(s) * marginals.d_cost_d_input[head] &&
           phi * tv >= options.eta *
-                          (marginal_via_edge(xg, flows, marginals, j, e) -
-                           dr[v])) {
+                          (marginal_via_slot(xg, flows, marginals, s) - dr_v)) {
         tagged[v] = true;
         break;
       }
@@ -62,70 +58,73 @@ GammaStats apply_gamma(const ExtendedGraph& xg, const FlowState& flows,
                        const MarginalCosts& marginals,
                        const GammaOptions& options, RoutingState& routing) {
   ensure(options.eta > 0.0, "apply_gamma: eta must be positive");
-  const auto& g = xg.graph();
+  const CommodityIndex& idx = xg.index();
   GammaStats stats;
+  std::vector<std::size_t> eligible;
 
   for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
     const auto tagged =
         compute_blocked_tags(xg, routing, flows, marginals, j, options);
 
-    for (const NodeId v : xg.commodity_nodes(j)) {
-      if (v == xg.sink(j)) continue;
+    // Each node's update touches only its own out-slots, so iterating locals
+    // in topological order gives the same result as any other node order.
+    for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+         ++local) {
+      if (local == idx.sink_local(j)) continue;
 
-      // Candidate out-edges, with the blocked set B_i(j) removed: an edge is
+      // Candidate out-slots, with the blocked set B_i(j) removed: an edge is
       // blocked when phi = 0 and its head carries the tag (eq. 14).
-      std::vector<EdgeId> eligible;
-      for (const EdgeId e : g.out_edges(v)) {
-        if (!xg.usable(j, e)) continue;
-        if (routing.phi(j, e) == 0.0 && tagged[g.head(e)]) {
+      eligible.clear();
+      for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+        if (routing.phi_slot(s) == 0.0 && tagged[idx.node(idx.head_local(s))]) {
           ++stats.blocked_edges;
           continue;
         }
-        eligible.push_back(e);
+        eligible.push_back(s);
       }
       ensure(!eligible.empty(), "apply_gamma: all out-edges blocked");
 
       // Best (cheapest-marginal) eligible link k(i,j) of eq. 16/17.
-      EdgeId best = eligible.front();
+      std::size_t best = eligible.front();
       double best_via = std::numeric_limits<double>::infinity();
-      for (const EdgeId e : eligible) {
-        const double via = marginal_via_edge(xg, flows, marginals, j, e);
+      for (const std::size_t s : eligible) {
+        const double via = marginal_via_slot(xg, flows, marginals, s);
         if (via < best_via) {
           best_via = via;
-          best = e;
+          best = s;
         }
       }
 
-      const double tv = flows.t[j][v];
+      const double tv = flows.t[local];
       double shifted = 0.0;
       if (tv <= options.traffic_floor) {
         // Gallager's t -> 0 limit: Delta = phi on every non-best link.
         ++stats.snapped_nodes;
-        for (const EdgeId e : eligible) {
-          if (e == best) continue;
-          const double phi = routing.phi(j, e);
+        for (const std::size_t s : eligible) {
+          if (s == best) continue;
+          const double phi = routing.phi_slot(s);
           if (phi == 0.0) continue;
           shifted += phi;
           stats.max_phi_change = std::max(stats.max_phi_change, phi);
-          routing.set_phi(j, e, 0.0);
+          routing.set_phi_slot(s, 0.0);
         }
       } else {
         const double best_curvature =
             options.step_mode == StepMode::kCurvatureScaled
-                ? curvature_via_edge(xg, flows, marginals, j, best)
+                ? curvature_via_slot(xg, flows, marginals, best)
                 : 0.0;
-        for (const EdgeId e : eligible) {
-          if (e == best) continue;
-          const double phi = routing.phi(j, e);
+        for (const std::size_t s : eligible) {
+          if (s == best) continue;
+          const double phi = routing.phi_slot(s);
           if (phi == 0.0) continue;
           const double a =
-              marginal_via_edge(xg, flows, marginals, j, e) - best_via;
+              marginal_via_slot(xg, flows, marginals, s) - best_via;
           double step;
           if (options.step_mode == StepMode::kCurvatureScaled) {
             // Newton step for the 1-D move of mass from e to best:
             // A(delta) ~ -a t delta + 1/2 (kappa_e + kappa_best) t^2 delta^2.
             const double kappa =
-                std::max(curvature_via_edge(xg, flows, marginals, j, e) +
+                std::max(curvature_via_slot(xg, flows, marginals, s) +
                              best_curvature,
                          options.curvature_floor);
             step = options.eta * a / (tv * kappa);
@@ -136,11 +135,11 @@ GammaStats apply_gamma(const ExtendedGraph& xg, const FlowState& flows,
           if (delta <= 0.0) continue;
           shifted += delta;
           stats.max_phi_change = std::max(stats.max_phi_change, delta);
-          routing.set_phi(j, e, phi - delta);
+          routing.set_phi_slot(s, phi - delta);
         }
       }
       if (shifted > 0.0) {
-        routing.set_phi(j, best, routing.phi(j, best) + shifted);
+        routing.set_phi_slot(best, routing.phi_slot(best) + shifted);
       }
     }
   }

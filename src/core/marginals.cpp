@@ -2,72 +2,82 @@
 
 #include <algorithm>
 
-#include "graph/algorithms.hpp"
 #include "util/check.hpp"
 
 namespace maxutil::core {
 
 using maxutil::util::ensure;
+using maxutil::xform::CommodityIndex;
+
+double marginal_via_slot(const ExtendedGraph& xg, const FlowState& flows,
+                         const MarginalCosts& marginals, std::size_t slot) {
+  const CommodityIndex& idx = *marginals.index;
+  const EdgeId e = idx.edge(slot);
+  const NodeId tail = xg.graph().tail(e);
+  const double dAi_dfe = xg.edge_cost_derivative(e, flows.f_edge[e]) +
+                         xg.node_penalty_derivative(tail, flows.f_node[tail]);
+  return dAi_dfe * idx.cost_rate(slot) +
+         idx.beta(slot) * marginals.d_cost_d_input[idx.head_local(slot)];
+}
+
+double curvature_via_slot(const ExtendedGraph& xg, const FlowState& flows,
+                          const MarginalCosts& marginals, std::size_t slot) {
+  const CommodityIndex& idx = *marginals.index;
+  const EdgeId e = idx.edge(slot);
+  const NodeId tail = xg.graph().tail(e);
+  const double c = idx.cost_rate(slot);
+  const double beta = idx.beta(slot);
+  const double second =
+      xg.edge_cost_second_derivative(e, flows.f_edge[e]) +
+      xg.node_penalty_second_derivative(tail, flows.f_node[tail]);
+  return c * c * second + beta * beta * marginals.curvature[idx.head_local(slot)];
+}
 
 double marginal_via_edge(const ExtendedGraph& xg, const FlowState& flows,
                          const MarginalCosts& marginals, CommodityId j,
                          EdgeId e) {
-  const auto& g = xg.graph();
-  const NodeId tail = g.tail(e);
-  const NodeId head = g.head(e);
-  const double dAi_dfe = xg.edge_cost_derivative(e, flows.f_edge[e]) +
-                         xg.node_penalty_derivative(tail, flows.f_node[tail]);
-  return dAi_dfe * xg.cost_rate(j, e) +
-         xg.beta(j, e) * marginals.d_cost_d_input[j][head];
+  const std::size_t slot = marginals.index->slot_of(j, e);
+  ensure(slot != CommodityIndex::kNoSlot,
+         "marginal_via_edge: edge not usable by commodity");
+  return marginal_via_slot(xg, flows, marginals, slot);
 }
 
 double curvature_via_edge(const ExtendedGraph& xg, const FlowState& flows,
                           const MarginalCosts& marginals, CommodityId j,
                           EdgeId e) {
-  const auto& g = xg.graph();
-  const NodeId tail = g.tail(e);
-  const NodeId head = g.head(e);
-  const double c = xg.cost_rate(j, e);
-  const double beta = xg.beta(j, e);
-  const double second =
-      xg.edge_cost_second_derivative(e, flows.f_edge[e]) +
-      xg.node_penalty_second_derivative(tail, flows.f_node[tail]);
-  return c * c * second + beta * beta * marginals.curvature[j][head];
+  const std::size_t slot = marginals.index->slot_of(j, e);
+  ensure(slot != CommodityIndex::kNoSlot,
+         "curvature_via_edge: edge not usable by commodity");
+  return curvature_via_slot(xg, flows, marginals, slot);
 }
 
 MarginalCosts compute_marginals(const ExtendedGraph& xg,
                                 const RoutingState& routing,
                                 const FlowState& flows) {
-  const auto& g = xg.graph();
+  const CommodityIndex& idx = xg.index();
+  ensure(routing.slot_count() == idx.slot_count(),
+         "compute_marginals: routing shape does not match graph index");
   MarginalCosts marginals;
-  marginals.d_cost_d_input.assign(xg.commodity_count(),
-                                  std::vector<double>(xg.node_count(), 0.0));
-  marginals.curvature.assign(xg.commodity_count(),
-                             std::vector<double>(xg.node_count(), 0.0));
-  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-    const auto order =
-        maxutil::graph::topological_sort(g, xg.commodity_filter(j));
-    ensure(order.has_value(), "compute_marginals: usable subgraph has a cycle");
-    auto& dr = marginals.d_cost_d_input[j];
-    auto& kk = marginals.curvature[j];
+  marginals.index = xg.index_ptr();
+  marginals.d_cost_d_input.assign(idx.local_node_count(), 0.0);
+  marginals.curvature.assign(idx.local_node_count(), 0.0);
+  for (CommodityId j = 0; j < idx.commodity_count(); ++j) {
     // Reverse topological order: by the time node v is processed, every
     // downstream dA/dr is final — the sweep models the paper's wait-for-all-
     // downstream message protocol. dA/dr at the sink is 0 by convention.
-    for (auto it = order->rbegin(); it != order->rend(); ++it) {
-      const NodeId v = *it;
-      if (v == xg.sink(j)) continue;
+    for (std::size_t local = idx.node_end(j); local-- > idx.node_begin(j);) {
+      if (local == idx.sink_local(j)) continue;
       double total = 0.0;
       double total_curvature = 0.0;
-      for (const EdgeId e : g.out_edges(v)) {
-        if (!xg.usable(j, e)) continue;
-        const double phi = routing.phi(j, e);
+      for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+        const double phi = routing.phi_slot(s);
         if (phi == 0.0) continue;
-        total += phi * marginal_via_edge(xg, flows, marginals, j, e);
+        total += phi * marginal_via_slot(xg, flows, marginals, s);
         total_curvature +=
-            phi * phi * curvature_via_edge(xg, flows, marginals, j, e);
+            phi * phi * curvature_via_slot(xg, flows, marginals, s);
       }
-      dr[v] = total;
-      kk[v] = total_curvature;
+      marginals.d_cost_d_input[local] = total;
+      marginals.curvature[local] = total_curvature;
     }
   }
   return marginals;

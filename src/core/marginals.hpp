@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -14,10 +15,16 @@ namespace maxutil::core {
 /// wave is realized as a reverse topological sweep of each commodity's
 /// usable DAG; the sim module re-implements it with real messages and is
 /// tested to agree.
+///
+/// Storage is flat SoA indexed by the CommodityIndex's local node ids
+/// (node_begin(j)..node_end(j) per commodity); `dr_at`/`curvature_at` look
+/// up by global node id.
 struct MarginalCosts {
+  std::shared_ptr<const xform::CommodityIndex> index;
+
   /// dA/dr_i(j): marginal cost of one extra unit of commodity-j traffic at
   /// node i. 0 at the commodity sink by convention.
-  std::vector<std::vector<double>> d_cost_d_input;  // [commodity][node]
+  std::vector<double> d_cost_d_input;  // [flat local node]
 
   /// Diagonal curvature estimate K_i(j) ~ d2A/dr_i(j)^2, computed by the
   /// same downstream-to-upstream telescoping as eq. (9) with second
@@ -26,19 +33,41 @@ struct MarginalCosts {
   /// paper sketches as the "second derivative algorithm"; an approximation
   /// (cross terms between sibling edges are dropped), which only affects
   /// step *size*, never the descent property.
-  std::vector<std::vector<double>> curvature;  // [commodity][node]
+  std::vector<double> curvature;  // [flat local node]
+
+  /// dA/dr_v(j) by global node id; 0 when v is not a commodity-j node.
+  double dr_at(CommodityId j, NodeId v) const {
+    const std::size_t local = index->local_of(j, v);
+    return local == xform::CommodityIndex::kNoSlot ? 0.0
+                                                   : d_cost_d_input[local];
+  }
+
+  /// K_v(j) by global node id; 0 when v is not a commodity-j node.
+  double curvature_at(CommodityId j, NodeId v) const {
+    const std::size_t local = index->local_of(j, v);
+    return local == xform::CommodityIndex::kNoSlot ? 0.0 : curvature[local];
+  }
 };
 
 /// The per-edge marginal of eq. (10)'s bracket (and eq. 15's a-term base):
 ///   dA_i/df_e * c_e(j) + beta_e(j) * dA/dr_head(j)
 /// where dA_i/df_e = Y'_e(f_e) + eps*D'_i(f_i) (eq. 11 with the paper's
-/// epsilon folded into D).
+/// epsilon folded into D). Slot-addressed hot-path form.
+double marginal_via_slot(const ExtendedGraph& xg, const FlowState& flows,
+                         const MarginalCosts& marginals, std::size_t slot);
+
+/// Per-edge curvature kappa_e(j) = c^2 (Y'' + eps D'') + beta^2 K_head: the
+/// second-derivative analogue of `marginal_via_slot`.
+double curvature_via_slot(const ExtendedGraph& xg, const FlowState& flows,
+                          const MarginalCosts& marginals, std::size_t slot);
+
+/// (commodity, global edge) form of `marginal_via_slot`; the edge must be
+/// usable by j.
 double marginal_via_edge(const ExtendedGraph& xg, const FlowState& flows,
                          const MarginalCosts& marginals, CommodityId j,
                          EdgeId e);
 
-/// Per-edge curvature kappa_e(j) = c^2 (Y'' + eps D'') + beta^2 K_head: the
-/// second-derivative analogue of `marginal_via_edge`.
+/// (commodity, global edge) form of `curvature_via_slot`.
 double curvature_via_edge(const ExtendedGraph& xg, const FlowState& flows,
                           const MarginalCosts& marginals, CommodityId j,
                           EdgeId e);

@@ -9,26 +9,25 @@ OptimalityReport check_optimality(const ExtendedGraph& xg,
                                   const RoutingState& routing,
                                   const FlowState& flows,
                                   const MarginalCosts& marginals) {
-  const auto& g = xg.graph();
+  const auto& idx = xg.index();
   OptimalityReport report;
   for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-    const auto& dr = marginals.d_cost_d_input[j];
-    for (const NodeId v : xg.commodity_nodes(j)) {
-      if (v == xg.sink(j)) continue;
+    for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+         ++local) {
+      if (local == idx.sink_local(j)) continue;
+      const double dr_v = marginals.d_cost_d_input[local];
       double min_via = std::numeric_limits<double>::infinity();
-      for (const EdgeId e : g.out_edges(v)) {
-        if (!xg.usable(j, e)) continue;
-        const double via = marginal_via_edge(xg, flows, marginals, j, e);
+      for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+        const double via = marginal_via_slot(xg, flows, marginals, s);
         min_via = std::min(min_via, via);
         // Sufficient condition (13): via >= dA/dr_v on every usable edge.
         report.sufficient_violation =
-            std::max(report.sufficient_violation, dr[v] - via);
+            std::max(report.sufficient_violation, dr_v - via);
       }
-      for (const EdgeId e : g.out_edges(v)) {
-        if (!xg.usable(j, e)) continue;
-        const double phi = routing.phi(j, e);
+      for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+        const double phi = routing.phi_slot(s);
         if (phi <= 0.0) continue;
-        const double via = marginal_via_edge(xg, flows, marginals, j, e);
+        const double via = marginal_via_slot(xg, flows, marginals, s);
         // Necessary condition (12): loaded links sit at the minimum,
         // weighted by phi so vanishing fractions do not dominate.
         report.stationarity_gap =

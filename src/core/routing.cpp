@@ -8,57 +8,80 @@
 namespace maxutil::core {
 
 using maxutil::util::ensure;
+using maxutil::xform::CommodityIndex;
 
 RoutingState::RoutingState(const ExtendedGraph& xg)
-    : phi_(xg.commodity_count(),
-           std::vector<double>(xg.edge_count(), 0.0)) {}
+    : index_(xg.index_ptr()), phi_(index_->slot_count(), 0.0) {}
 
 RoutingState RoutingState::initial(const ExtendedGraph& xg) {
   RoutingState state(xg);
-  const auto& g = xg.graph();
-  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-    for (const NodeId v : xg.commodity_nodes(j)) {
-      if (v == xg.sink(j)) continue;
-      if (v == xg.dummy_source(j)) {
-        state.phi_[j][xg.dummy_difference_link(j)] = 1.0;
+  const CommodityIndex& idx = *state.index_;
+  for (CommodityId j = 0; j < idx.commodity_count(); ++j) {
+    for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+         ++local) {
+      if (local == idx.sink_local(j)) continue;
+      if (local == idx.dummy_source_local(j)) {
+        state.phi_[idx.dummy_difference_slot(j)] = 1.0;
         continue;
       }
-      std::vector<EdgeId> usable;
-      for (const EdgeId e : g.out_edges(v)) {
-        if (xg.usable(j, e)) usable.push_back(e);
-      }
-      ensure(!usable.empty(),
+      const std::size_t begin = idx.out_begin(local);
+      const std::size_t end = idx.out_end(local);
+      ensure(begin < end,
              "RoutingState::initial: commodity node without usable out-edge");
-      const double share = 1.0 / static_cast<double>(usable.size());
-      for (const EdgeId e : usable) state.phi_[j][e] = share;
+      const double share = 1.0 / static_cast<double>(end - begin);
+      for (std::size_t s = begin; s < end; ++s) state.phi_[s] = share;
     }
   }
   return state;
 }
 
 void RoutingState::set_phi(CommodityId j, EdgeId e, double value) {
-  ensure(j < phi_.size() && e < phi_[j].size(),
+  ensure(j < index_->commodity_count() && e < index_->global_edge_count(),
          "RoutingState::set_phi: out of range");
   // Values above 1 are tolerated so callers (finite-difference tests,
   // sensitivity analyses) may treat phi entries as free variables; the
   // per-node sum-to-1 invariant is what `is_valid` enforces.
   ensure(value >= -1e-12, "RoutingState::set_phi: negative fraction");
-  phi_[j][e] = std::max(value, 0.0);
+  const std::size_t slot = index_->slot_of(j, e);
+  if (slot == CommodityIndex::kNoSlot) {
+    // No storage outside the usable subgraph; writing 0 there is a no-op.
+    ensure(value <= 1e-12,
+           "RoutingState::set_phi: edge not usable by commodity");
+    return;
+  }
+  phi_[slot] = std::max(value, 0.0);
+}
+
+void RoutingState::set_phi_slot(std::size_t slot, double value) {
+  ensure(slot < phi_.size(), "RoutingState::set_phi_slot: out of range");
+  ensure(value >= -1e-12, "RoutingState::set_phi_slot: negative fraction");
+  phi_[slot] = std::max(value, 0.0);
+}
+
+void RoutingState::assign_commodity(CommodityId j, const RoutingState& src) {
+  ensure(src.phi_.size() == phi_.size() &&
+             src.index_->commodity_count() == index_->commodity_count(),
+         "RoutingState::assign_commodity: shape mismatch");
+  std::copy(src.phi_.begin() + index_->edge_begin(j),
+            src.phi_.begin() + index_->edge_end(j),
+            phi_.begin() + index_->edge_begin(j));
 }
 
 double RoutingState::max_invariant_violation(const ExtendedGraph& xg) const {
-  const auto& g = xg.graph();
+  const CommodityIndex& idx = xg.index();
+  ensure(idx.slot_count() == phi_.size(),
+         "RoutingState::max_invariant_violation: index shape mismatch");
   double worst = 0.0;
-  for (CommodityId j = 0; j < commodity_count(); ++j) {
-    for (EdgeId e = 0; e < edge_count(); ++e) {
-      if (phi_[j][e] < 0.0) worst = std::max(worst, -phi_[j][e]);
-      if (!xg.usable(j, e)) worst = std::max(worst, std::abs(phi_[j][e]));
-    }
-    for (const NodeId v : xg.commodity_nodes(j)) {
-      if (v == xg.sink(j)) continue;
+  for (const double value : phi_) {
+    if (value < 0.0) worst = std::max(worst, -value);
+  }
+  for (CommodityId j = 0; j < idx.commodity_count(); ++j) {
+    for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+         ++local) {
+      if (local == idx.sink_local(j)) continue;
       double total = 0.0;
-      for (const EdgeId e : g.out_edges(v)) {
-        if (xg.usable(j, e)) total += phi_[j][e];
+      for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+        total += phi_[s];
       }
       worst = std::max(worst, std::abs(total - 1.0));
     }
@@ -72,23 +95,21 @@ bool RoutingState::is_valid(const ExtendedGraph& xg, double tol) const {
 
 double RoutingState::max_difference(const RoutingState& other) const {
   ensure(commodity_count() == other.commodity_count() &&
-             edge_count() == other.edge_count(),
+             phi_.size() == other.phi_.size(),
          "RoutingState::max_difference: shape mismatch");
   double worst = 0.0;
-  for (std::size_t j = 0; j < phi_.size(); ++j) {
-    for (std::size_t e = 0; e < phi_[j].size(); ++e) {
-      worst = std::max(worst, std::abs(phi_[j][e] - other.phi_[j][e]));
-    }
+  for (std::size_t s = 0; s < phi_.size(); ++s) {
+    worst = std::max(worst, std::abs(phi_[s] - other.phi_[s]));
   }
   return worst;
 }
 
 void RoutingState::blend_toward(const RoutingState& target, double alpha) {
   ensure(alpha >= 0.0 && alpha <= 1.0, "RoutingState::blend_toward: bad alpha");
-  for (std::size_t j = 0; j < phi_.size(); ++j) {
-    for (std::size_t e = 0; e < phi_[j].size(); ++e) {
-      phi_[j][e] += alpha * (target.phi_[j][e] - phi_[j][e]);
-    }
+  ensure(phi_.size() == target.phi_.size(),
+         "RoutingState::blend_toward: shape mismatch");
+  for (std::size_t s = 0; s < phi_.size(); ++s) {
+    phi_[s] += alpha * (target.phi_[s] - phi_[s]);
   }
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "xform/extended_graph.hpp"
@@ -22,6 +24,13 @@ using maxutil::xform::ExtendedGraph;
 ///    structurally loop-free — the paper's loop-freedom requirement holds at
 ///    every iterate, while the blocked-set machinery (gamma.hpp) still rules
 ///    out the *latent* loops Gallager's update must avoid.
+///
+/// Storage is sparse SoA: one double per usable (commodity, edge) *slot* of
+/// the graph's CommodityIndex — O(sum of usable subgraph sizes) instead of
+/// the old dense [commodity][edge] matrix. Unusable pairs hold no storage;
+/// `phi(j, e)` reports them as 0 and `set_phi` rejects nonzero mass on them.
+/// The index is held by shared_ptr, so a RoutingState (e.g. a controller
+/// snapshot) stays usable after its originating ExtendedGraph is destroyed.
 class RoutingState {
  public:
   /// All-zero fractions (invalid until initialized); prefer `initial`.
@@ -33,14 +42,28 @@ class RoutingState {
   /// out-edges so the first marginal-cost sweep is well defined everywhere.
   static RoutingState initial(const ExtendedGraph& xg);
 
-  double phi(CommodityId j, EdgeId e) const { return phi_[j][e]; }
+  /// Fraction on (j, e); 0 for pairs outside the usable subgraph.
+  double phi(CommodityId j, EdgeId e) const {
+    const std::size_t slot = index_->slot_of(j, e);
+    return slot == xform::CommodityIndex::kNoSlot ? 0.0 : phi_[slot];
+  }
   void set_phi(CommodityId j, EdgeId e, double value);
 
-  std::size_t commodity_count() const { return phi_.size(); }
-  std::size_t edge_count() const { return phi_.empty() ? 0 : phi_[0].size(); }
+  /// Slot-addressed hot-path accessors (slots from the CommodityIndex).
+  double phi_slot(std::size_t slot) const { return phi_[slot]; }
+  void set_phi_slot(std::size_t slot, double value);
+
+  const xform::CommodityIndex& index() const { return *index_; }
+
+  std::size_t commodity_count() const { return index_->commodity_count(); }
+  std::size_t slot_count() const { return phi_.size(); }
+
+  /// Copies commodity j's entire slot range from `src` (same index layout).
+  void assign_commodity(CommodityId j, const RoutingState& src);
 
   /// Largest violation of the routing invariants (0 when valid): negative
-  /// fractions, mass on unusable edges, or per-node sums away from 1.
+  /// fractions or per-node sums away from 1 (mass on unusable edges is
+  /// structurally impossible in the sparse layout).
   double max_invariant_violation(const ExtendedGraph& xg) const;
 
   /// True when `max_invariant_violation` is below `tol`.
@@ -55,7 +78,8 @@ class RoutingState {
   void blend_toward(const RoutingState& target, double alpha);
 
  private:
-  std::vector<std::vector<double>> phi_;  // [commodity][edge]
+  std::shared_ptr<const xform::CommodityIndex> index_;
+  std::vector<double> phi_;  // [slot]
 };
 
 }  // namespace maxutil::core

@@ -246,33 +246,39 @@ RoutingState routing_from_flows(
   ensure(flows.size() == xg.commodity_count(),
          "routing_from_flows: one flow list per commodity required");
   RoutingState out(xg);
-  const auto& g = xg.graph();
-  std::vector<double> y(xg.edge_count());
+  const auto& idx = xg.index();
+  // Per-commodity flow scratch addressed by slot; only this commodity's
+  // slot range [edge_begin, edge_end) is ever touched, so a fill of that
+  // range resets it between commodities.
+  std::vector<double> y(idx.slot_count(), 0.0);
   for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-    std::fill(y.begin(), y.end(), 0.0);
+    std::fill(y.begin() + idx.edge_begin(j), y.begin() + idx.edge_end(j), 0.0);
     for (const auto& [e, rate] : flows[j]) {
       ensure(e < xg.edge_count(), "routing_from_flows: edge out of range");
       ensure(rate >= -1e-9, "routing_from_flows: negative flow");
-      y[e] = std::max(0.0, rate);
+      const std::size_t slot = idx.slot_of(j, e);
+      if (slot == xform::CommodityIndex::kNoSlot) continue;  // unusable: no
+                                                             // usable out-sum
+                                                             // ever read it
+      y[slot] = std::max(0.0, rate);
     }
-    for (const NodeId v : xg.commodity_nodes(j)) {
-      if (v == xg.sink(j)) continue;
-      std::vector<EdgeId> usable;
+    for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+         ++local) {
+      if (local == idx.sink_local(j)) continue;
+      const std::size_t begin = idx.out_begin(local);
+      const std::size_t end = idx.out_end(local);
+      ensure(begin < end, "routing_from_flows: node without usable out-edge");
       double total = 0.0;
-      for (const EdgeId e : g.out_edges(v)) {
-        if (!xg.usable(j, e)) continue;
-        usable.push_back(e);
-        total += y[e];
-      }
-      ensure(!usable.empty(),
-             "routing_from_flows: node without usable out-edge");
+      for (std::size_t s = begin; s < end; ++s) total += y[s];
       if (total > 1e-12) {
-        for (const EdgeId e : usable) out.set_phi(j, e, y[e] / total);
+        for (std::size_t s = begin; s < end; ++s) {
+          out.set_phi_slot(s, y[s] / total);
+        }
       } else {
         // The flow never reaches this node: any valid split works, and
         // uniform matches RoutingState::initial's interior convention.
-        const double share = 1.0 / static_cast<double>(usable.size());
-        for (const EdgeId e : usable) out.set_phi(j, e, share);
+        const double share = 1.0 / static_cast<double>(end - begin);
+        for (std::size_t s = begin; s < end; ++s) out.set_phi_slot(s, share);
       }
     }
   }

@@ -58,9 +58,7 @@ core::RoutingState priority_shed(const xform::ExtendedGraph& xg,
                                  core::RoutingState routing, double target) {
   const core::RoutingState initial = core::RoutingState::initial(xg);
   for (stream::CommodityId j = xg.commodity_count(); j-- > 0;) {
-    for (graph::EdgeId e = 0; e < xg.edge_count(); ++e) {
-      routing.set_phi(j, e, initial.phi(j, e));
-    }
+    routing.assign_commodity(j, initial);
     if (within_guard(xg, core::compute_flows(xg, routing), target)) {
       return routing;
     }

@@ -46,24 +46,27 @@ double MeasurementDrivenOptimizer::epoch() {
 
   // 2. Telemetry, exponentially smoothed across epochs (Poisson noise in a
   // finite window would otherwise whipsaw the routing).
+  const auto& idx = xg_->index();
   core::FlowState sample;
+  sample.index = xg_->index_ptr();
   sample.f_edge = sim.measured_edge_usage();
   sample.f_node = sim.measured_node_usage();
-  sample.t.resize(xg_->commodity_count());
+  sample.t.assign(idx.local_node_count(), 0.0);
   for (CommodityId j = 0; j < xg_->commodity_count(); ++j) {
-    sample.t[j] = sim.measured_traffic(j);
+    const auto traffic = sim.measured_traffic(j);  // [global node]
+    for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+         ++local) {
+      sample.t[local] = traffic[idx.node(local)];
+    }
   }
   if (!has_measurements_) {
     smoothed_ = sample;
-    smoothed_.y.assign(xg_->commodity_count(),
-                       std::vector<double>(xg_->edge_count(), 0.0));
+    smoothed_.y.assign(idx.slot_count(), 0.0);
     has_measurements_ = true;
   } else {
     ema(smoothed_.f_edge, sample.f_edge, options_.smoothing);
     ema(smoothed_.f_node, sample.f_node, options_.smoothing);
-    for (CommodityId j = 0; j < xg_->commodity_count(); ++j) {
-      ema(smoothed_.t[j], sample.t[j], options_.smoothing);
-    }
+    ema(smoothed_.t, sample.t, options_.smoothing);
   }
 
   // Capacities are hard known quantities: clamp the filtered usage just

@@ -34,17 +34,18 @@ PacketSimulator::PacketSimulator(const xform::ExtendedGraph& xg,
   ensure(routing.is_valid(xg, 1e-6), "PacketSimulator: invalid routing");
 
   // Freeze the routing into cumulative sampling tables.
+  const auto& idx = xg.index();
   for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-    for (const NodeId v : xg.commodity_nodes(j)) {
-      if (v == xg.sink(j)) continue;
-      auto& table = choices_[j * xg.node_count() + v];
+    for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+         ++local) {
+      if (local == idx.sink_local(j)) continue;
+      auto& table = choices_[j * xg.node_count() + idx.node(local)];
       double cum = 0.0;
-      for (const EdgeId e : xg.graph().out_edges(v)) {
-        if (!xg.usable(j, e)) continue;
-        const double phi = routing.phi(j, e);
+      for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+        const double phi = routing.phi_slot(s);
         if (phi <= 0.0) continue;
         cum += phi;
-        table.push_back({e, cum});
+        table.push_back({idx.edge(s), cum});
       }
       ensure(!table.empty(), "PacketSimulator: node with no routed edge");
       // Normalize against rounding (cum ~ 1).

@@ -54,11 +54,12 @@ class Digraph {
   /// Ids of edges entering `n`, in insertion order.
   std::span<const EdgeId> in_edges(NodeId n) const;
 
-  /// First edge from `from` to `to`, or kNoNode-like sentinel; linear in the
-  /// out-degree of `from`. Returns edge_count() when absent.
+  /// First edge from `from` to `to`, or the sentinel `edge_count()` when no
+  /// such edge exists; linear in the out-degree of `from`.
   EdgeId find_edge(NodeId from, NodeId to) const;
 
-  /// True if some edge runs from `from` to `to`.
+  /// True if some edge runs from `from` to `to` (i.e. `find_edge` does not
+  /// return its `edge_count()` sentinel).
   bool has_edge(NodeId from, NodeId to) const;
 
   /// Out-degree of `n`.

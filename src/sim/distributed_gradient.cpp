@@ -19,19 +19,24 @@ NodeActor::NodeActor(const xform::ExtendedGraph& xg, NodeId self,
     : xg_(&xg), self_(self), gamma_(gamma),
       commodities_(xg.commodity_count()) {
   const auto& g = xg.graph();
-  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-    const auto& nodes = xg.commodity_nodes(j);
-    if (!std::binary_search(nodes.begin(), nodes.end(), self)) continue;
+  const auto& idx = xg.index();
+  // The node -> (commodity, local) transpose yields exactly the commodities
+  // this node carries, in ascending order, with the local CSR ranges giving
+  // this node's usable out/in slots directly.
+  for (std::size_t k = idx.node_commodities_begin(self);
+       k < idx.node_commodities_end(self); ++k) {
+    const CommodityId j = idx.node_commodity(k);
+    const std::size_t local = idx.node_commodity_local(k);
     PerCommodity s;
-    s.is_sink = (self == xg.sink(j));
-    if (self == xg.dummy_source(j)) s.input_rate = xg.lambda(j);
-    for (const EdgeId e : g.out_edges(self)) {
-      if (!xg.usable(j, e)) continue;
-      s.out_edges.push_back(e);
-      s.out_heads.push_back(g.head(e));
+    s.is_sink = (local == idx.sink_local(j));
+    if (local == idx.dummy_source_local(j)) s.input_rate = xg.lambda(j);
+    for (std::size_t slot = idx.out_begin(local); slot < idx.out_end(local);
+         ++slot) {
+      s.out_edges.push_back(idx.edge(slot));
+      s.out_heads.push_back(idx.node(idx.head_local(slot)));
     }
-    for (const EdgeId e : g.in_edges(self)) {
-      if (!xg.usable(j, e)) continue;
+    for (std::size_t p = idx.in_begin(local); p < idx.in_end(local); ++p) {
+      const EdgeId e = idx.edge(idx.in_slot(p));
       s.in_edges.push_back(e);
       s.in_tails.push_back(g.tail(e));
     }
@@ -478,8 +483,7 @@ DistributedGradientSystem::DistributedGradientSystem(
     // dropped and emits with held-over values.
     std::size_t depth = 0;
     for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-      depth = std::max(depth, graph::longest_path_length(
-                                  xg.graph(), xg.commodity_filter(j)));
+      depth = std::max(depth, xg.index().depth(j));
     }
     const std::size_t patience =
         depth + 2 * runtime_.options().faults.delay_max + 2;
@@ -491,12 +495,16 @@ DistributedGradientSystem::DistributedGradientSystem(
   // Install the starting routing (the paper's all-rejected state unless the
   // caller warm-starts) and bootstrap t/f with one forecast wave so the
   // first marginal sweep has flows to differentiate.
-  for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
-    for (const NodeId v : xg.commodity_nodes(j)) {
-      if (v == xg.sink(j)) continue;
-      for (const EdgeId e : xg.graph().out_edges(v)) {
-        if (xg.usable(j, e)) {
-          actors_[v]->set_phi(j, e, initial_routing.phi(j, e));
+  {
+    const auto& idx = xg.index();
+    for (CommodityId j = 0; j < xg.commodity_count(); ++j) {
+      for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+           ++local) {
+        if (local == idx.sink_local(j)) continue;
+        NodeActor* actor = actors_[idx.node(local)];
+        for (std::size_t s = idx.out_begin(local); s < idx.out_end(local);
+             ++s) {
+          actor->set_phi(j, idx.edge(s), initial_routing.phi_slot(s));
         }
       }
     }
@@ -515,13 +523,8 @@ void DistributedGradientSystem::install_partition() {
   // the weighted edge cut is exactly the cross-shard message rate the
   // serial merge will have to absorb.
   std::vector<double> weight(xg_->edge_count(), 0.0);
-  for (CommodityId j = 0; j < xg_->commodity_count(); ++j) {
-    for (const NodeId v : xg_->commodity_nodes(j)) {
-      for (const EdgeId e : xg_->graph().out_edges(v)) {
-        if (xg_->usable(j, e)) weight[e] += 1.0;
-      }
-    }
-  }
+  const auto& idx = xg_->index();
+  for (std::size_t s = 0; s < idx.slot_count(); ++s) weight[idx.edge(s)] += 1.0;
   graph::Partition part =
       graph::partition_bfs_grow(xg_->graph(), opts.num_threads, weight);
   runtime_.set_partition(std::move(part.shard_of), part.shards);
@@ -710,11 +713,14 @@ void DistributedGradientSystem::run(std::size_t iterations) {
 
 core::RoutingState DistributedGradientSystem::routing_snapshot() const {
   core::RoutingState snapshot(*xg_);
+  const auto& idx = xg_->index();
   for (CommodityId j = 0; j < xg_->commodity_count(); ++j) {
-    for (const NodeId v : xg_->commodity_nodes(j)) {
-      if (v == xg_->sink(j)) continue;
-      for (const EdgeId e : xg_->graph().out_edges(v)) {
-        if (xg_->usable(j, e)) snapshot.set_phi(j, e, actors_[v]->phi(j, e));
+    for (std::size_t local = idx.node_begin(j); local < idx.node_end(j);
+         ++local) {
+      if (local == idx.sink_local(j)) continue;
+      const NodeActor* actor = actors_[idx.node(local)];
+      for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+        snapshot.set_phi_slot(s, actor->phi(j, idx.edge(s)));
       }
     }
   }

@@ -10,20 +10,32 @@ using maxutil::util::ensure;
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Per-commodity arrays grow lazily: entries past the stored tail hold their
+// defaults (potential 1, link unusable), so adding a node or link is O(1)
+// instead of touching every commodity. Without this, building a
+// 5000-commodity / 50k-server instance spends seconds re-growing 5000 dense
+// vectors on every add_sink/add_link.
+double potential_at(const std::vector<double>& potential, NodeId n) {
+  return n < potential.size() ? potential[n] : 1.0;
 }
+
+void grow_to(std::vector<double>& values, std::size_t index, double fill) {
+  if (values.size() <= index) values.resize(index + 1, fill);
+}
+
+}  // namespace
 
 NodeId StreamNetwork::add_server(std::string name, double capacity) {
   ensure(capacity > 0.0, "add_server: capacity must be positive");
   const NodeId n = graph_.add_node();
   nodes_.push_back({std::move(name), capacity, /*sink=*/false});
-  for (auto& c : commodities_) c.potential.push_back(1.0);
   return n;
 }
 
 NodeId StreamNetwork::add_sink(std::string name) {
   const NodeId n = graph_.add_node();
   nodes_.push_back({std::move(name), kInf, /*sink=*/true});
-  for (auto& c : commodities_) c.potential.push_back(1.0);
   return n;
 }
 
@@ -34,7 +46,6 @@ LinkId StreamNetwork::add_link(NodeId from, NodeId to, double bandwidth) {
   ensure(bandwidth > 0.0, "add_link: bandwidth must be positive");
   const LinkId link = graph_.add_edge(from, to);
   bandwidth_.push_back(bandwidth);
-  for (auto& c : commodities_) c.consumption.push_back(-1.0);
   return link;
 }
 
@@ -49,8 +60,9 @@ CommodityId StreamNetwork::add_commodity(std::string name, NodeId source,
   ensure(lambda > 0.0, "add_commodity: lambda must be positive");
   commodities_.push_back({std::move(name), source, sink, lambda,
                           std::move(utility),
-                          std::vector<double>(node_count(), 1.0),
-                          std::vector<double>(link_count(), -1.0)});
+                          /*potential=*/{},
+                          /*consumption=*/{},
+                          /*enabled=*/{}});
   return commodities_.size() - 1;
 }
 
@@ -58,6 +70,7 @@ void StreamNetwork::set_potential(CommodityId j, NodeId n, double g) {
   check_commodity(j);
   check_node(n);
   ensure(g > 0.0, "set_potential: potential must be positive");
+  grow_to(commodities_[j].potential, n, 1.0);
   commodities_[j].potential[n] = g;
 }
 
@@ -67,7 +80,12 @@ void StreamNetwork::enable_link(CommodityId j, LinkId link, double consumption) 
   ensure(consumption > 0.0, "enable_link: consumption must be positive");
   ensure(graph_.head(link) != commodities_[j].source,
          "enable_link: links into the commodity source would break the DAG");
-  commodities_[j].consumption[link] = consumption;
+  auto& c = commodities_[j];
+  const bool newly_enabled =
+      !(link < c.consumption.size() && c.consumption[link] > 0.0);
+  grow_to(c.consumption, link, -1.0);
+  c.consumption[link] = consumption;
+  if (newly_enabled) c.enabled.push_back(link);
 }
 
 void StreamNetwork::set_lambda(CommodityId j, double lambda) {
@@ -124,7 +142,13 @@ const Utility& StreamNetwork::utility(CommodityId j) const {
 bool StreamNetwork::uses_link(CommodityId j, LinkId link) const {
   check_commodity(j);
   check_link(link);
-  return commodities_[j].consumption[link] > 0.0;
+  const auto& consumption = commodities_[j].consumption;
+  return link < consumption.size() && consumption[link] > 0.0;
+}
+
+const std::vector<LinkId>& StreamNetwork::enabled_links(CommodityId j) const {
+  check_commodity(j);
+  return commodities_[j].enabled;
 }
 
 double StreamNetwork::consumption(CommodityId j, LinkId link) const {
@@ -135,13 +159,14 @@ double StreamNetwork::consumption(CommodityId j, LinkId link) const {
 double StreamNetwork::shrinkage(CommodityId j, LinkId link) const {
   ensure(uses_link(j, link), "shrinkage: link not enabled for commodity");
   const auto& c = commodities_[j];
-  return c.potential[graph_.head(link)] / c.potential[graph_.tail(link)];
+  return potential_at(c.potential, graph_.head(link)) /
+         potential_at(c.potential, graph_.tail(link));
 }
 
 double StreamNetwork::potential(CommodityId j, NodeId n) const {
   check_commodity(j);
   check_node(n);
-  return commodities_[j].potential[n];
+  return potential_at(commodities_[j].potential, n);
 }
 
 maxutil::graph::EdgeFilter StreamNetwork::commodity_filter(
@@ -154,7 +179,8 @@ maxutil::graph::EdgeFilter StreamNetwork::commodity_filter(
 double StreamNetwork::delivery_gain(CommodityId j) const {
   check_commodity(j);
   const auto& c = commodities_[j];
-  return c.potential[c.sink] / c.potential[c.source];
+  return potential_at(c.potential, c.sink) /
+         potential_at(c.potential, c.source);
 }
 
 void StreamNetwork::check_commodity(CommodityId j) const {

@@ -92,6 +92,11 @@ class StreamNetwork {
   /// True when commodity j may route over `link`.
   bool uses_link(CommodityId j, LinkId link) const;
 
+  /// Links enabled for commodity j, in the order they were first enabled
+  /// (not sorted, never with duplicates). Lets per-commodity consumers
+  /// iterate O(|usable_j|) instead of probing every link with uses_link.
+  const std::vector<LinkId>& enabled_links(CommodityId j) const;
+
   /// Computing cost c_ik(j) of `link` for commodity j; link must be enabled.
   double consumption(CommodityId j, LinkId link) const;
 
@@ -122,8 +127,12 @@ class StreamNetwork {
     NodeId sink;
     double lambda;
     Utility utility;
-    std::vector<double> potential;    // per node, default 1
-    std::vector<double> consumption;  // per link; < 0 means unusable
+    // Both arrays grow lazily on write: entries past the stored tail hold
+    // their defaults, so add_server/add_sink/add_link stay O(1) instead of
+    // re-growing every commodity's vectors.
+    std::vector<double> potential;    // per node; default (unstored) is 1
+    std::vector<double> consumption;  // per link; < 0 or unstored: unusable
+    std::vector<LinkId> enabled;      // links usable by this commodity
   };
 
   void check_commodity(CommodityId j) const;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace maxutil::util {
 
 /// Deterministic pseudo-random generator (xoshiro256**), seeded via
@@ -23,14 +25,37 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }
 
-  /// Next raw 64-bit output.
-  result_type operator()();
+  /// Next raw 64-bit output. Inline: bulk consumers (Fisher–Yates over
+  /// benchmark-scale pools draws hundreds of millions of values) would
+  /// otherwise pay a cross-TU call per draw.
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform real in [lo, hi).
   double uniform(double lo, double hi);
 
   /// Uniform integer in [lo, hi] (inclusive).
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    ensure(lo <= hi, "uniform_int: lo must not exceed hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>((*this)());
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = Rng::max() - Rng::max() % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
 
   /// Bernoulli trial with success probability p in [0, 1].
   bool chance(double p);
@@ -54,9 +79,17 @@ class Rng {
   }
 
   /// Picks a uniformly random element index in [0, n).
-  std::size_t index(std::size_t n);
+  std::size_t index(std::size_t n) {
+    ensure(n > 0, "index: empty range");
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

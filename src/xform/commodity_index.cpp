@@ -1,0 +1,311 @@
+#include "xform/commodity_index.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+#include "xform/extended_graph.hpp"
+
+namespace maxutil::xform {
+
+using maxutil::util::ensure;
+
+namespace {
+
+constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+std::uint64_t splitmix64(std::uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+void CommodityIndex::insert_slot_key(std::uint64_t key, std::size_t slot) {
+  std::uint64_t i = splitmix64(key) & hash_mask_;
+  while (hash_key_[i] != kEmptyKey) i = (i + 1) & hash_mask_;
+  hash_key_[i] = key;
+  hash_slot_[i] = slot;
+}
+
+std::size_t CommodityIndex::slot_of(CommodityId j, EdgeId e) const {
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(j) * global_edges_ + e;
+  std::uint64_t i = splitmix64(key) & hash_mask_;
+  while (true) {
+    if (hash_key_[i] == key) return hash_slot_[i];
+    if (hash_key_[i] == kEmptyKey) return kNoSlot;
+    i = (i + 1) & hash_mask_;
+  }
+}
+
+std::size_t CommodityIndex::local_of(CommodityId j, NodeId v) const {
+  const auto begin = node_sorted_.begin() + node_offset_[j];
+  const auto end = node_sorted_.begin() + node_offset_[j + 1];
+  const auto it = std::lower_bound(begin, end, v);
+  if (it == end || *it != v) return kNoSlot;
+  return sorted_local_[static_cast<std::size_t>(it - node_sorted_.begin())];
+}
+
+CommodityIndex::CommodityIndex(const ExtendedGraph& xg) {
+  const auto& g = xg.graph();
+  const auto& net = xg.network();
+  const std::size_t ncommodities = xg.commodity_count();
+  const std::size_t nnodes = g.node_count();
+  const std::size_t nedges = g.edge_count();
+  global_nodes_ = nnodes;
+  global_edges_ = nedges;
+
+  edge_offset_.assign(ncommodities + 1, 0);
+  node_offset_.assign(ncommodities + 1, 0);
+  sink_local_.resize(ncommodities);
+  dummy_source_local_.resize(ncommodities);
+  dummy_input_slot_.resize(ncommodities);
+  dummy_difference_slot_.resize(ncommodities);
+  depth_.resize(ncommodities);
+
+  // Per-commodity usable links, ascending link id, shared by the sizing
+  // and build passes below: the network's enabled-link lists make both
+  // passes O(|usable_j| log |usable_j|) instead of probing every link.
+  std::vector<std::vector<stream::LinkId>> links_of(ncommodities);
+  for (CommodityId j = 0; j < ncommodities; ++j) {
+    links_of[j].assign(net.enabled_links(j).begin(),
+                       net.enabled_links(j).end());
+    std::sort(links_of[j].begin(), links_of[j].end());
+  }
+
+  // Sizing pass: per-commodity usable-edge and node counts.
+  std::size_t total_slots = 0;
+  {
+    std::vector<bool> seen(nnodes, false);
+    std::vector<NodeId> touched;
+    for (CommodityId j = 0; j < ncommodities; ++j) {
+      std::size_t edges_j = 2;  // the two dummy links
+      touched.clear();
+      const auto touch = [&](NodeId v) {
+        if (!seen[v]) {
+          seen[v] = true;
+          touched.push_back(v);
+        }
+      };
+      for (const stream::LinkId l : links_of[j]) {
+        edges_j += 2;  // processing + transfer edge
+        touch(net.graph().tail(l));
+        touch(xg.bandwidth_node(l));
+        touch(net.graph().head(l));
+      }
+      touch(xg.dummy_source(j));
+      touch(xg.source(j));
+      touch(xg.sink(j));
+      edge_offset_[j + 1] = edge_offset_[j] + edges_j;
+      node_offset_[j + 1] = node_offset_[j] + touched.size();
+      total_slots += edges_j;
+      for (const NodeId v : touched) seen[v] = false;
+    }
+  }
+  const std::size_t total_locals = node_offset_[ncommodities];
+
+  edge_.resize(total_slots);
+  head_local_.resize(total_slots);
+  beta_.resize(total_slots);
+  cost_rate_.resize(total_slots);
+  slot_by_id_.resize(total_slots);
+  id_rank_.resize(total_slots);
+  in_slot_.resize(total_slots);
+  node_.resize(total_locals);
+  node_sorted_.resize(total_locals);
+  sorted_local_.resize(total_locals);
+  out_begin_.resize(total_locals + 1);
+  in_begin_.resize(total_locals + 1);
+
+  std::size_t hash_capacity = 16;
+  while (hash_capacity < 2 * std::max<std::size_t>(total_slots, 1)) {
+    hash_capacity *= 2;
+  }
+  hash_key_.assign(hash_capacity, kEmptyKey);
+  hash_slot_.assign(hash_capacity, kNoSlot);
+  hash_mask_ = hash_capacity - 1;
+
+  // Scratch reset per commodity by touched entries only.
+  std::vector<std::size_t> indegree(nnodes, 0);
+  std::vector<std::size_t> local_index(nnodes, kNoSlot);
+  std::vector<std::size_t> edge_slot(nedges, kNoSlot);
+  std::vector<EdgeId> usable_by_id;
+  std::vector<NodeId> nodes;
+  std::deque<NodeId> frontier;
+
+  std::size_t slot_cursor = 0;
+  std::size_t local_cursor = 0;
+  for (CommodityId j = 0; j < ncommodities; ++j) {
+    // Usable edges in ascending global id: link pairs (processing edge 2l
+    // precedes transfer edge 2l+1, both monotone in l), then the dummies.
+    usable_by_id.clear();
+    for (const stream::LinkId l : links_of[j]) {
+      usable_by_id.push_back(xg.processing_edge(l));
+      usable_by_id.push_back(xg.transfer_edge(l));
+    }
+    usable_by_id.push_back(xg.dummy_input_link(j));
+    usable_by_id.push_back(xg.dummy_difference_link(j));
+    ensure(usable_by_id.size() == edge_end(j) - edge_begin(j),
+           "CommodityIndex: usable edge count drifted between passes");
+    ensure(std::is_sorted(usable_by_id.begin(), usable_by_id.end()),
+           "CommodityIndex: extended edge ids not monotone in link id");
+
+    // Commodity node set, sorted ascending, with filtered in-degrees.
+    nodes.clear();
+    for (const EdgeId e : usable_by_id) {
+      for (const NodeId v : {g.tail(e), g.head(e)}) {
+        if (local_index[v] == kNoSlot) {
+          local_index[v] = 0;  // mark
+          nodes.push_back(v);
+        }
+      }
+      ++indegree[g.head(e)];
+    }
+    std::sort(nodes.begin(), nodes.end());
+    ensure(nodes.size() == node_end(j) - node_begin(j),
+           "CommodityIndex: node count drifted between passes");
+
+    // Kahn with a FIFO frontier seeded in increasing global id — the exact
+    // restriction of graph::topological_sort(g, usable-filter) to the
+    // commodity's nodes, so converted sweeps keep the pre-index visit order.
+    frontier.clear();
+    for (const NodeId v : nodes) {
+      if (indegree[v] == 0) frontier.push_back(v);
+    }
+    const std::size_t node_base = local_cursor;
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      local_index[v] = local_cursor;
+      node_[local_cursor] = v;
+      ++local_cursor;
+      for (const EdgeId e : g.out_edges(v)) {
+        if (!xg.usable(j, e)) continue;
+        if (--indegree[g.head(e)] == 0) frontier.push_back(g.head(e));
+      }
+    }
+    ensure(local_cursor - node_base == nodes.size(),
+           "CommodityIndex: usable subgraph has a cycle");
+
+    // Slots, grouped by tail in topological order; out-CSR is the grouping.
+    for (std::size_t local = node_base; local < local_cursor; ++local) {
+      const NodeId v = node_[local];
+      out_begin_[local] = slot_cursor;
+      for (const EdgeId e : g.out_edges(v)) {
+        if (!xg.usable(j, e)) continue;
+        edge_[slot_cursor] = e;
+        head_local_[slot_cursor] = local_index[g.head(e)];
+        beta_[slot_cursor] = xg.beta(j, e);
+        cost_rate_[slot_cursor] = xg.cost_rate(j, e);
+        edge_slot[e] = slot_cursor;
+        insert_slot_key(static_cast<std::uint64_t>(j) * nedges + e,
+                        slot_cursor);
+        ++slot_cursor;
+      }
+    }
+    ensure(slot_cursor == edge_end(j),
+           "CommodityIndex: slot count drifted between passes");
+
+    // In-CSR (slots of usable in-edges, in Digraph::in_edges order) and the
+    // sorted-by-global-id node view.
+    std::size_t in_cursor = edge_begin(j);
+    for (std::size_t local = node_base; local < local_cursor; ++local) {
+      const NodeId v = node_[local];
+      in_begin_[local] = in_cursor;
+      for (const EdgeId e : g.in_edges(v)) {
+        if (edge_slot[e] == kNoSlot) continue;
+        in_slot_[in_cursor++] = edge_slot[e];
+      }
+      const std::size_t k = node_begin(j) + (local - node_base);
+      node_sorted_[k] = nodes[local - node_base];
+      sorted_local_[k] = kNoSlot;  // fixed up below
+    }
+    for (std::size_t local = node_base; local < local_cursor; ++local) {
+      const NodeId v = node_[local];
+      const auto begin = node_sorted_.begin() + node_begin(j);
+      const auto end = node_sorted_.begin() + node_end(j);
+      const auto it = std::lower_bound(begin, end, v);
+      sorted_local_[static_cast<std::size_t>(it - node_sorted_.begin())] =
+          local;
+    }
+
+    // Ascending-global-id enumeration <-> slot.
+    for (std::size_t k = 0; k < usable_by_id.size(); ++k) {
+      const std::size_t slot = edge_slot[usable_by_id[k]];
+      slot_by_id_[edge_begin(j) + k] = slot;
+      id_rank_[slot] = k;
+    }
+
+    sink_local_[j] = local_index[xg.sink(j)];
+    dummy_source_local_[j] = local_index[xg.dummy_source(j)];
+    dummy_input_slot_[j] = edge_slot[xg.dummy_input_link(j)];
+    dummy_difference_slot_[j] = edge_slot[xg.dummy_difference_link(j)];
+
+    // Longest usable path (edge count) via one forward sweep.
+    {
+      std::vector<std::size_t> dist(nodes.size(), 0);
+      std::size_t deepest = 0;
+      for (std::size_t local = node_base; local < local_cursor; ++local) {
+        const std::size_t dv = dist[local - node_base];
+        deepest = std::max(deepest, dv);
+        const std::size_t end =
+            local + 1 < local_cursor ? out_begin_[local + 1] : slot_cursor;
+        for (std::size_t s = out_begin_[local]; s < end; ++s) {
+          const std::size_t h = head_local_[s] - node_base;
+          dist[h] = std::max(dist[h], dv + 1);
+        }
+      }
+      depth_[j] = deepest;
+    }
+
+    // Reset scratch.
+    for (const NodeId v : nodes) local_index[v] = kNoSlot;
+    for (const EdgeId e : usable_by_id) edge_slot[e] = kNoSlot;
+  }
+  out_begin_[total_locals] = total_slots;
+  in_begin_[total_locals] = total_slots;
+
+  // Transposed CSRs via counting sort; ascending commodity order falls out
+  // of the commodity-major fill.
+  edge_t_offset_.assign(nedges + 1, 0);
+  for (const EdgeId e : edge_) ++edge_t_offset_[e + 1];
+  for (EdgeId e = 0; e < nedges; ++e) {
+    edge_t_offset_[e + 1] += edge_t_offset_[e];
+  }
+  edge_t_commodity_.resize(total_slots);
+  edge_t_slot_.resize(total_slots);
+  {
+    std::vector<std::size_t> cursor(edge_t_offset_.begin(),
+                                    edge_t_offset_.end() - 1);
+    for (CommodityId j = 0; j < ncommodities; ++j) {
+      for (std::size_t s = edge_begin(j); s < edge_end(j); ++s) {
+        const std::size_t k = cursor[edge_[s]]++;
+        edge_t_commodity_[k] = j;
+        edge_t_slot_[k] = s;
+      }
+    }
+  }
+  node_t_offset_.assign(nnodes + 1, 0);
+  for (const NodeId v : node_) ++node_t_offset_[v + 1];
+  for (NodeId v = 0; v < nnodes; ++v) {
+    node_t_offset_[v + 1] += node_t_offset_[v];
+  }
+  node_t_commodity_.resize(total_locals);
+  node_t_local_.resize(total_locals);
+  {
+    std::vector<std::size_t> cursor(node_t_offset_.begin(),
+                                    node_t_offset_.end() - 1);
+    for (CommodityId j = 0; j < ncommodities; ++j) {
+      for (std::size_t local = node_begin(j); local < node_end(j); ++local) {
+        const std::size_t k = cursor[node_[local]]++;
+        node_t_commodity_[k] = j;
+        node_t_local_[k] = local;
+      }
+    }
+  }
+}
+
+}  // namespace maxutil::xform

@@ -1,0 +1,199 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "stream/model.hpp"
+
+namespace maxutil::xform {
+
+class ExtendedGraph;
+
+using maxutil::graph::EdgeId;
+using maxutil::graph::NodeId;
+using maxutil::stream::CommodityId;
+
+/// Precomputed per-commodity view of the extended graph: for every commodity
+/// j, the usable subgraph as flat CSR arrays in topological order, replacing
+/// the `usable(j, e)` full-scan idiom of the pre-index code.
+///
+/// **Slots.** Each usable (commodity, edge) pair owns one *slot*; slots are
+/// laid out commodity-major, and within a commodity grouped by tail node in
+/// the commodity's topological node order, with a node's out-edges in
+/// `Digraph::out_edges` insertion order. That layout makes the out-CSR
+/// contiguous — `out_begin(local)..out_end(local)` is a slot *range* — and
+/// makes a commodity-major slot sweep visit edges in exactly the order the
+/// old `topological_sort + usable(j, e)` sweeps did, so converted consumers
+/// accumulate floating-point sums in the identical order (bit-parity).
+///
+/// **Local nodes.** Each node a commodity can carry gets a flat local index
+/// in `node_begin(j)..node_end(j)`, stored in the same topological order the
+/// global filtered Kahn sort produced (ties broken by increasing global id);
+/// `node(local)` maps back to the global id. Per-commodity state (traffic t,
+/// marginals) lives in flat arrays indexed by local node.
+///
+/// **Lookups.** `slot_of(j, e)` is an O(1) open-addressing probe returning
+/// `kNoSlot` for unusable pairs; `local_of(j, v)` is a binary search over the
+/// commodity's nodes sorted by global id. Transposed CSRs answer the reverse
+/// questions — `edge_commodities_*` lists the (commodity, slot) pairs of a
+/// global edge and `node_commodities_*` the (commodity, local) pairs of a
+/// global node, both in ascending commodity order.
+///
+/// Built once inside the ExtendedGraph constructor in O(J·L) probe time plus
+/// O(sum of usable subgraph sizes); shared by shared_ptr so routing/flow
+/// snapshots stay valid after their originating graph is gone.
+class CommodityIndex {
+ public:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  explicit CommodityIndex(const ExtendedGraph& xg);
+
+  std::size_t commodity_count() const { return edge_offset_.size() - 1; }
+  std::size_t global_node_count() const { return global_nodes_; }
+  std::size_t global_edge_count() const { return global_edges_; }
+  /// Total usable (commodity, edge) pairs = sum of per-commodity edge counts.
+  std::size_t slot_count() const { return edge_.size(); }
+  /// Total (commodity, node) pairs = sum of per-commodity node counts.
+  std::size_t local_node_count() const { return node_.size(); }
+
+  // --- Per-commodity flat ranges ---
+  std::size_t edge_begin(CommodityId j) const { return edge_offset_[j]; }
+  std::size_t edge_end(CommodityId j) const { return edge_offset_[j + 1]; }
+  std::size_t node_begin(CommodityId j) const { return node_offset_[j]; }
+  std::size_t node_end(CommodityId j) const { return node_offset_[j + 1]; }
+
+  // --- Per-slot cached edge data ---
+  EdgeId edge(std::size_t slot) const { return edge_[slot]; }
+  /// Flat local index of the edge's head within the owning commodity.
+  std::size_t head_local(std::size_t slot) const { return head_local_[slot]; }
+  double beta(std::size_t slot) const { return beta_[slot]; }
+  double cost_rate(std::size_t slot) const { return cost_rate_[slot]; }
+
+  // --- Local nodes (flat), in per-commodity topological order ---
+  NodeId node(std::size_t local) const { return node_[local]; }
+  std::size_t out_begin(std::size_t local) const { return out_begin_[local]; }
+  std::size_t out_end(std::size_t local) const {
+    return out_begin_[local + 1];
+  }
+  std::size_t in_begin(std::size_t local) const { return in_begin_[local]; }
+  std::size_t in_end(std::size_t local) const { return in_begin_[local + 1]; }
+  /// Slot of the k-th usable in-edge (in `Digraph::in_edges` order).
+  std::size_t in_slot(std::size_t k) const { return in_slot_[k]; }
+
+  // --- Per-commodity structure ---
+  std::size_t sink_local(CommodityId j) const { return sink_local_[j]; }
+  std::size_t dummy_source_local(CommodityId j) const {
+    return dummy_source_local_[j];
+  }
+  std::size_t dummy_input_slot(CommodityId j) const {
+    return dummy_input_slot_[j];
+  }
+  std::size_t dummy_difference_slot(CommodityId j) const {
+    return dummy_difference_slot_[j];
+  }
+
+  /// Slot of commodity j's k-th usable edge in ascending global-edge-id
+  /// order (k in 0..edge_end(j)-edge_begin(j)) — the enumeration order the
+  /// LP polytope uses for its variables.
+  std::size_t slot_by_id(CommodityId j, std::size_t k) const {
+    return slot_by_id_[edge_offset_[j] + k];
+  }
+  /// Inverse of slot_by_id: the slot's rank in its commodity's ascending
+  /// global-edge-id enumeration.
+  std::size_t id_rank(std::size_t slot) const { return id_rank_[slot]; }
+
+  /// O(1): the slot of (j, e), or kNoSlot when e is not usable by j.
+  std::size_t slot_of(CommodityId j, EdgeId e) const;
+
+  /// Flat local index of global node v for commodity j, or kNoSlot when v is
+  /// not in the commodity's node set. O(log |nodes(j)|).
+  std::size_t local_of(CommodityId j, NodeId v) const;
+
+  /// Commodity j's nodes in increasing global id (the pre-index
+  /// `commodity_nodes` order): global id and flat local index of the k-th,
+  /// for k in node_begin(j)..node_end(j).
+  NodeId node_sorted(std::size_t k) const { return node_sorted_[k]; }
+  std::size_t sorted_local(std::size_t k) const { return sorted_local_[k]; }
+
+  // --- Transpose: global edge -> (commodity, slot), ascending commodity ---
+  std::size_t edge_commodities_begin(EdgeId e) const {
+    return edge_t_offset_[e];
+  }
+  std::size_t edge_commodities_end(EdgeId e) const {
+    return edge_t_offset_[e + 1];
+  }
+  CommodityId edge_commodity(std::size_t k) const {
+    return edge_t_commodity_[k];
+  }
+  std::size_t edge_commodity_slot(std::size_t k) const {
+    return edge_t_slot_[k];
+  }
+
+  // --- Transpose: global node -> (commodity, local), ascending commodity ---
+  std::size_t node_commodities_begin(NodeId v) const {
+    return node_t_offset_[v];
+  }
+  std::size_t node_commodities_end(NodeId v) const {
+    return node_t_offset_[v + 1];
+  }
+  CommodityId node_commodity(std::size_t k) const {
+    return node_t_commodity_[k];
+  }
+  std::size_t node_commodity_local(std::size_t k) const {
+    return node_t_local_[k];
+  }
+
+  /// Longest usable path (edge count) of commodity j's subgraph — the depth
+  /// bound the fault-tolerant runtime uses for its patience windows.
+  std::size_t depth(CommodityId j) const { return depth_[j]; }
+
+ private:
+  void insert_slot_key(std::uint64_t key, std::size_t slot);
+
+  std::size_t global_nodes_ = 0;
+  std::size_t global_edges_ = 0;
+
+  // Per-commodity offsets into the flat slot / local-node arrays (size J+1).
+  std::vector<std::size_t> edge_offset_;
+  std::vector<std::size_t> node_offset_;
+
+  // Per-slot arrays (size slot_count()).
+  std::vector<EdgeId> edge_;
+  std::vector<std::size_t> head_local_;
+  std::vector<double> beta_;
+  std::vector<double> cost_rate_;
+  std::vector<std::size_t> slot_by_id_;
+  std::vector<std::size_t> id_rank_;
+
+  // Per-local-node arrays (size local_node_count(), +1 for CSR begins).
+  std::vector<NodeId> node_;
+  std::vector<NodeId> node_sorted_;
+  std::vector<std::size_t> sorted_local_;
+  std::vector<std::size_t> out_begin_;
+  std::vector<std::size_t> in_begin_;
+  std::vector<std::size_t> in_slot_;
+
+  // Per-commodity scalars.
+  std::vector<std::size_t> sink_local_;
+  std::vector<std::size_t> dummy_source_local_;
+  std::vector<std::size_t> dummy_input_slot_;
+  std::vector<std::size_t> dummy_difference_slot_;
+  std::vector<std::size_t> depth_;
+
+  // Transposed CSRs.
+  std::vector<std::size_t> edge_t_offset_;
+  std::vector<CommodityId> edge_t_commodity_;
+  std::vector<std::size_t> edge_t_slot_;
+  std::vector<std::size_t> node_t_offset_;
+  std::vector<CommodityId> node_t_commodity_;
+  std::vector<std::size_t> node_t_local_;
+
+  // Open-addressing (j, e) -> slot map: power-of-two table, linear probing.
+  std::vector<std::uint64_t> hash_key_;
+  std::vector<std::size_t> hash_slot_;
+  std::uint64_t hash_mask_ = 0;
+};
+
+}  // namespace maxutil::xform

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <set>
 #include <string>
 
 #include "util/check.hpp"
@@ -59,16 +58,15 @@ ExtendedGraph::ExtendedGraph(const stream::StreamNetwork& network,
     edges_.push_back({LinkKind::kDummyDifference, j});
   }
 
-  // Per-commodity node sets.
+  // The per-commodity CSR index; the sorted node sets fall out of it.
+  index_ = std::make_shared<const CommodityIndex>(*this);
   commodity_nodes_.resize(network.commodity_count());
   for (CommodityId j = 0; j < network.commodity_count(); ++j) {
-    std::set<NodeId> nodes;
-    for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
-      if (!usable(j, e)) continue;
-      nodes.insert(graph_.tail(e));
-      nodes.insert(graph_.head(e));
+    auto& nodes = commodity_nodes_[j];
+    nodes.reserve(index_->node_end(j) - index_->node_begin(j));
+    for (std::size_t k = index_->node_begin(j); k < index_->node_end(j); ++k) {
+      nodes.push_back(index_->node_sorted(k));
     }
-    commodity_nodes_[j].assign(nodes.begin(), nodes.end());
   }
 }
 

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "graph/algorithms.hpp"
 #include "graph/digraph.hpp"
 #include "stream/model.hpp"
+#include "xform/commodity_index.hpp"
 #include "xform/penalty.hpp"
 
 namespace maxutil::xform {
@@ -115,6 +117,18 @@ class ExtendedGraph {
   /// edge), in increasing id order.
   const std::vector<NodeId>& commodity_nodes(CommodityId j) const;
 
+  /// The precomputed per-commodity CSR subgraph index: usable edges in
+  /// topological order with cached beta/cost_rate, local ids, and O(1)
+  /// (commodity, edge) -> slot lookup. Hot paths sweep this instead of
+  /// filtering all edges through `usable`.
+  const CommodityIndex& index() const { return *index_; }
+
+  /// Shared handle to the index for state objects (routing/flow snapshots)
+  /// that may outlive this graph.
+  const std::shared_ptr<const CommodityIndex>& index_ptr() const {
+    return index_;
+  }
+
   // --- Cost model: A = Y + eps * D (Section 3) ---
 
   /// Utility-loss cost Y_e(x) of resource usage x on edge e: nonzero only on
@@ -158,6 +172,7 @@ class ExtendedGraph {
   std::vector<EdgeId> dummy_input_;              // per commodity
   std::vector<EdgeId> dummy_difference_;         // per commodity
   std::vector<std::vector<NodeId>> commodity_nodes_;
+  std::shared_ptr<const CommodityIndex> index_;
 };
 
 }  // namespace maxutil::xform

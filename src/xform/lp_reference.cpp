@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <string>
 
 #include "lp/frank_wolfe.hpp"
@@ -18,65 +17,82 @@ using maxutil::lp::Sense;
 using maxutil::lp::VarId;
 using maxutil::util::ensure;
 
-FlowPolytope build_flow_polytope(const ExtendedGraph& xg) {
+FlowPolytope build_flow_polytope(const ExtendedGraph& xg,
+                                 bool generate_names) {
   const auto& g = xg.graph();
+  const CommodityIndex& idx = xg.index();
   const std::size_t ncommodities = xg.commodity_count();
 
   FlowPolytope out;
   out.flow_var.resize(ncommodities);
   out.admitted_var.resize(ncommodities);
 
-  // Flow variable y_{j,e} >= 0 per usable (commodity, extended edge):
-  // the rate of commodity-j flow routed over e, measured in tail-node units
-  // (y = t_i(j) * phi_e(j)).
-  std::vector<std::map<EdgeId, VarId>> flow_var(ncommodities);
+  // Flow variable y_{j,e} >= 0 per usable (commodity, extended edge): the
+  // rate of commodity-j flow routed over e, measured in tail-node units
+  // (y = t_i(j) * phi_e(j)). Variables are added per commodity in ascending
+  // global edge id, so the VarId of a slot is edge_begin(j) + id_rank(slot)
+  // — no per-edge lookup structure is needed.
   for (CommodityId j = 0; j < ncommodities; ++j) {
-    for (EdgeId e = 0; e < g.edge_count(); ++e) {
-      if (!xg.usable(j, e)) continue;
+    const std::size_t count = idx.edge_end(j) - idx.edge_begin(j);
+    out.flow_var[j].reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const EdgeId e = idx.edge(idx.slot_by_id(j, k));
       const VarId var = out.problem.add_variable(
-          "y[j" + std::to_string(j) + ",e" + std::to_string(e) + "]");
-      flow_var[j][e] = var;
+          generate_names ? "y[j" + std::to_string(j) + ",e" +
+                               std::to_string(e) + "]"
+                         : std::string());
       out.flow_var[j].emplace_back(e, var);
     }
-    out.admitted_var[j] = flow_var[j].at(xg.dummy_input_link(j));
+    out.admitted_var[j] = static_cast<VarId>(
+        idx.edge_begin(j) + idx.id_rank(idx.dummy_input_slot(j)));
   }
+  const auto var_of = [&idx](CommodityId j, std::size_t slot) {
+    return static_cast<VarId>(idx.edge_begin(j) + idx.id_rank(slot));
+  };
 
   // Flow balance with shrinkage (eq. 7) at every non-sink commodity node:
   //   sum_out y  -  sum_in beta * y  =  r_v(j)
-  // where r is lambda_j at the dummy source, 0 elsewhere.
+  // where r is lambda_j at the dummy source, 0 elsewhere. Rows iterate
+  // commodity nodes in ascending global id (node_sorted), with each row's
+  // out-terms then in-terms in the graph's adjacency order — the same row
+  // and term layout the pre-index builder produced.
+  std::vector<std::pair<VarId, double>> terms;
   for (CommodityId j = 0; j < ncommodities; ++j) {
-    for (const NodeId v : xg.commodity_nodes(j)) {
-      if (v == xg.sink(j)) continue;
-      std::vector<std::pair<VarId, double>> terms;
-      for (const EdgeId e : g.out_edges(v)) {
-        if (xg.usable(j, e)) terms.emplace_back(flow_var[j].at(e), 1.0);
+    for (std::size_t k = idx.node_begin(j); k < idx.node_end(j); ++k) {
+      const std::size_t local = idx.sorted_local(k);
+      if (local == idx.sink_local(j)) continue;
+      terms.clear();
+      for (std::size_t s = idx.out_begin(local); s < idx.out_end(local); ++s) {
+        terms.emplace_back(var_of(j, s), 1.0);
       }
-      for (const EdgeId e : g.in_edges(v)) {
-        if (xg.usable(j, e)) {
-          terms.emplace_back(flow_var[j].at(e), -xg.beta(j, e));
-        }
+      for (std::size_t p = idx.in_begin(local); p < idx.in_end(local); ++p) {
+        const std::size_t s = idx.in_slot(p);
+        terms.emplace_back(var_of(j, s), -idx.beta(s));
       }
-      const double r = (v == xg.dummy_source(j)) ? xg.lambda(j) : 0.0;
-      out.problem.add_constraint(std::move(terms), Relation::kEq, r);
+      const double r =
+          (local == idx.dummy_source_local(j)) ? xg.lambda(j) : 0.0;
+      out.problem.add_constraint(terms, Relation::kEq, r);
     }
   }
 
   // Node capacity (eq. 6): resource is spent by the tail on outgoing edges.
+  // The edge -> (commodity, slot) transpose yields, per edge, the usable
+  // commodities in ascending order — matching the old j-inner scan.
   out.capacity_row.assign(xg.node_count(), FlowPolytope::kNoCapacityRow);
   for (NodeId v = 0; v < xg.node_count(); ++v) {
     if (!xg.has_finite_capacity(v)) continue;
-    std::vector<std::pair<VarId, double>> terms;
+    terms.clear();
     for (const EdgeId e : g.out_edges(v)) {
-      for (CommodityId j = 0; j < ncommodities; ++j) {
-        if (xg.usable(j, e)) {
-          terms.emplace_back(flow_var[j].at(e), xg.cost_rate(j, e));
-        }
+      for (std::size_t k = idx.edge_commodities_begin(e);
+           k < idx.edge_commodities_end(e); ++k) {
+        const std::size_t slot = idx.edge_commodity_slot(k);
+        terms.emplace_back(var_of(idx.edge_commodity(k), slot),
+                           idx.cost_rate(slot));
       }
     }
     if (!terms.empty()) {
       out.capacity_row[v] = out.problem.constraint_count();
-      out.problem.add_constraint(std::move(terms), Relation::kLessEq,
-                                 xg.capacity(v));
+      out.problem.add_constraint(terms, Relation::kLessEq, xg.capacity(v));
     }
   }
   return out;
@@ -87,7 +103,7 @@ ReferenceSolution solve_reference(const ExtendedGraph& xg,
   const auto& g = xg.graph();
   const std::size_t ncommodities = xg.commodity_count();
 
-  FlowPolytope polytope = build_flow_polytope(xg);
+  FlowPolytope polytope = build_flow_polytope(xg, options.generate_names);
   LpProblem& problem = polytope.problem;
   problem.set_sense(Sense::kMaximize);
 
@@ -103,7 +119,8 @@ ReferenceSolution solve_reference(const ExtendedGraph& xg,
           [&utility](double a) { return utility.value(a); }, lambda,
           options.pwl_segments);
       const VarId a = maxutil::lp::add_pwl_admission_variable(
-          problem, lambda, pwl, "a" + std::to_string(j));
+          problem, lambda, pwl,
+          options.generate_names ? "a" + std::to_string(j) : std::string());
       problem.add_constraint({{a, 1.0}, {admitted, -1.0}}, Relation::kEq, 0.0);
     }
   }

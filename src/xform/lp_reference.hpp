@@ -36,6 +36,11 @@ struct ReferenceOptions {
   /// polytope has identical variable/constraint layout; a mismatched basis
   /// is ignored.
   lp::SimplexBasis* warm_basis = nullptr;
+  /// Generate human-readable variable names ("y[j3,e17]", "a3.seg0") for the
+  /// polytope and PWL variables. Names are diagnostics-only; building the
+  /// strings dominates polytope assembly at scale, so they are off by
+  /// default.
+  bool generate_names = false;
 };
 
 /// The centralized optimum of the transformed problem — the paper's
@@ -80,8 +85,11 @@ struct FlowPolytope {
 };
 
 /// Assembles the polytope (shared by the simplex reference and the
-/// Frank-Wolfe cross-check).
-FlowPolytope build_flow_polytope(const ExtendedGraph& xg);
+/// Frank-Wolfe cross-check) from the graph's CommodityIndex. Variable names
+/// are diagnostics-only and cost real time/memory at scale, so they are
+/// generated only on request.
+FlowPolytope build_flow_polytope(const ExtendedGraph& xg,
+                                 bool generate_names = false);
 
 /// Builds and solves the exact multicommodity LP on the extended graph:
 ///

@@ -135,7 +135,7 @@ TEST(CurvatureScaled, SecondDerivativesMatchFiniteDifferences) {
     for (maxutil::graph::EdgeId e = 0; e < xg.edge_count(); ++e) {
       if (!xg.usable(j, e)) continue;
       const auto tail = xg.graph().tail(e);
-      const double t = flows.t[j][tail];
+      const double t = flows.t_at(j, tail);
       if (t <= 1e-6 || routing.phi(j, e) < h) continue;
       auto up = routing, down = routing;
       up.set_phi(j, e, routing.phi(j, e) + h);

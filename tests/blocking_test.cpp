@@ -65,8 +65,7 @@ TEST(Blocking, ImproperBranchGetsTagged) {
   // b runs at 5/6 capacity: dA/dr_b is large, dA/dr_a is the 50/50 average,
   // so the cheap-side inequality dr_a <= beta * dr_b holds and the a->b
   // fraction is too large to vanish this iteration: node a gets tagged.
-  const auto& dr = marginals.d_cost_d_input[0];
-  ASSERT_GT(dr[d.b], dr[d.c]);
+  ASSERT_GT(marginals.dr_at(0, d.b), marginals.dr_at(0, d.c));
   GammaOptions options;
   options.eta = 0.04;
   const auto tagged =

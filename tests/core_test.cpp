@@ -134,7 +134,7 @@ TEST(FlowState, ShrinkageScalesDownstreamTraffic) {
   routing.set_phi(0, xg.dummy_input_link(0), 1.0);
   const FlowState flows = maxutil::core::compute_flows(xg, routing);
   // t at b is 3 * beta(a->b) = 1.5; b's usage = 1.5 * c(1) = 1.5.
-  EXPECT_NEAR(flows.t[0][1], 1.5, 1e-12);
+  EXPECT_NEAR(flows.t_at(0, 1), 1.5, 1e-12);
   EXPECT_NEAR(flows.f_node[1], 1.5, 1e-12);
   // Bandwidth node b->t carries 1.5 * beta(b->t) = 3.
   EXPECT_NEAR(flows.f_node[xg.bandwidth_node(1)], 3.0, 1e-12);
@@ -174,7 +174,7 @@ TEST(Marginals, MatchFiniteDifferencesOnRandomInstance) {
     for (EdgeId e = 0; e < xg.edge_count(); ++e) {
       if (!xg.usable(j, e)) continue;
       const NodeId tail = xg.graph().tail(e);
-      if (flows.t[j][tail] <= 0.0) continue;
+      if (flows.t_at(j, tail) <= 0.0) continue;
       if (routing.phi(j, e) < h) continue;  // one-sided at the boundary
       RoutingState up = routing;
       up.set_phi(j, e, routing.phi(j, e) + h);
@@ -185,7 +185,7 @@ TEST(Marginals, MatchFiniteDifferencesOnRandomInstance) {
       ASSERT_TRUE(std::isfinite(up_cost) && std::isfinite(down_cost));
       const double fd = (up_cost - down_cost) / (2.0 * h);
       const double analytic =
-          flows.t[j][tail] *
+          flows.t_at(j, tail) *
           maxutil::core::marginal_via_edge(xg, flows, marginals, j, e);
       EXPECT_NEAR(analytic, fd, 1e-4 * (1.0 + std::abs(fd)))
           << "commodity " << j << " edge " << e;
@@ -202,7 +202,7 @@ TEST(Marginals, SinkConventionIsZero) {
   const FlowState flows = maxutil::core::compute_flows(xg, routing);
   const MarginalCosts marginals =
       maxutil::core::compute_marginals(xg, routing, flows);
-  EXPECT_DOUBLE_EQ(marginals.d_cost_d_input[0][xg.sink(0)], 0.0);
+  EXPECT_DOUBLE_EQ(marginals.dr_at(0, xg.sink(0)), 0.0);
 }
 
 TEST(Marginals, RejectedTrafficCostsUtilityDerivative) {
@@ -214,7 +214,7 @@ TEST(Marginals, RejectedTrafficCostsUtilityDerivative) {
   const FlowState flows = maxutil::core::compute_flows(xg, routing);
   const MarginalCosts marginals =
       maxutil::core::compute_marginals(xg, routing, flows);
-  EXPECT_NEAR(marginals.d_cost_d_input[0][xg.dummy_source(0)], 1.0, 1e-12);
+  EXPECT_NEAR(marginals.dr_at(0, xg.dummy_source(0)), 1.0, 1e-12);
 }
 
 TEST(Gamma, ShiftsTowardCheaperBranch) {

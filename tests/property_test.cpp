@@ -396,7 +396,7 @@ TEST_P(FlowConservationProperty, RandomRoutingsBalance) {
     const double admitted = maxutil::core::admitted_rate(xg, flows, j);
     const double expected_at_sink =
         admitted * net.delivery_gain(j) + (xg.lambda(j) - admitted);
-    EXPECT_NEAR(flows.t[j][xg.sink(j)], expected_at_sink, 1e-8);
+    EXPECT_NEAR(flows.t_at(j, xg.sink(j)), expected_at_sink, 1e-8);
   }
 }
 
