@@ -7,17 +7,27 @@
 // sustained decisions/sec, batches, re-solves, and mean batch size. Writes
 // BENCH_serve.json.
 //
+// A recovery section (docs/SERVE.md §7) crashes a durable server
+// mid-stream and times the restart with and without snapshots, recording
+// replayed-record counts and recovery wall time.
+//
 // Shape checks (the acceptance criteria):
 //   * every run answers every request (decisions == stream length),
 //   * virtual decision latency p99 <= the coalescing window on every run,
 //   * widening the window at fixed gap never increases batches or solves,
 //   * a distributed-backend replay is bit-identical across 1/2/8 threads
-//     (identical decision logs and final utility).
+//     (identical decision logs and final utility),
+//   * the recovered decision log is byte-identical to the uninterrupted
+//     run's, and snapshots strictly shorten the recovery replay.
 //
 // `--smoke` shortens the stream and ladder (the CI leg).
 
+#include <stdlib.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -26,6 +36,7 @@
 #include "common.hpp"
 #include "serve/daemon.hpp"
 #include "serve/protocol.hpp"
+#include "serve/wal.hpp"
 #include "util/artifacts.hpp"
 #include "util/table.hpp"
 
@@ -178,6 +189,70 @@ int main(int argc, char** argv) {
     }
     ok &= bench::shape_check("decision log bit-identical across 1/2/8 threads",
                              identical);
+  }
+
+  // Recovery time vs WAL length (docs/SERVE.md §7): serve the stream
+  // durably, crash the server (drop it without finish), and time the
+  // restart — once with snapshots off (recovery replays the whole WAL) and
+  // once with a snapshot cadence (recovery replays only the tail). The
+  // recovered decision log must equal the uninterrupted one byte for byte,
+  // and snapshots must strictly shorten the replay.
+  {
+    const std::string stream = make_stream(net, smoke ? 12 : 24, 2);
+    const serve::Script script = serve::parse_script_text(stream);
+    serve::Daemon reference(net, ladder_options(4));
+    const std::string reference_log =
+        reference.run(serve::parse_script_text(stream)).decision_log();
+
+    std::size_t replayed_plain = 0, replayed_snap = 0;
+    for (const std::size_t snapshot_every :
+         {std::size_t{0}, std::size_t{4}}) {
+      char dir_template[] = "/tmp/maxutil_bench_wal.XXXXXX";
+      const char* dir_cstr = ::mkdtemp(dir_template);
+      if (dir_cstr == nullptr) {
+        ok &= bench::shape_check("mkdtemp for the recovery run", false);
+        break;
+      }
+      serve::DurableOptions durable_options;
+      durable_options.dir = dir_cstr;
+      durable_options.snapshot_every = snapshot_every;
+      {
+        serve::Daemon daemon(net, ladder_options(4));
+        serve::Durable durable(daemon, durable_options);
+        for (const serve::Request& request : script.requests) {
+          durable.submit(request);
+        }
+        // Crash: the Durable goes out of scope without finish() — exactly
+        // the state a SIGKILL leaves on disk (WAL complete, batch open).
+      }
+      serve::Daemon daemon(net, ladder_options(4));
+      const auto start = std::chrono::steady_clock::now();
+      serve::Durable recovered(daemon, durable_options);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      ok &= bench::shape_check("restart found state to recover",
+                               recovered.recovered());
+      recovered.finish();
+      ok &= bench::shape_check(
+          "recovered decision log identical to the uninterrupted run",
+          recovered.full_decision_log() == reference_log);
+      if (snapshot_every == 0) {
+        replayed_plain = recovered.replayed();
+      } else {
+        replayed_snap = recovered.replayed();
+      }
+      records.push_back(
+          {"recovery/snapshot_every=" + std::to_string(snapshot_every),
+           {{"wal_records", static_cast<double>(script.requests.size())},
+            {"replayed_records", static_cast<double>(recovered.replayed())},
+            {"recovery_seconds", seconds}},
+           {}});
+      std::filesystem::remove_all(dir_cstr);
+    }
+    ok &= bench::shape_check("snapshots shorten the recovery replay",
+                             replayed_snap < replayed_plain);
   }
 
   const unsigned hw = std::thread::hardware_concurrency();

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <sstream>
 #include <utility>
 
@@ -64,6 +68,36 @@ core::RoutingState priority_shed(const xform::ExtendedGraph& xg,
     }
   }
   return initial;
+}
+
+/// Bit-exact double rendering for export_state: C hexfloats survive a text
+/// round trip without rounding, unlike any decimal precision.
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// strtod parses hexfloats (std::istream's num_get does not); the token must
+/// be consumed whole.
+double parse_double(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  ensure(end != nullptr && end != token.c_str() && *end == '\0',
+         "ctrl state: malformed number '" + token + "'");
+  return v;
+}
+
+double read_double(std::istream& in) {
+  std::string token;
+  ensure(static_cast<bool>(in >> token), "ctrl state: truncated blob");
+  return parse_double(token);
+}
+
+std::size_t read_size(std::istream& in) {
+  std::size_t v = 0;
+  ensure(static_cast<bool>(in >> v), "ctrl state: truncated blob");
+  return v;
 }
 
 std::string status_cell(const EventOutcome& outcome) {
@@ -753,6 +787,149 @@ BatchOutcome Controller::apply_batch(const std::vector<ChurnEvent>& events) {
   if (!usable) report_.failures += 1;
   report_.final_utility = utility_;
   return outcome;
+}
+
+void Controller::export_state(std::ostream& out) const {
+  ensure(routing_.has_value(), "Controller: not initialized");
+  const auto write_config = [&out](const Config& config) {
+    for (const char v : config.node_down) out << static_cast<int>(v) << ' ';
+    out << '\n';
+    for (const char v : config.link_down) out << static_cast<int>(v) << ' ';
+    out << '\n';
+    for (const char v : config.commodity_absent) {
+      out << static_cast<int>(v) << ' ';
+    }
+    out << '\n';
+    for (const double v : config.cap_factor) out << hex_double(v) << ' ';
+    out << '\n';
+    for (const double v : config.bw_factor) out << hex_double(v) << ' ';
+    out << '\n';
+    for (const double v : config.lambda_factor) out << hex_double(v) << ' ';
+    out << '\n';
+  };
+  const auto write_routing = [&out](const core::RoutingState& routing) {
+    out << routing.slot_count() << '\n';
+    for (std::size_t s = 0; s < routing.slot_count(); ++s) {
+      out << hex_double(routing.phi_slot(s)) << ' ';
+    }
+    out << '\n';
+  };
+  const auto write_admitted = [&out](const std::vector<double>& admitted) {
+    out << admitted.size() << '\n';
+    for (const double v : admitted) out << hex_double(v) << ' ';
+    out << '\n';
+  };
+
+  out << "maxutil-ctrl-state 1\n";
+  out << baseline_.node_count() << ' ' << baseline_.link_count() << ' '
+      << baseline_.commodity_count() << '\n';
+  write_config(config_);
+  write_routing(*routing_);
+  write_admitted(admitted_);
+  out << hex_double(utility_) << '\n';
+  out << events_applied_ << '\n';
+  out << snapshots_.size() << '\n';
+  for (const auto& [key, snapshot] : snapshots_) {
+    out << key.first << ' ' << key.second << ' '
+        << hex_double(snapshot.utility) << '\n';
+    write_config(snapshot.config);
+    write_routing(snapshot.routing);
+    write_admitted(snapshot.admitted);
+  }
+  out << "end\n";
+}
+
+void Controller::import_state(std::istream& in) {
+  std::string magic;
+  ensure(static_cast<bool>(in >> magic) && magic == "maxutil-ctrl-state",
+         "ctrl state: bad magic (not an export_state blob)");
+  ensure(read_size(in) == 1, "ctrl state: unsupported version");
+  ensure(read_size(in) == baseline_.node_count() &&
+             read_size(in) == baseline_.link_count() &&
+             read_size(in) == baseline_.commodity_count(),
+         "ctrl state: baseline shape mismatch (the blob was exported against "
+         "a different network)");
+
+  const auto read_config = [&in, this]() {
+    Config config;
+    config.node_down.resize(baseline_.node_count());
+    config.link_down.resize(baseline_.link_count());
+    config.commodity_absent.resize(baseline_.commodity_count());
+    config.cap_factor.resize(baseline_.node_count());
+    config.bw_factor.resize(baseline_.link_count());
+    config.lambda_factor.resize(baseline_.commodity_count());
+    for (char& v : config.node_down) v = read_size(in) != 0 ? 1 : 0;
+    for (char& v : config.link_down) v = read_size(in) != 0 ? 1 : 0;
+    for (char& v : config.commodity_absent) v = read_size(in) != 0 ? 1 : 0;
+    for (double& v : config.cap_factor) v = read_double(in);
+    for (double& v : config.bw_factor) v = read_double(in);
+    for (double& v : config.lambda_factor) v = read_double(in);
+    return config;
+  };
+  const auto read_routing = [&in](const xform::ExtendedGraph& xg) {
+    core::RoutingState routing(xg);
+    const std::size_t slots = read_size(in);
+    ensure(slots == routing.slot_count(),
+           "ctrl state: routing slot count mismatch (blob " +
+               std::to_string(slots) + ", rebuilt graph " +
+               std::to_string(routing.slot_count()) + ")");
+    for (std::size_t s = 0; s < slots; ++s) {
+      routing.set_phi_slot(s, read_double(in));
+    }
+    return routing;
+  };
+  const auto read_admitted = [&in]() {
+    std::vector<double> admitted(read_size(in));
+    for (double& v : admitted) v = read_double(in);
+    return admitted;
+  };
+
+  // Parse the whole blob into scratch state first; commit only when every
+  // section validated, so a torn or corrupt blob leaves the controller
+  // untouched.
+  Config config = read_config();
+  std::unique_ptr<State> state = build_state(config);
+  core::RoutingState routing = read_routing(state->problem->extended());
+  ensure(routing.is_valid(state->problem->extended(), 1e-9),
+         "ctrl state: restored routing violates invariants");
+  std::vector<double> admitted = read_admitted();
+  const double utility = read_double(in);
+  const std::size_t applied = read_size(in);
+  const std::size_t snapshot_count = read_size(in);
+  std::map<std::pair<char, std::size_t>, Snapshot> snapshots;
+  for (std::size_t i = 0; i < snapshot_count; ++i) {
+    char kind = 0;
+    ensure(static_cast<bool>(in >> kind) && (kind == 'n' || kind == 'c'),
+           "ctrl state: bad snapshot key");
+    const std::size_t id = read_size(in);
+    const double snap_utility = read_double(in);
+    Config snap_config = read_config();
+    // Each pending exact-restore snapshot carries a routing over its *own*
+    // configuration's extended graph — rebuild it to recover the index.
+    std::unique_ptr<State> snap_state = build_state(snap_config);
+    core::RoutingState snap_routing =
+        read_routing(snap_state->problem->extended());
+    std::vector<double> snap_admitted = read_admitted();
+    snapshots.emplace(
+        std::pair<char, std::size_t>{kind, id},
+        Snapshot{std::move(snap_config), std::move(snap_routing),
+                 std::move(snap_admitted), snap_utility});
+  }
+  std::string trailer;
+  ensure(static_cast<bool>(in >> trailer) && trailer == "end",
+         "ctrl state: missing trailer (truncated blob)");
+
+  config_ = std::move(config);
+  state_ = std::move(state);
+  routing_ = std::move(routing);
+  admitted_ = std::move(admitted);
+  utility_ = utility;
+  events_applied_ = applied;
+  snapshots_ = std::move(snapshots);
+  report_.final_utility = utility_;
+  metrics_.set(m_utility_, utility_);
+  metrics_.set(m_commodities_,
+               static_cast<double>(network().commodity_count()));
 }
 
 ChurnReport Controller::run(const ChurnPlan& plan) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
@@ -221,6 +222,25 @@ class Controller {
   const std::vector<double>& admitted() const { return admitted_; }
   double utility() const { return utility_; }
   const ChurnReport& report() const { return report_; }
+
+  /// Serializes the controller's full decision-bearing state — the topology
+  /// configuration, the standing routing, admitted rates, utility, the
+  /// exact-restore snapshot table, and the applied-event count — as a
+  /// line-oriented text blob. Doubles are rendered as C hexfloats, so a
+  /// round trip through import_state is bit-exact and a restored controller
+  /// continues a deterministic run with the same decisions the original
+  /// would have made (the serve WAL's snapshot payload, docs/SERVE.md §8).
+  /// Metrics, traces, and the per-event report are per-process observability
+  /// and are NOT serialized.
+  void export_state(std::ostream& out) const;
+
+  /// Restores a state written by export_state against the same baseline
+  /// network. Rebuilds the current topology from the pristine baseline (the
+  /// same deterministic rebuild path every event uses), reinstates the
+  /// routing slot-for-slot, and rebuilds every pending exact-restore
+  /// snapshot. Throws util::CheckError on a malformed blob or a baseline
+  /// shape mismatch.
+  void import_state(std::istream& in);
 
   /// SLO metrics (counters/gauges/histograms; docs/CONTROLLER.md §4).
   const obs::MetricsRegistry& metrics() const { return metrics_; }

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "serve/daemon.hpp"
+
+namespace maxutil::serve {
+
+struct AcceptorOptions {
+  /// Wall-clock flush deadline in milliseconds: an open batch flushes at
+  /// most this long after the acceptor sees it open, even when no further
+  /// request arrives (tentpole pillar 3). 0 disables the timer — batches
+  /// then flush on arrival, client EOF, or end of serving only. Timer
+  /// flushes depend on real time, so socket-mode logs are not replayable;
+  /// file/replay mode never uses the timer and keeps the virtual-clock
+  /// determinism contract.
+  std::size_t flush_ms = 0;
+
+  /// Stamp each request's timestamp with its boundary arrival ordinal
+  /// (0, 1, 2, ...) instead of trusting the client-sent @T. This is the
+  /// multi-client mode: N interleaved clients cannot agree on a clock, so
+  /// the boundary total order *is* the virtual clock — any interleaving is
+  /// valid, and replaying the stamped stream reproduces the decisions
+  /// bit-identically (docs/SERVE.md §9).
+  bool stamp_arrival = false;
+
+  /// Per-client outbox bound in bytes. A client that stops reading past
+  /// this is detached so it cannot stall the batch loop (its undelivered
+  /// responses count in serve_dropped_responses_total). 0 = unbounded.
+  std::size_t max_outbox_bytes = 1 << 20;
+};
+
+/// Multi-client fan-in with a total order at the boundary (tentpole pillar
+/// 2). Sequences lines from N client sessions into one ordered stream into
+/// a ServeSink (durable or not), routes each decision back to the client
+/// that submitted the request, and fences stale-epoch clients.
+///
+/// The session layer (open_session / feed_line / close_session /
+/// take_output / flush_now) is socket-free and fully deterministic — tests
+/// drive interleavings directly. run() is the poll()-driven Unix-socket
+/// front end layered on top.
+class Acceptor {
+ public:
+  explicit Acceptor(ServeSink& sink, AcceptorOptions options = {});
+
+  // ---- Session layer (testable seam) ----
+
+  /// Registers a client session and returns its id. The session's output
+  /// starts with the epoch greeting "epoch=<E>\n" (E = 0 when the sink is
+  /// not durable).
+  int open_session();
+
+  /// Feeds one protocol line (no trailing newline) from a session, in
+  /// boundary arrival order. Control line "epoch=K" asserts the client's
+  /// believed epoch: a mismatch fences the session — this and every later
+  /// line are answered with a retryable stale-epoch error and never reach
+  /// the daemon. Responses accumulate in the session's output.
+  void feed_line(int session, const std::string& line);
+
+  /// Client EOF: force-flushes the open batch (the departing client gets
+  /// its answers), routes the decisions, drops the session, and returns its
+  /// final undelivered output — the socket layer writes it best-effort
+  /// before closing the connection.
+  std::string close_session(int session);
+
+  /// Timer edge: force-flush the open batch and route its decisions.
+  void flush_now();
+
+  /// Drains and returns the session's pending output.
+  std::string take_output(int session);
+
+  bool has_session(int session) const {
+    return sessions_.find(session) != sessions_.end();
+  }
+  std::size_t clients_served() const { return clients_served_; }
+
+  // ---- Socket front end ----
+
+  /// Binds a Unix-domain socket at `path` (unlinking a stale file left by
+  /// a crashed predecessor), then serves clients with poll() until the
+  /// last one disconnects (after at least one connected). Partial writes
+  /// and EINTR are handled; SIGPIPE is ignored; slow clients are detached
+  /// at max_outbox_bytes. Unlinks the socket on exit.
+  void run(const std::string& path);
+
+ private:
+  struct Session {
+    std::string outbox;
+    bool fenced = false;  // stale epoch: lines answered with an error only
+  };
+
+  /// Routes every not-yet-routed decision. Flush-produced decisions belong
+  /// to queued owners in FIFO order; when `overloaded` is set the last new
+  /// decision is an immediate overload denial for the request just
+  /// submitted by `submitter` (-1 when no submit just happened, e.g. a
+  /// timer flush). When `joined` is true the submitted request entered the
+  /// batch and its owner is queued.
+  void route_decisions(int submitter, bool joined, bool overloaded);
+  void deliver(int session, const std::string& line);
+
+  ServeSink* sink_;
+  AcceptorOptions options_;
+  std::map<int, Session> sessions_;
+  std::deque<int> owners_;      // submitting session per in-flight request
+  std::size_t routed_ = 0;      // decisions already routed to outboxes
+  std::size_t orphans_ = 0;     // recovered pending requests with no session
+  std::size_t arrivals_ = 0;    // boundary ordinal for stamp_arrival
+  std::size_t clients_served_ = 0;
+  int next_session_ = 0;
+
+  obs::MetricId m_clients_ = 0;
+  obs::MetricId m_stale_ = 0;
+  obs::MetricId m_detached_ = 0;
+  obs::MetricId m_dropped_ = 0;
+};
+
+}  // namespace maxutil::serve

@@ -1,6 +1,8 @@
 #include "serve/daemon.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <istream>
 #include <ostream>
 #include <sstream>
 
@@ -19,6 +21,33 @@ std::string fmt(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
+}
+
+/// Bit-exact double rendering for snapshots (same convention as
+/// Controller::export_state — istream's num_get cannot parse hexfloat, so
+/// reading goes token-by-token through strtod).
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double snap_read_double(std::istream& in) {
+  std::string token;
+  in >> token;
+  ensure(!token.empty(), "serve snapshot: truncated double");
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  ensure(end == token.c_str() + token.size(),
+         "serve snapshot: bad double '" + token + "'");
+  return v;
+}
+
+std::size_t snap_read_size(std::istream& in) {
+  std::size_t v = 0;
+  in >> v;
+  ensure(static_cast<bool>(in), "serve snapshot: truncated integer");
+  return v;
 }
 
 }  // namespace
@@ -69,10 +98,12 @@ std::string ServeReport::decision_log() const {
 std::string ServeReport::summary() const {
   std::ostringstream out;
   out << "serve: " << decisions.size() << " decisions in " << batches
-      << " batches (" << solves << " solves)\n"
+      << " batches (" << solves << " solves, " << forced_flushes
+      << " forced flushes)\n"
       << "  admit=" << admits << " degrade=" << degrades << " deny=" << denies
       << " applied=" << applied << " rejected=" << rejected
-      << " query=" << queries << "\n"
+      << " query=" << queries << " overload_denied=" << overload_denied
+      << "\n"
       << "  utility " << fmt(initial_utility) << " -> " << fmt(final_utility)
       << "\n"
       << "  virtual latency p50=" << fmt(virtual_p50)
@@ -94,6 +125,8 @@ void ServeReport::write_json(std::ostream& out) const {
       << "  \"applied\": " << applied << ",\n"
       << "  \"rejected\": " << rejected << ",\n"
       << "  \"queries\": " << queries << ",\n"
+      << "  \"forced_flushes\": " << forced_flushes << ",\n"
+      << "  \"overload_denied\": " << overload_denied << ",\n"
       << "  \"virtual_latency_p50\": " << fmt(virtual_p50) << ",\n"
       << "  \"virtual_latency_p99\": " << fmt(virtual_p99) << ",\n"
       << "  \"wall_latency_p50_seconds\": " << fmt(wall_p50) << ",\n"
@@ -135,6 +168,11 @@ void Daemon::register_metrics() {
   m_queries_ = m.counter("serve_queries_total", "query requests answered");
   m_batches_ = m.counter("serve_batches_total", "coalesced batches flushed");
   m_solves_ = m.counter("serve_solves_total", "apply_batch re-solves");
+  m_forced_flush_ =
+      m.counter("serve_batch_forced_flush",
+                "batches flushed by a timer or end-of-stream, not an arrival");
+  m_overload_ = m.counter("serve_overload_denied_total",
+                          "requests denied by the max_pending overload bound");
   m_batch_size_ = m.histogram("serve_batch_size", {1, 2, 4, 8, 16, 32, 64},
                               "requests coalesced per batch");
   m_virtual_latency_ =
@@ -153,13 +191,32 @@ void Daemon::open_batch(std::size_t time) {
 
 void Daemon::submit(const Request& request) {
   ensure(!finished_, "serve: submit after finish");
-  const bool first = report_.decisions.empty() && pending_.empty();
+  const bool first =
+      !restored_ && report_.decisions.empty() && pending_.empty();
   ensure(first || request.time() >= last_time_,
          "serve: request '" + request.describe() + "' at @" +
              std::to_string(request.time()) + " precedes @" +
              std::to_string(last_time_) + "; streams must be time-ordered");
   if (batch_open_ && request.time() >= open_time_ + options_.window) {
-    decide_batch();
+    decide_batch(/*forced=*/false);
+  }
+  if (options_.max_pending != 0 && pending_.size() >= options_.max_pending) {
+    // Overload: deny immediately without joining the batch. The decision is
+    // a pure function of the stream (pending count at this arrival), so
+    // replay reproduces it bit-identically.
+    DecisionRecord record;
+    record.request = request;
+    record.outcome = Outcome::kDeny;
+    record.batch = report_.batches;  // the batch it could not join
+    record.decided_at = request.time();
+    record.utility = controller_->utility();
+    record.reason = "overloaded: " + std::to_string(pending_.size()) +
+                    " requests pending (retryable)";
+    ++report_.overload_denied;
+    controller_->metrics().add(m_overload_);
+    finalize_record(std::move(record));
+    last_time_ = request.time();
+    return;
   }
   if (!batch_open_) open_batch(request.time());
   last_time_ = request.time();
@@ -263,10 +320,21 @@ DecisionRecord Daemon::decide_admit(const Pending& pending,
   return record;
 }
 
-void Daemon::decide_batch() {
+void Daemon::advance_to(std::size_t time) {
+  ensure(!finished_, "serve: advance_to after finish");
+  if (batch_open_ && time >= open_time_ + options_.window) {
+    decide_batch(/*forced=*/false);
+  }
+}
+
+void Daemon::decide_batch(bool forced) {
   if (pending_.empty()) {
     batch_open_ = false;
     return;
+  }
+  if (forced) {
+    ++report_.forced_flushes;
+    controller_->metrics().add(m_forced_flush_);
   }
   const std::size_t batch = report_.batches;
   const std::size_t decided_at = open_time_ + options_.window;
@@ -400,12 +468,16 @@ void Daemon::finalize_record(DecisionRecord record) {
 }
 
 void Daemon::flush() {
-  if (batch_open_) decide_batch();
+  if (batch_open_) decide_batch(/*forced=*/true);
 }
 
 const ServeReport& Daemon::finish() {
   if (!finished_) {
     flush();
+    // Trailing-batch contract (docs/SERVE.md §2): a batch left open at
+    // end-of-stream has been force-flushed; nothing is ever dropped.
+    ensure(!batch_open_ && pending_.empty(),
+           "serve: finish left a batch open; trailing flush is mandatory");
     finished_ = true;
     // Wall seconds were recorded per decision; the total is per batch, so
     // sum one contribution per batch via the unique (batch, wall) pairs.
@@ -432,6 +504,63 @@ const ServeReport& Daemon::finish() {
 const ServeReport& Daemon::run(const Script& script) {
   for (const Request& request : script.requests) submit(request);
   return finish();
+}
+
+void Daemon::export_snapshot(std::ostream& out) const {
+  ensure(!batch_open_ && pending_.empty(),
+         "serve snapshot: export requires a settled daemon (no open batch)");
+  out << "maxutil-serve-daemon 1\n";
+  out << report_.batches << " " << report_.solves << " " << last_time_ << "\n";
+  out << report_.admits << " " << report_.degrades << " " << report_.denies
+      << " " << report_.applied << " " << report_.rejected << " "
+      << report_.queries << " " << report_.forced_flushes << " "
+      << report_.overload_denied << "\n";
+  out << hex_double(report_.initial_utility) << "\n";
+  controller_->export_state(out);
+  out << "end-serve\n";
+}
+
+void Daemon::import_snapshot(std::istream& in) {
+  ensure(report_.decisions.empty() && pending_.empty() && !batch_open_ &&
+             !finished_,
+         "serve snapshot: import requires a freshly constructed daemon");
+  std::string magic;
+  std::size_t version = 0;
+  in >> magic >> version;
+  ensure(magic == "maxutil-serve-daemon" && version == 1,
+         "serve snapshot: bad header '" + magic + "'");
+  const std::size_t batches = snap_read_size(in);
+  const std::size_t solves = snap_read_size(in);
+  const std::size_t last_time = snap_read_size(in);
+  const std::size_t admits = snap_read_size(in);
+  const std::size_t degrades = snap_read_size(in);
+  const std::size_t denies = snap_read_size(in);
+  const std::size_t applied = snap_read_size(in);
+  const std::size_t rejected = snap_read_size(in);
+  const std::size_t queries = snap_read_size(in);
+  const std::size_t forced = snap_read_size(in);
+  const std::size_t overloaded = snap_read_size(in);
+  const double initial_utility = snap_read_double(in);
+  controller_->import_state(in);
+  std::string trailer;
+  in >> trailer;
+  ensure(trailer == "end-serve", "serve snapshot: missing end-serve trailer");
+
+  report_.batches = batches;
+  report_.solves = solves;
+  report_.admits = admits;
+  report_.degrades = degrades;
+  report_.denies = denies;
+  report_.applied = applied;
+  report_.rejected = rejected;
+  report_.queries = queries;
+  report_.forced_flushes = forced;
+  report_.overload_denied = overloaded;
+  report_.initial_utility = initial_utility;
+  report_.final_utility = controller_->utility();
+  last_time_ = last_time;
+  restored_ = true;
+  controller_->metrics().set(m_utility_, report_.final_utility);
 }
 
 }  // namespace maxutil::serve

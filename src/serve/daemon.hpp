@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -58,6 +59,14 @@ struct ServeOptions {
   double admit_share = 0.95;
   double deny_share = 0.05;
 
+  /// Overload bound: when the open batch already holds this many pending
+  /// requests, further arrivals are denied *immediately* (outcome kDeny,
+  /// reason "overloaded ... (retryable)") without joining the batch, so a
+  /// re-solve backlog can never grow the next solve without bound. The
+  /// denial is a pure function of the input stream — replay-deterministic.
+  /// 0 = unbounded (the default).
+  std::size_t max_pending = 0;
+
   /// Record one Chrome trace span per batch (deterministic timestamps).
   bool record_trace = false;
 };
@@ -73,6 +82,11 @@ struct ServeReport {
   std::size_t applied = 0;
   std::size_t rejected = 0;
   std::size_t queries = 0;
+  /// Batches flushed by a timer or end-of-stream rather than an arrival at
+  /// or past T + window (the serve_batch_forced_flush counter).
+  std::size_t forced_flushes = 0;
+  /// Requests denied immediately by the max_pending overload bound.
+  std::size_t overload_denied = 0;
   double initial_utility = 0.0;
   double final_utility = 0.0;
   double solve_wall_seconds = 0.0;  // total wall spent inside re-solves
@@ -125,18 +139,51 @@ class Daemon {
   /// input. May flush the pending batch first (window expiry).
   void submit(const Request& request);
 
-  /// Flushes the pending batch (no-op when nothing is pending).
+  /// Advances the virtual clock to `time` without submitting anything:
+  /// flushes the open batch iff `time >= open time + window`, exactly as an
+  /// arrival at `time` would. The durable wrapper (serve/wal.hpp) calls this
+  /// *before* appending a request's WAL record, so every flush-point
+  /// snapshot is taken with an empty pending set and covers precisely the
+  /// records appended so far. Idempotent; does not move the ordering bound.
+  void advance_to(std::size_t time);
+
+  /// Flushes the pending batch (no-op when nothing is pending). A flush
+  /// from here — the wall-clock timer and end-of-stream path — counts as
+  /// *forced* (serve_batch_forced_flush), unlike the arrival-driven flushes
+  /// inside submit()/advance_to().
   void flush();
 
   /// Flushes and returns the final report. submit() after finish() throws.
+  /// Asserts the trailing-batch contract: after finish() nothing is pending
+  /// — a batch left open by the stream's end has been force-flushed.
   const ServeReport& finish();
 
   /// Replays a whole script: submit every request, then finish().
   const ServeReport& run(const Script& script);
 
   const ServeReport& report() const { return report_; }
+  const ServeOptions& options() const { return options_; }
   const ctrl::Controller& controller() const { return *controller_; }
   ctrl::Controller& controller() { return *controller_; }
+
+  bool batch_open() const { return batch_open_; }
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t last_time() const { return last_time_; }
+
+  /// Serializes everything a restarted daemon needs to continue the run
+  /// bit-identically — batch ordinal, ordering bound, outcome counters, and
+  /// the controller's full state (hexfloat-exact) — as a text blob. Only
+  /// legal at a settled point (no open batch, nothing pending): the durable
+  /// wrapper snapshots at flush boundaries. Decided records themselves are
+  /// not serialized; the WAL's decisions.log carries those.
+  void export_snapshot(std::ostream& out) const;
+
+  /// Restores an export_snapshot blob into a freshly constructed daemon.
+  /// After import the daemon continues numbering batches and enforcing
+  /// time-ordering where the exporter stopped; report().decisions restarts
+  /// empty (recovery re-derives the tail from the WAL). Wall-clock latency
+  /// stats and process-local metric counters restart at zero.
+  void import_snapshot(std::istream& in);
 
  private:
   struct Pending {
@@ -146,7 +193,7 @@ class Daemon {
   };
 
   void open_batch(std::size_t time);
-  void decide_batch();
+  void decide_batch(bool forced);
   DecisionRecord decide_admit(const Pending& pending,
                               const ctrl::BatchOutcome& outcome,
                               std::vector<ctrl::ChurnEvent>& reverts);
@@ -163,6 +210,9 @@ class Daemon {
   std::size_t last_time_ = 0;
   bool batch_open_ = false;
   bool finished_ = false;
+  /// Set by import_snapshot: the time-ordering bound applies from the very
+  /// first post-restore submit even though report().decisions is empty.
+  bool restored_ = false;
 
   obs::MetricId m_requests_ = 0;
   obs::MetricId m_admits_ = 0;
@@ -173,10 +223,59 @@ class Daemon {
   obs::MetricId m_queries_ = 0;
   obs::MetricId m_batches_ = 0;
   obs::MetricId m_solves_ = 0;
+  obs::MetricId m_forced_flush_ = 0;
+  obs::MetricId m_overload_ = 0;
   obs::MetricId m_batch_size_ = 0;
   obs::MetricId m_virtual_latency_ = 0;
   obs::MetricId m_wall_latency_us_ = 0;
   obs::MetricId m_utility_ = 0;
+};
+
+/// What the acceptor (serve/acceptor.hpp) pushes ordered requests into —
+/// either a bare Daemon (DaemonSink) or the durable WAL wrapper
+/// (serve/wal.hpp's Durable), which persists each request before it enters
+/// a batch. The acceptor never talks to the Daemon directly, so durability
+/// is a composition choice, not a code path.
+class ServeSink {
+ public:
+  virtual ~ServeSink() = default;
+
+  /// Accepts the next request in boundary total order. Throws
+  /// util::CheckError on an out-of-order timestamp (the caller answers the
+  /// client with an error line and drops the request).
+  virtual void submit(const Request& request) = 0;
+
+  /// Forces the open batch to flush now (wall-clock timer, end-of-stream).
+  virtual void force_flush() = 0;
+
+  virtual Daemon& daemon() = 0;
+
+  /// The fencing epoch clients must match; 0 when the sink is not durable
+  /// (no persisted epoch — fencing is vacuous).
+  virtual std::uint64_t epoch() const = 0;
+
+  /// Requests ever accepted into the sink — across restarts for a durable
+  /// sink (the WAL sequence number). The acceptor seeds its --stamp arrival
+  /// ordinal from this so the stamped virtual clock continues monotonically
+  /// after a recovery instead of restarting at 0 (docs/SERVE.md §9).
+  virtual std::uint64_t accepted() const = 0;
+};
+
+/// The non-durable sink: forwards straight to a Daemon.
+class DaemonSink final : public ServeSink {
+ public:
+  explicit DaemonSink(Daemon& daemon) : daemon_(&daemon) {}
+
+  void submit(const Request& request) override { daemon_->submit(request); }
+  void force_flush() override { daemon_->flush(); }
+  Daemon& daemon() override { return *daemon_; }
+  std::uint64_t epoch() const override { return 0; }
+  std::uint64_t accepted() const override {
+    return daemon_->report().decisions.size() + daemon_->pending_count();
+  }
+
+ private:
+  Daemon* daemon_;
 };
 
 }  // namespace maxutil::serve

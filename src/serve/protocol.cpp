@@ -87,11 +87,12 @@ std::string Script::describe() const {
   return out;
 }
 
-Script parse_script(std::istream& in) {
-  Script script;
+void for_each_request(std::istream& in,
+                      const std::function<void(Request&&)>& fn) {
   std::string line;
   std::size_t line_no = 0;
   std::size_t last_time = 0;
+  bool first = true;
   while (std::getline(in, line)) {
     ++line_no;
     const std::size_t hash = line.find('#');
@@ -113,14 +114,22 @@ Script parse_script(std::istream& in) {
                              e.what());
     }
     request.line = line_no;
-    ensure(script.requests.empty() || request.time() >= last_time,
+    ensure(first || request.time() >= last_time,
            "line " + std::to_string(line_no) + ": timestamp @" +
                std::to_string(request.time()) + " decreases (previous @" +
                std::to_string(last_time) +
                "); serve streams must be time-ordered");
+    first = false;
     last_time = request.time();
-    script.requests.push_back(std::move(request));
+    fn(std::move(request));
   }
+}
+
+Script parse_script(std::istream& in) {
+  Script script;
+  for_each_request(in, [&script](Request&& request) {
+    script.requests.push_back(std::move(request));
+  });
   return script;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -59,9 +60,18 @@ struct Script {
   std::string describe() const;  // canonical, one request per line
 };
 
-/// Parses a whole event stream: one request per line, '#' comments and
-/// blank lines skipped. Throws util::CheckError with "line N:" context on a
-/// malformed line or a timestamp that decreases.
+/// Streams an event stream request by request: one request per line, '#'
+/// comments and blank lines skipped, `fn` invoked for each request as its
+/// line is read — so a pipe or FIFO source is served live, not buffered to
+/// EOF first (the durable CLI path depends on this: a request must reach
+/// the write-ahead log as it arrives, docs/SERVE.md §7). Throws
+/// util::CheckError with "line N:" context on a malformed line or a
+/// timestamp that decreases.
+void for_each_request(std::istream& in,
+                      const std::function<void(Request&&)>& fn);
+
+/// Parses a whole event stream via for_each_request, collecting into a
+/// Script.
 Script parse_script(std::istream& in);
 Script parse_script_text(const std::string& text);
 

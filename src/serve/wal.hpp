@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/daemon.hpp"
+
+namespace maxutil::serve {
+
+/// FNV-1a 64-bit over `bytes` — the WAL/snapshot checksum. Chosen for being
+/// dependency-free and byte-order independent; this guards against torn
+/// writes and bit rot, not adversaries.
+std::uint64_t fnv1a64(const std::string& bytes);
+
+/// One durable request: the boundary total-order sequence number, the
+/// incarnation epoch that accepted it, and the request's canonical protocol
+/// line (Request::describe(), so replay re-parses the exact grammar clients
+/// speak).
+struct WalRecord {
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
+  std::string payload;
+};
+
+/// Append-only record log. Each append issues one write() syscall of a
+/// fully formed line — `r <seq> <epoch> <fnv64hex> <payload>\n`, checksum
+/// over "<seq> <epoch> <payload>" — so a SIGKILL can never lose a record
+/// that append() returned for. fsync is batched: Durable calls sync() at
+/// batch-flush points, which is the power-loss durability boundary
+/// (docs/SERVE.md §8).
+class Wal {
+ public:
+  /// Opens (creates) the log for appending. Throws util::CheckError on I/O
+  /// failure.
+  explicit Wal(const std::string& path);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  void append(const WalRecord& record);
+  void sync();
+
+  std::uint64_t last_seq() const { return last_seq_; }
+  void set_last_seq(std::uint64_t seq) { last_seq_ = seq; }
+
+  /// Reads every valid record from `path` (missing file => empty). A torn
+  /// tail — a final line without '\n', a malformed line, or a checksum
+  /// mismatch — is truncated off the file in place; `truncated_bytes`
+  /// (optional) reports how many bytes were cut. Records after the first
+  /// bad byte are unreachable by construction (append is sequential), so
+  /// truncation never discards a fsynced record.
+  static std::vector<WalRecord> read_and_repair(
+      const std::string& path, std::size_t* truncated_bytes = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t last_seq_ = 0;
+};
+
+struct DurableOptions {
+  /// Directory holding wal.log, decisions.log, epoch, meta, and
+  /// snapshot-<seq>.snap files. Created if absent.
+  std::string dir;
+
+  /// Take a snapshot every N batch flushes (0 = never; recovery then
+  /// replays the whole WAL). Snapshots bound replay time, nothing else —
+  /// correctness never depends on them.
+  std::size_t snapshot_every = 8;
+};
+
+/// The durable ServeSink (tentpole pillar 1, docs/SERVE.md §8): write-ahead
+/// logs every request before it reaches the Daemon, persists settled
+/// decisions, snapshots the controller at flush points, and recovers a
+/// previous incarnation's state on construction — bit-identical to an
+/// uninterrupted run, because the decision log is a pure function of the
+/// request stream and the WAL preserves that stream exactly.
+///
+/// Epoch fencing: every construction reads the persisted epoch, bumps it,
+/// and persists the new value before serving, so a fenced-off predecessor
+/// can never be mistaken for the live incarnation (the mongodb repl
+/// topology coordinator's term pattern).
+class Durable final : public ServeSink {
+ public:
+  /// Wraps `daemon` (which must be freshly constructed) with durability
+  /// rooted at options.dir. If the directory holds a previous incarnation's
+  /// WAL, recovery runs here: newest valid snapshot imported, decisions.log
+  /// truncated to the snapshot's coverage, WAL tail replayed through the
+  /// daemon. Throws util::CheckError if the directory belongs to a run with
+  /// different serve options (the `meta` fingerprint).
+  Durable(Daemon& daemon, DurableOptions options);
+  ~Durable() override;
+
+  void submit(const Request& request) override;
+  void force_flush() override;
+  Daemon& daemon() override { return *daemon_; }
+  std::uint64_t epoch() const override { return epoch_; }
+  std::uint64_t accepted() const override { return wal_->last_seq(); }
+
+  /// How many WAL records recovery replayed (0 on a fresh directory).
+  std::uint64_t replayed() const { return replayed_; }
+
+  /// True when construction found and recovered prior state.
+  bool recovered() const { return recovered_; }
+
+  /// The complete decision log: the persisted prefix covered by the
+  /// recovery snapshot plus every decision this incarnation made. For an
+  /// uninterrupted run this equals report().decision_log(); after recovery
+  /// it is the bit-identical continuation of the whole history.
+  std::string full_decision_log() const;
+
+  /// Flushes the trailing batch, persists everything, and fsyncs both
+  /// logs. Returns the daemon's final report.
+  const ServeReport& finish();
+
+ private:
+  void register_metrics();
+  void load_or_init_meta() const;
+  std::uint64_t bump_epoch() const;
+  void recover();
+  /// Appends newly settled decisions to decisions.log; when a flush
+  /// happened (new decisions appeared), fsyncs the WAL + decisions.log and
+  /// possibly snapshots. Safe to call any time the daemon has no open
+  /// batch-internal work in flight.
+  void persist_settled();
+  void write_snapshot();
+
+  Daemon* daemon_;
+  DurableOptions options_;
+  std::unique_ptr<Wal> wal_;
+  int decisions_fd_ = -1;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t replayed_ = 0;
+  bool recovered_ = false;
+  bool replaying_ = false;
+
+  /// decisions.log lines written by earlier incarnations and covered by the
+  /// imported snapshot (the live daemon's report starts after these).
+  std::string prefix_;
+  std::size_t prefix_lines_ = 0;
+  /// How many of the live daemon's decisions are already in decisions.log.
+  std::size_t persisted_live_ = 0;
+  std::size_t flushes_since_snapshot_ = 0;
+  /// Seq of the last record handed to the daemon — the only legal snapshot
+  /// coverage point (during replay the WAL file is ahead of the daemon).
+  std::uint64_t submitted_seq_ = 0;
+  std::uint64_t last_snapshot_seq_ = 0;
+
+  obs::MetricId m_records_ = 0;
+  obs::MetricId m_replayed_ = 0;
+  obs::MetricId m_snapshots_ = 0;
+  obs::MetricId m_truncated_ = 0;
+  obs::MetricId m_epoch_ = 0;
+};
+
+}  // namespace maxutil::serve

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "ctrl/churn_plan.hpp"
@@ -406,6 +407,44 @@ TEST(Controller, FailedRetryKeepsDegradedInterimPoint) {
 }
 
 // --- Determinism ---
+
+// --- Serialized state (serve recovery snapshots ride on this) ---
+
+TEST(Controller, ExportImportStateIsBitExact) {
+  const auto net = maxutil::gen::figure1_example();
+  Controller original(net, fast_options());
+  // Build up non-trivial state: a scale, a departure (creates a snapshot
+  // entry for exact restore), and a crash.
+  original.run(parse_churn_plan(
+      "cap=Server 3*0.5@1,depart=S2@2,crash=Server 2@3"));
+  std::ostringstream blob;
+  original.export_state(blob);
+
+  Controller restored(net, fast_options());
+  std::istringstream in(blob.str());
+  restored.import_state(in);
+  EXPECT_EQ(restored.utility(), original.utility());  // exact, not approx
+  EXPECT_EQ(restored.network().commodity_count(),
+            original.network().commodity_count());
+  ASSERT_EQ(restored.admitted().size(), original.admitted().size());
+  for (std::size_t j = 0; j < restored.admitted().size(); ++j) {
+    EXPECT_EQ(restored.admitted()[j], original.admitted()[j]);
+  }
+
+  // The restored controller continues identically: the snapshot map came
+  // across, so re-arriving S2 is an exact restore in both.
+  const ChurnPlan tail = parse_churn_plan("restore=Server 2@4,arrive=S2@5");
+  original.run(tail);
+  restored.run(tail);
+  EXPECT_EQ(restored.utility(), original.utility());
+
+  // A truncated blob is rejected without corrupting the target.
+  Controller fresh(net, fast_options());
+  const double before = fresh.utility();
+  std::istringstream torn(blob.str().substr(0, blob.str().size() / 2));
+  EXPECT_THROW(fresh.import_state(torn), CheckError);
+  EXPECT_EQ(fresh.utility(), before);
+}
 
 TEST(Controller, DistributedChurnRunsAreThreadIndependent) {
   const auto net = maxutil::gen::figure1_example();

@@ -40,17 +40,16 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include "ctrl/churn_plan.hpp"
 #include "ctrl/controller.hpp"
+#include "serve/acceptor.hpp"
 #include "serve/daemon.hpp"
 #include "serve/protocol.hpp"
+#include "serve/wal.hpp"
 #include "gen/random_instance.hpp"
 #include "scenario/scenario.hpp"
 #include "solver/pipeline.hpp"
@@ -118,19 +117,40 @@ int usage_to(std::FILE* out) {
       "                            [--threads T] [--partition shard|chunked]"
       " [--budget N]\n"
       "                            [--admit-share X] [--deny-share X]"
-      " [--decisions FILE] [--json FILE]\n"
-      "                            [--report] [--metrics FILE] [--trace FILE]\n"
+      " [--max-pending N] [--decisions FILE]\n"
+      "                            [--json FILE] [--report] [--metrics FILE]"
+      " [--trace FILE]\n"
+      "                            [--wal DIR|--recover DIR]"
+      " [--snapshot-every N] [--flush-ms MS] [--stamp]\n"
       "         (online admission serving, docs/SERVE.md: reads one request"
       " per line — admit=COMMODITY[*F]@T,\n"
       "          query=COMMODITY@T, or any churn event — from --input"
       " (default '-' = stdin) or a Unix-domain\n"
-      "          socket via --listen; coalesces requests within --window"
-      " virtual time units into one re-solve;\n"
-      "          answers admit/degrade/deny at thresholds --admit-share/"
-      "--deny-share on the admitted share;\n"
-      "          --decisions writes the deterministic decision log"
-      " ('-' = stdout), --json a machine-readable\n"
-      "          summary with p50/p99 decision latency and decisions/sec)\n"
+      "          socket via --listen (multi-client, poll-driven; ends when"
+      " the last client leaves); coalesces\n"
+      "          requests within --window virtual time units into one"
+      " re-solve; answers admit/degrade/deny at\n"
+      "          thresholds --admit-share/--deny-share on the admitted share;"
+      " --max-pending denies arrivals\n"
+      "          beyond N pending with a retryable overload error;"
+      " --decisions writes the deterministic decision\n"
+      "          log ('-' = stdout), --json a machine-readable summary with"
+      " p50/p99 decision latency and\n"
+      "          decisions/sec)\n"
+      "         (--wal DIR: durable serving — every request is write-ahead"
+      " logged under DIR before it enters a\n"
+      "          batch, with periodic snapshots every --snapshot-every"
+      " flushes; restarting over the same DIR\n"
+      "          recovers snapshot + WAL tail bit-identically and bumps the"
+      " fencing epoch; --recover DIR is the\n"
+      "          same but fails when DIR holds no prior state; see"
+      " docs/SERVE.md §8)\n"
+      "         (--flush-ms: wall-clock deadline for socket mode — an open"
+      " batch flushes at most MS milliseconds\n"
+      "          after it opens even if no request arrives; --stamp replaces"
+      " client timestamps with boundary\n"
+      "          arrival ordinals, the multi-client total order of"
+      " docs/SERVE.md §9)\n"
       "       maxutil_cli dot <file> [--extended]\n"
       "       maxutil_cli generate [--servers N] [--commodities J]"
       " [--stages K] [--lambda X] [--seed S]\n"
@@ -152,7 +172,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
     }
     key = key.substr(2);
     if (key == "extended" || key == "report" || key == "newton" ||
-        key == "metrics-report" || key == "compare") {
+        key == "metrics-report" || key == "compare" || key == "stamp") {
       flags[key] = "1";
     } else {
       if (i + 1 >= argc) {
@@ -480,65 +500,6 @@ int cmd_churn(const std::string& path,
   return report.failures > 0 ? 1 : 0;
 }
 
-/// `--listen SOCKET`: accept one client on a Unix-domain stream socket,
-/// submit its lines as they arrive, and stream each decision back the
-/// moment its batch flushes. The serve run ends at client EOF.
-void serve_socket(serve::Daemon& daemon, const std::string& path) {
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  util::ensure(listener >= 0, "serve: cannot create Unix socket");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  util::ensure(path.size() < sizeof(addr.sun_path),
-               "serve: socket path too long: " + path);
-  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
-  ::unlink(path.c_str());
-  util::ensure(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-                      sizeof(addr)) == 0,
-               "serve: cannot bind " + path);
-  util::ensure(::listen(listener, 1) == 0, "serve: cannot listen on " + path);
-  std::fprintf(stderr, "serving on %s (one client, ends at EOF)\n",
-               path.c_str());
-  const int client = ::accept(listener, nullptr, nullptr);
-  util::ensure(client >= 0, "serve: accept failed on " + path);
-
-  const auto drain = [&daemon, client](std::size_t& sent) {
-    const auto& decisions = daemon.report().decisions;
-    for (; sent < decisions.size(); ++sent) {
-      const std::string line = decisions[sent].line() + "\n";
-      (void)!::write(client, line.data(), line.size());
-    }
-  };
-
-  std::string buffer;
-  std::size_t sent = 0;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::read(client, chunk, sizeof(chunk));
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t nl;
-    while ((nl = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, nl);
-      buffer.erase(0, nl + 1);
-      try {
-        const serve::Script one = serve::parse_script_text(line);
-        for (const serve::Request& request : one.requests) {
-          daemon.submit(request);
-        }
-      } catch (const util::CheckError& e) {
-        const std::string err = std::string("error: ") + e.what() + "\n";
-        (void)!::write(client, err.data(), err.size());
-      }
-      drain(sent);
-    }
-  }
-  daemon.finish();
-  drain(sent);
-  ::close(client);
-  ::close(listener);
-  ::unlink(path.c_str());
-}
-
 int cmd_serve(const std::string& path,
               const std::map<std::string, std::string>& flags) {
   const auto net = scenario::load_file(path);
@@ -566,35 +527,78 @@ int cmd_serve(const std::string& path,
   options.window = static_cast<std::size_t>(flag_number(flags, "window", 0));
   options.admit_share = flag_number(flags, "admit-share", 0.95);
   options.deny_share = flag_number(flags, "deny-share", 0.05);
+  options.max_pending =
+      static_cast<std::size_t>(flag_number(flags, "max-pending", 0));
   options.record_trace = flags.count("trace") != 0;
 
   serve::Daemon daemon(net, options);
 
+  // Durability: --wal DIR serves with a write-ahead log rooted at DIR
+  // (recovering automatically when the directory holds prior state);
+  // --recover DIR is the same but fails fast when there is nothing to
+  // recover — the restart path of docs/SERVE.md §8.
+  util::ensure(flags.count("wal") == 0 || flags.count("recover") == 0,
+               "--wal and --recover name the same directory role; pass one");
+  std::string wal_dir;
+  if (flags.count("wal") != 0) wal_dir = flags.at("wal");
+  if (flags.count("recover") != 0) wal_dir = flags.at("recover");
+  std::unique_ptr<serve::Durable> durable;
+  if (!wal_dir.empty()) {
+    serve::DurableOptions durable_options;
+    durable_options.dir = wal_dir;
+    durable_options.snapshot_every =
+        static_cast<std::size_t>(flag_number(flags, "snapshot-every", 8));
+    durable = std::make_unique<serve::Durable>(daemon, durable_options);
+    util::ensure(flags.count("recover") == 0 || durable->recovered(),
+                 "--recover " + wal_dir + ": no prior state to recover");
+    if (durable->recovered()) {
+      std::fprintf(stderr, "recovered epoch %llu: replayed %llu records\n",
+                   static_cast<unsigned long long>(durable->epoch()),
+                   static_cast<unsigned long long>(durable->replayed()));
+    }
+  }
+  serve::DaemonSink plain(daemon);
+  serve::ServeSink& sink =
+      durable ? static_cast<serve::ServeSink&>(*durable) : plain;
+
   if (flags.count("listen") != 0) {
-    serve_socket(daemon, flags.at("listen"));
+    serve::AcceptorOptions acceptor_options;
+    acceptor_options.flush_ms =
+        static_cast<std::size_t>(flag_number(flags, "flush-ms", 0));
+    acceptor_options.stamp_arrival = flags.count("stamp") != 0;
+    serve::Acceptor acceptor(sink, acceptor_options);
+    acceptor.run(flags.at("listen"));
   } else {
     const std::string input =
         flags.count("input") != 0 ? flags.at("input") : "-";
-    serve::Script script;
+    // Stream request by request, not parse-to-EOF-then-replay: a pipe or
+    // FIFO source is served live, and under --wal each request hits the
+    // write-ahead log as it arrives — a kill mid-stream loses nothing
+    // already read (docs/SERVE.md §7).
+    const auto feed = [&sink](serve::Request&& request) {
+      sink.submit(request);
+    };
     if (input == "-") {
-      script = serve::parse_script(std::cin);
+      serve::for_each_request(std::cin, feed);
     } else {
       std::ifstream in(input);
       util::ensure(in.good(), "cannot open --input file " + input);
-      script = serve::parse_script(in);
+      serve::for_each_request(in, feed);
     }
-    daemon.run(script);
   }
-  const serve::ServeReport& report = daemon.finish();
+  const serve::ServeReport& report =
+      durable ? durable->finish() : daemon.finish();
+  const std::string decision_log =
+      durable ? durable->full_decision_log() : report.decision_log();
 
   if (flags.count("decisions") != 0 && flags.at("decisions") != "-") {
     const std::string& file = flags.at("decisions");
     std::ofstream out(file);
     util::ensure(out.good(), "cannot open --decisions file " + file);
-    out << report.decision_log();
+    out << decision_log;
     std::fprintf(stderr, "wrote decision log to %s\n", file.c_str());
   } else {
-    std::fputs(report.decision_log().c_str(), stdout);
+    std::fputs(decision_log.c_str(), stdout);
   }
   if (flags.count("report") != 0) {
     std::fputs(report.summary().c_str(), stdout);
